@@ -1,0 +1,14 @@
+//! # adm-airfoil — aerospace input geometry
+//!
+//! Generators for the domains the paper meshes: NACA 4-digit airfoils
+//! (Figure 2's NACA 0012), a synthetic three-element high-lift
+//! configuration standing in for the 30p30n (Figure 13), and the PSLG
+//! domain description with far-field placement (30–50 chords, §II.E).
+
+pub mod multielement;
+pub mod naca;
+pub mod pslg;
+
+pub use multielement::{add_cove, naca0012_domain, three_element_highlift, HighLiftParams};
+pub use naca::{transform, Naca4};
+pub use pslg::{Pslg, SurfaceLoop};

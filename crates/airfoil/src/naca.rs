@@ -1,0 +1,238 @@
+//! NACA 4-digit airfoil generation.
+//!
+//! Generates the closed surface polyline of a NACA 4-digit section (e.g.
+//! the NACA 0012 of the paper's Figure 2) with cosine point spacing, which
+//! clusters surface vertices at the leading and trailing edges where the
+//! boundary-layer rays need the most resolution.
+
+use adm_geom::point::Point2;
+use std::f64::consts::PI;
+
+/// A NACA 4-digit specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Naca4 {
+    /// Maximum camber as a fraction of chord (first digit / 100).
+    pub camber: f64,
+    /// Position of maximum camber as a fraction of chord (second digit / 10).
+    pub camber_pos: f64,
+    /// Maximum thickness as a fraction of chord (last two digits / 100).
+    pub thickness: f64,
+    /// `true` closes the trailing edge exactly (sharp TE); `false` keeps
+    /// the classic open (blunt) trailing edge.
+    pub sharp_te: bool,
+}
+
+impl Naca4 {
+    /// Parses a 4-digit code, e.g. `"0012"` or `"2412"`.
+    pub fn from_digits(code: &str) -> Option<Self> {
+        if code.len() != 4 || !code.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let m = code[0..1].parse::<f64>().ok()? / 100.0;
+        let p = code[1..2].parse::<f64>().ok()? / 10.0;
+        let t = code[2..4].parse::<f64>().ok()? / 100.0;
+        Some(Naca4 {
+            camber: m,
+            camber_pos: p,
+            thickness: t,
+            sharp_te: true,
+        })
+    }
+
+    /// The symmetric NACA 0012 used throughout the paper.
+    pub fn naca0012() -> Self {
+        Self::from_digits("0012").unwrap()
+    }
+
+    /// Half-thickness at chordwise station `x` in `[0, 1]`.
+    pub fn half_thickness(&self, x: f64) -> f64 {
+        let c = if self.sharp_te { -0.1036 } else { -0.1015 };
+        5.0 * self.thickness
+            * (0.2969 * x.sqrt() - 0.1260 * x - 0.3516 * x * x + 0.2843 * x * x * x
+                + c * x * x * x * x)
+    }
+
+    /// Mean camber line height at station `x`.
+    pub fn camber_line(&self, x: f64) -> f64 {
+        let (m, p) = (self.camber, self.camber_pos);
+        if m == 0.0 || p == 0.0 {
+            return 0.0;
+        }
+        if x < p {
+            m / (p * p) * (2.0 * p * x - x * x)
+        } else {
+            m / ((1.0 - p) * (1.0 - p)) * ((1.0 - 2.0 * p) + 2.0 * p * x - x * x)
+        }
+    }
+
+    /// Camber line slope at station `x`.
+    pub fn camber_slope(&self, x: f64) -> f64 {
+        let (m, p) = (self.camber, self.camber_pos);
+        if m == 0.0 || p == 0.0 {
+            return 0.0;
+        }
+        if x < p {
+            2.0 * m / (p * p) * (p - x)
+        } else {
+            2.0 * m / ((1.0 - p) * (1.0 - p)) * (p - x)
+        }
+    }
+
+    /// Surface polyline with `n_per_side` points per side and unit chord.
+    ///
+    /// Points run **counter-clockwise**: from the trailing edge along the
+    /// upper surface to the leading edge, then back along the lower surface
+    /// to the trailing edge. The polygon is not closed (the first point is
+    /// not repeated); with a sharp TE the single TE point starts the loop,
+    /// with a blunt TE the upper-TE point starts it and the lower-TE point
+    /// ends it.
+    ///
+    /// Chordwise stations use cosine spacing `x = (1 - cos θ)/2`.
+    pub fn surface(&self, n_per_side: usize) -> Vec<Point2> {
+        assert!(n_per_side >= 4, "need at least 4 points per side");
+        let station = |k: usize| 0.5 * (1.0 - (PI * k as f64 / n_per_side as f64).cos());
+        let mut pts: Vec<Point2> = Vec::with_capacity(2 * n_per_side);
+        // Upper surface: TE -> LE (x from 1 to 0); interior below lies on
+        // the left of the traversal, so the loop winds CCW.
+        for k in 0..=n_per_side {
+            let x = station(n_per_side - k);
+            let (px, py) = self.point_on(x, true);
+            pts.push(Point2::new(px, py));
+        }
+        // Lower surface: LE -> TE, skipping the shared LE point and (for a
+        // sharp TE) the shared TE point.
+        let last = if self.sharp_te { n_per_side } else { n_per_side + 1 };
+        for k in 1..last {
+            let x = station(k.min(n_per_side));
+            let (px, py) = self.point_on(x, false);
+            pts.push(Point2::new(px, py));
+        }
+        pts
+    }
+
+    /// Surface point at chordwise station `x` on the upper/lower side,
+    /// offsetting perpendicular to the camber line.
+    pub fn point_on(&self, x: f64, upper: bool) -> (f64, f64) {
+        let yt = self.half_thickness(x);
+        let yc = self.camber_line(x);
+        let theta = self.camber_slope(x).atan();
+        if upper {
+            (x - yt * theta.sin(), yc + yt * theta.cos())
+        } else {
+            (x + yt * theta.sin(), yc - yt * theta.cos())
+        }
+    }
+}
+
+/// Applies scale, rotation (degrees, positive = nose down / clockwise) and
+/// translation to a polyline — used to place multi-element components.
+pub fn transform(points: &[Point2], scale: f64, rotate_deg: f64, translate: Point2) -> Vec<Point2> {
+    let th = -rotate_deg.to_radians();
+    let (s, c) = th.sin_cos();
+    points
+        .iter()
+        .map(|p| {
+            let x = p.x * scale;
+            let y = p.y * scale;
+            Point2::new(
+                c * x - s * y + translate.x,
+                s * x + c * y + translate.y,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm_geom::polygon::{is_ccw, is_simple, signed_area};
+
+    #[test]
+    fn parse_codes() {
+        let a = Naca4::from_digits("0012").unwrap();
+        assert_eq!(a.camber, 0.0);
+        assert_eq!(a.thickness, 0.12);
+        let b = Naca4::from_digits("2412").unwrap();
+        assert!((b.camber - 0.02).abs() < 1e-12);
+        assert!((b.camber_pos - 0.4).abs() < 1e-12);
+        assert!(Naca4::from_digits("001").is_none());
+        assert!(Naca4::from_digits("00x2").is_none());
+    }
+
+    #[test]
+    fn naca0012_thickness_peak() {
+        let a = Naca4::naca0012();
+        // Max thickness ~12% of chord at x ~0.3.
+        let t_max = (0..=100)
+            .map(|k| a.half_thickness(k as f64 / 100.0))
+            .fold(0.0f64, f64::max);
+        assert!((2.0 * t_max - 0.12).abs() < 2e-3);
+    }
+
+    #[test]
+    fn symmetric_surface_mirrors() {
+        let a = Naca4::naca0012();
+        let (xu, yu) = a.point_on(0.3, true);
+        let (xl, yl) = a.point_on(0.3, false);
+        assert_eq!(xu, xl);
+        assert!((yu + yl).abs() < 1e-15);
+    }
+
+    #[test]
+    fn surface_is_simple_ccw_polygon() {
+        for code in ["0012", "2412", "4415"] {
+            let a = Naca4::from_digits(code).unwrap();
+            let s = a.surface(40);
+            assert!(is_ccw(&s), "{code} not CCW");
+            assert!(is_simple(&s), "{code} self-intersects");
+            // Area of a 12%-thick unit-chord airfoil is a few percent of
+            // the chord square.
+            let area = signed_area(&s);
+            assert!(area > 0.02 && area < 0.2, "{code} area {area}");
+        }
+    }
+
+    #[test]
+    fn sharp_te_closes() {
+        let a = Naca4::naca0012();
+        let s = a.surface(30);
+        // First point is the TE (x=1); with sharp TE there is exactly one
+        // TE point.
+        assert!((s[0].x - 1.0).abs() < 1e-12);
+        assert!(s[0].y.abs() < 1e-6);
+        let te_count = s.iter().filter(|p| (p.x - 1.0).abs() < 1e-9).count();
+        assert_eq!(te_count, 1);
+    }
+
+    #[test]
+    fn blunt_te_has_two_te_points() {
+        let a = Naca4 {
+            sharp_te: false,
+            ..Naca4::naca0012()
+        };
+        let s = a.surface(30);
+        let te_count = s.iter().filter(|p| (p.x - 1.0).abs() < 1e-9).count();
+        assert_eq!(te_count, 2);
+        assert!(is_simple(&s));
+    }
+
+    #[test]
+    fn cosine_spacing_clusters_at_ends() {
+        let a = Naca4::naca0012();
+        let s = a.surface(50);
+        // Spacing near LE/TE is much finer than mid-chord.
+        let d_te = s[0].distance(s[1]);
+        let mid = s.len() / 4;
+        let d_mid = s[mid].distance(s[mid + 1]);
+        assert!(d_te < d_mid / 3.0);
+    }
+
+    #[test]
+    fn transform_scales_rotates_translates() {
+        let pts = vec![Point2::new(1.0, 0.0)];
+        let out = transform(&pts, 2.0, 90.0, Point2::new(5.0, 5.0));
+        // 90 deg nose-down rotation maps (2,0) to (0,-2).
+        assert!((out[0].x - 5.0).abs() < 1e-12);
+        assert!((out[0].y - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation A4: priority-queue (largest-first) scheduling vs FIFO under
+//! the work-request protocol (§IV: "meshing the largest subdomains first
+//! ... helps us minimize process idle time during the final moments of
+//! execution"), plus the simulator's own throughput. Note: with the
+//! busy-donor policy this isolated microbench shows only a small gap —
+//! the decisive comparison is the full-pipeline run
+//! (`fig11_12_scaling --schedule fifo`), where largest-first wins the
+//! tail clearly (see EXPERIMENTS.md).
+
+use adm_simnet::{simulate, InitialDist, LinkModel, Schedule, SimConfig, Task};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn heterogeneous_tasks(n: usize) -> Vec<Task> {
+    let mut r = rand::rngs::StdRng::seed_from_u64(11);
+    let mut tasks: Vec<Task> = (0..n)
+        .map(|_| Task {
+            cost_s: r.gen_range(0.5e-3..2e-3),
+            bytes: 20_000,
+        })
+        .collect();
+    // A heavy tail of large subdomains (boundary-layer pieces).
+    for t in tasks.iter_mut().take(n / 20) {
+        t.cost_s *= 25.0;
+        t.bytes *= 10;
+    }
+    tasks
+}
+
+fn bench_schedule_quality(c: &mut Criterion) {
+    let tasks = heterogeneous_tasks(2000);
+    let total: f64 = tasks.iter().map(|t| t.cost_s).sum();
+    // Report the makespan difference once (the ablation result), then
+    // benchmark the simulation cost itself.
+    for schedule in [Schedule::LargestFirst, Schedule::Fifo] {
+        let cfg = SimConfig {
+            link: LinkModel::fdr_infiniband(),
+            schedule,
+            ..Default::default()
+        };
+        let sim = simulate(64, &tasks, InitialDist::RoundRobin, &cfg);
+        eprintln!(
+            "[A4] {schedule:?}: makespan {:.4}s (speedup {:.1})",
+            sim.makespan_s,
+            total / sim.makespan_s
+        );
+    }
+    let mut g = c.benchmark_group("simulator");
+    for schedule in [Schedule::LargestFirst, Schedule::Fifo] {
+        let cfg = SimConfig {
+            link: LinkModel::fdr_infiniband(),
+            schedule,
+            ..Default::default()
+        };
+        g.bench_function(format!("simulate_64ranks_{schedule:?}"), |b| {
+            b.iter(|| {
+                let sim = simulate(64, &tasks, InitialDist::RoundRobin, &cfg);
+                std::hint::black_box(sim.makespan_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_schedule_quality
+}
+criterion_main!(benches);

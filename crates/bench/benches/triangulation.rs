@@ -1,0 +1,124 @@
+//! Triangulation benchmarks, including ablations A2 (maintained sort vs
+//! re-sorting, the paper's §III Triangle modification) and A3 (cut-axis
+//! selection by shortest bounding-box edge vs a fixed axis).
+
+use adm_delaunay::divconq::triangulate_dc;
+use adm_delaunay::incremental::triangulate_incremental;
+use adm_geom::point::Point2;
+use adm_partition::{triangulate_leaf, CutAxis, DecomposeParams, Subdomain};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, aspect: f64) -> Vec<Point2> {
+    let mut r = rand::rngs::StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| Point2::new(r.gen_range(0.0..aspect), r.gen_range(0.0..1.0)))
+        .collect()
+}
+
+/// Ablation A2: the paper removes Triangle's input sort because the
+/// decomposition maintains x-sorted vertices.
+fn bench_sorted_input(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dc_triangulation");
+    for n in [2_000usize, 20_000] {
+        let mut pts = random_points(n, 1.0);
+        g.bench_function(format!("unsorted_{n}"), |b| {
+            b.iter(|| std::hint::black_box(triangulate_dc(&pts, false).triangles().len()))
+        });
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        g.bench_function(format!("presorted_{n}"), |b| {
+            b.iter(|| std::hint::black_box(triangulate_dc(&pts, true).triangles().len()))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation A3: cutting along the shortest bounding-box edge (the paper's
+/// choice) vs always cutting vertically, on a strongly elongated cloud —
+/// fixed vertical cuts produce long skinny subdomains whose triangulation
+/// is more expensive.
+fn bench_cut_axis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cut_axis");
+    // Tall skinny cloud (boundary-layer-like): height 20x width.
+    let pts: Vec<Point2> = {
+        let mut r = rand::rngs::StdRng::seed_from_u64(9);
+        (0..20_000)
+            .map(|_| Point2::new(r.gen_range(0.0..1.0), r.gen_range(0.0..20.0)))
+            .collect()
+    };
+    let params = DecomposeParams {
+        min_vertices: 64,
+        max_level: 5,
+    };
+    g.bench_function("shortest_edge_cuts", |b| {
+        b.iter(|| {
+            let mut leaves = Vec::new();
+            let mut stack = vec![Subdomain::root(&pts)];
+            while let Some(mut s) = stack.pop() {
+                if s.level >= params.max_level || s.len() < params.min_vertices {
+                    leaves.push(s);
+                    continue;
+                }
+                let axis = s.choose_cut_axis();
+                let (lo, hi, _) = s.split(axis);
+                stack.push(lo);
+                stack.push(hi);
+            }
+            let tris: usize = leaves.iter().map(|l| triangulate_leaf(l).len()).sum();
+            std::hint::black_box(tris)
+        })
+    });
+    g.bench_function("fixed_vertical_cuts", |b| {
+        b.iter(|| {
+            let mut leaves = Vec::new();
+            let mut stack = vec![Subdomain::root(&pts)];
+            while let Some(mut s) = stack.pop() {
+                if s.level >= params.max_level || s.len() < params.min_vertices {
+                    leaves.push(s);
+                    continue;
+                }
+                // Always a vertical median line (splits x), regardless of
+                // the subdomain shape.
+                let (lo, hi, _) = s.split(CutAxis::Y);
+                stack.push(lo);
+                stack.push(hi);
+            }
+            let tris: usize = leaves.iter().map(|l| triangulate_leaf(l).len()).sum();
+            std::hint::black_box(tris)
+        })
+    });
+    g.finish();
+}
+
+/// Engine comparison: divide-and-conquer (Triangle's default) vs
+/// incremental insertion (Triangle's `-i`). DC should win, as Shewchuk
+/// reports.
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    for n in [2_000usize, 20_000] {
+        let pts = random_points(n, 1.0);
+        g.bench_function(format!("divide_conquer_{n}"), |b| {
+            b.iter(|| std::hint::black_box(triangulate_dc(&pts, false).triangles().len()))
+        });
+        g.bench_function(format!("incremental_{n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(triangulate_incremental(&pts).unwrap().num_triangles())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2500))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sorted_input, bench_cut_axis, bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # adm-bench — experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index) plus
+//! Criterion micro-benchmarks. Binaries print the paper-comparable rows
+//! and write machine-readable JSON into `bench_results/`.
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{write_json, Series};
+pub use workloads::{scaling_config, standard_config};

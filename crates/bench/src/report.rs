@@ -1,0 +1,51 @@
+//! Machine-readable experiment outputs.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A labeled series of (x, y) samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (e.g. "speedup").
+    pub name: String,
+    /// Sample points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Writes any serializable report into `bench_results/<name>.json`
+/// (creating the directory next to the workspace root).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("bench_results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    let s = serde_json::to_string_pretty(value)?;
+    f.write_all(s.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Writes a text artifact (e.g. an SVG) into `bench_results/`.
+pub fn write_artifact(name: &str, contents: &[u8]) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("bench_results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}

@@ -1,0 +1,214 @@
+//! Outward surface normals on a closed CCW surface loop.
+//!
+//! Each PSLG vertex becomes the origin of an extrusion ray whose direction
+//! is the outward normal (paper §II.A, Figure 2). The vertex normal is the
+//! angle bisector of the two adjacent edges' outward normals; vertices
+//! whose adjacent edges turn sharply (trailing-edge cusps, cove corners)
+//! are flagged so the refinement stage can emit ray fans there.
+
+use adm_geom::point::{Point2, Vec2};
+
+/// Normal information at one surface vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexNormal {
+    /// Unit outward normal (bisector of the adjacent edge normals).
+    pub dir: Vec2,
+    /// Exterior turning angle at the vertex, in radians. 0 for a straight
+    /// surface, positive when the surface turns away from the fluid
+    /// (convex corner, e.g. a sharp trailing edge), negative for a
+    /// concavity (e.g. a cove corner).
+    pub turn: f64,
+}
+
+/// Outward normal of the directed edge `a -> b` of a CCW loop (the fluid
+/// is on the right of the traversal... no: for a CCW solid, the interior
+/// is left of each edge, so the outward normal points right).
+#[inline]
+pub fn edge_outward_normal(a: Point2, b: Point2) -> Option<Vec2> {
+    let d = (b - a).normalized()?;
+    // Right of the direction = -perp.
+    Some(-d.perp())
+}
+
+/// Computes per-vertex outward normals for a closed CCW loop.
+///
+/// Zero-length edges are skipped by falling back to the nearest distinct
+/// neighbors. Panics if all points coincide.
+pub fn loop_normals(points: &[Point2]) -> Vec<VertexNormal> {
+    let n = points.len();
+    assert!(n >= 3, "need a closed loop");
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = points[i];
+        // Previous distinct point.
+        let mut prev = None;
+        for step in 1..n {
+            let q = points[(i + n - step) % n];
+            if q != p {
+                prev = Some(q);
+                break;
+            }
+        }
+        let mut next = None;
+        for step in 1..n {
+            let q = points[(i + step) % n];
+            if q != p {
+                next = Some(q);
+                break;
+            }
+        }
+        let (prev, next) = (
+            prev.expect("degenerate loop"),
+            next.expect("degenerate loop"),
+        );
+        let n_in = edge_outward_normal(prev, p).expect("distinct points");
+        let n_out = edge_outward_normal(p, next).expect("distinct points");
+        // Bisector of the two edge normals; for a reversal (cusp) the sum
+        // can vanish — fall back to the direction opposite the (nearly
+        // parallel) edges.
+        let dir = match (n_in + n_out).normalized() {
+            Some(d) => d,
+            None => {
+                // Exact 180-degree cusp: the edge normals cancel. The
+                // outward direction continues past the tip, along the
+                // incoming edge direction.
+                (p - prev).normalized().unwrap()
+            }
+        };
+        // Exterior turn angle (standard for CCW polygons): positive at
+        // convex solid corners, where neighboring rays diverge and fans may
+        // be needed (trailing-edge cusps turn by nearly pi); negative at
+        // concave corners (coves), where rays converge and self-intersect.
+        let d_in = (p - prev).normalized().unwrap();
+        let d_out = (next - p).normalized().unwrap();
+        let turn = d_in.signed_angle_to(d_out);
+        out.push(VertexNormal { dir, turn });
+    }
+    out
+}
+
+/// Classification thresholds for ray refinement (paper §II.B).
+#[derive(Debug, Clone, Copy)]
+pub struct CornerThresholds {
+    /// |turn| above this marks a cusp (fan of rays from the same origin);
+    /// the paper's trailing edges turn by nearly pi.
+    pub cusp: f64,
+    /// Maximum allowed angle between neighboring rays before new rays are
+    /// interpolated between them.
+    pub max_ray_angle: f64,
+}
+
+impl Default for CornerThresholds {
+    fn default() -> Self {
+        CornerThresholds {
+            cusp: 60f64.to_radians(),
+            max_ray_angle: 20f64.to_radians(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn edge_normal_points_outward_of_ccw_square() {
+        // Bottom edge of a CCW square: outward is -y.
+        let nrm = edge_outward_normal(p(0.0, 0.0), p(1.0, 0.0)).unwrap();
+        assert!((nrm.x - 0.0).abs() < 1e-15);
+        assert!((nrm.y + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn square_corner_normals_bisect() {
+        let sq = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        let normals = loop_normals(&sq);
+        // Corner (0,0): adjacent edge normals (0,-1) and (-1,0) — bisector
+        // points down-left.
+        let d = normals[0].dir;
+        assert!((d.x + FRAC_PI_2.cos() / 1.0).abs() < 0.01 || d.x < 0.0);
+        assert!(d.x < 0.0 && d.y < 0.0);
+        assert!(((d.x.powi(2) + d.y.powi(2)).sqrt() - 1.0).abs() < 1e-12);
+        // Convex corner: positive turn of 90 degrees.
+        assert!((normals[0].turn - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_vertex_has_zero_turn() {
+        let tri = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(1.0, 2.0)];
+        let normals = loop_normals(&tri);
+        assert!(normals[1].turn.abs() < 1e-12);
+        // Normal of the straight bottom run points down.
+        assert!((normals[1].dir.y + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concave_corner_has_negative_turn() {
+        // L-shape (CCW): the inner corner is concave.
+        let l = vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 2.0),
+            p(0.0, 2.0),
+        ];
+        let normals = loop_normals(&l);
+        // Vertex 3 = (1,1) is the reflex/concave corner of the solid seen
+        // from outside.
+        assert!(normals[3].turn < -1e-9, "turn {}", normals[3].turn);
+        // All other corners are convex (positive turn).
+        for (i, nv) in normals.iter().enumerate() {
+            if i != 3 {
+                assert!(nv.turn > 0.0, "corner {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cusp_at_sharp_trailing_edge() {
+        // A thin wedge: the TE vertex turns by nearly pi.
+        let wedge = vec![p(1.0, 0.0), p(0.0, 0.02), p(-0.2, 0.0), p(0.0, -0.02)];
+        let normals = loop_normals(&wedge);
+        assert!(normals[0].turn > PI - 0.3, "TE turn {}", normals[0].turn);
+        // Normal at the TE bisects outward along +x.
+        assert!(normals[0].dir.x > 0.9);
+    }
+
+    #[test]
+    fn duplicate_points_are_tolerated() {
+        let sq = vec![
+            p(0.0, 0.0),
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+        ];
+        let normals = loop_normals(&sq);
+        assert_eq!(normals.len(), 5);
+        for nv in &normals {
+            assert!((nv.dir.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normals_point_away_from_interior() {
+        // For a convex CCW polygon, each vertex normal must have positive
+        // dot with (vertex - centroid).
+        let hexa: Vec<Point2> = (0..6)
+            .map(|k| {
+                let th = k as f64 * PI / 3.0;
+                p(th.cos(), th.sin())
+            })
+            .collect();
+        let normals = loop_normals(&hexa);
+        for (v, nv) in hexa.iter().zip(&normals) {
+            assert!(nv.dir.dot(*v - Point2::ORIGIN) > 0.0);
+        }
+    }
+}

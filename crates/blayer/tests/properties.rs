@@ -1,0 +1,109 @@
+//! Property-based tests for the boundary-layer generator.
+
+use adm_blayer::{
+    build_boundary_layer, emit_rays, loop_normals, no_proper_intersections,
+    resolve_self_intersections, BlParams, Capped, CornerThresholds, Geometric, GrowthFn,
+    Polynomial,
+};
+use adm_geom::point::Point2;
+use adm_geom::polygon::{contains_point, is_ccw, is_simple};
+use proptest::prelude::*;
+
+/// A random star-shaped (hence simple, CCW) polygon around the origin.
+fn star_polygon() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(0.5f64..2.0, 6..40).prop_map(|radii| {
+        let n = radii.len();
+        radii
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| {
+                let th = k as f64 * std::f64::consts::TAU / n as f64;
+                Point2::new(r * th.cos(), r * th.sin())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Growth functions are strictly monotone and consistent with their
+    /// per-layer thickness.
+    #[test]
+    fn growth_monotone(h0 in 1e-5f64..1e-2, ratio in 1.01f64..1.6, exp in 1.0f64..3.0) {
+        let laws: Vec<Box<dyn GrowthFn>> = vec![
+            Box::new(Geometric::new(h0, ratio)),
+            Box::new(Polynomial::new(h0, exp)),
+            Box::new(Capped { base: Geometric::new(h0, ratio), max_thickness: 10.0 * h0 }),
+        ];
+        for law in &laws {
+            let mut acc = 0.0;
+            for k in 1..40 {
+                let t = law.layer_thickness(k);
+                prop_assert!(t > 0.0);
+                acc += t;
+                prop_assert!((law.height(k) - acc).abs() < 1e-9 * acc.max(1e-30));
+                prop_assert!(law.height(k) > law.height(k - 1));
+            }
+        }
+    }
+
+    /// Normals of a star polygon are unit length and point away from the
+    /// origin (which the polygon surrounds).
+    #[test]
+    fn star_normals_point_outward(poly in star_polygon()) {
+        prop_assume!(is_ccw(&poly) && is_simple(&poly));
+        let normals = loop_normals(&poly);
+        for (p, nv) in poly.iter().zip(&normals) {
+            prop_assert!((nv.dir.norm() - 1.0).abs() < 1e-9);
+            // Outwardness: positive radial component except possibly at
+            // extreme reflex corners; star polygons keep it positive.
+            let radial = (*p - Point2::ORIGIN).normalized().unwrap();
+            prop_assert!(nv.dir.dot(radial) > -0.5, "normal folds inward");
+        }
+        // Total turning of a simple CCW loop is exactly 2 pi.
+        let total: f64 = normals.iter().map(|nv| nv.turn).sum();
+        prop_assert!((total - std::f64::consts::TAU).abs() < 1e-6);
+    }
+
+    /// Intersection resolution always reaches a crossing-free state and
+    /// never lengthens a ray.
+    #[test]
+    fn resolution_fixpoint(poly in star_polygon(), height in 0.05f64..1.5) {
+        prop_assume!(is_ccw(&poly) && is_simple(&poly));
+        let mut rays = emit_rays(&poly, height, &CornerThresholds::default());
+        let before: Vec<f64> = rays.iter().map(|r| r.max_height).collect();
+        resolve_self_intersections(&mut rays);
+        prop_assert!(no_proper_intersections(&rays));
+        for (r, &b) in rays.iter().zip(&before) {
+            prop_assert!(r.max_height <= b + 1e-15);
+        }
+    }
+
+    /// The full boundary layer never places a point inside the solid and
+    /// honors every ray clamp.
+    #[test]
+    fn layer_points_outside_solid(poly in star_polygon(), ratio in 1.1f64..1.4) {
+        prop_assume!(is_ccw(&poly) && is_simple(&poly));
+        let growth = Geometric::new(0.01, ratio);
+        let bl = build_boundary_layer(&poly, &growth, &BlParams {
+            height: 0.3,
+            ..Default::default()
+        });
+        for &q in &bl.layer.points {
+            prop_assert!(!contains_point(&poly, q) || on_boundary(&poly, q));
+        }
+        for (i, r) in bl.rays.iter().enumerate() {
+            for &q in bl.layer.ray_points(i) {
+                prop_assert!(q.distance(r.origin) < r.max_height + 1e-12);
+            }
+        }
+    }
+}
+
+fn on_boundary(poly: &[Point2], p: Point2) -> bool {
+    let n = poly.len();
+    (0..n).any(|i| {
+        adm_geom::segment::Segment::new(poly[i], poly[(i + 1) % n]).distance_to_point(p) < 1e-12
+    })
+}

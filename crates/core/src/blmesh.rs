@@ -1,0 +1,214 @@
+//! Boundary-layer meshing: parallel triangulation of the anisotropic
+//! point cloud (paper §II.C/§II.D).
+//!
+//! The combined point cloud of all elements' boundary layers is
+//! decomposed with the projection-based coarse partitioner, each leaf is
+//! triangulated independently (costs are measured per leaf for the
+//! scaling study), the exact global Delaunay triangulation is
+//! reassembled, and finally the surface and outer-border constraints are
+//! applied and the airfoil interiors / exterior carved away.
+
+use crate::tasklog::{TaskKind, TaskLog};
+use adm_blayer::BoundaryLayer;
+use adm_delaunay::cdt::{carve, insert_constraint, CdtError};
+use adm_delaunay::mesh::Mesh;
+use adm_geom::point::Point2;
+use adm_partition::{decompose, triangulate_leaf, DecomposeParams, Subdomain};
+use std::collections::HashMap;
+
+/// The meshed boundary layer.
+pub struct BlMesh {
+    /// Carved, constrained boundary-layer mesh.
+    pub mesh: Mesh,
+    /// Outer border of each element's layer (inner boundary of the
+    /// inviscid region), in input order.
+    pub outer_borders: Vec<Vec<Point2>>,
+    /// Size of the triangulated point cloud.
+    pub cloud_points: usize,
+    /// Number of coarse subdomains triangulated.
+    pub subdomains: usize,
+}
+
+/// Triangulates the boundary layers of all elements.
+///
+/// `hole_seeds` are points strictly inside each element (airfoil
+/// interiors to carve). Per-leaf triangulation times are recorded in
+/// `log` as [`TaskKind::BlTriangulate`] tasks.
+pub fn mesh_boundary_layer(
+    layers: &[BoundaryLayer],
+    hole_seeds: &[Point2],
+    target_subdomains: usize,
+    log: &mut TaskLog,
+) -> Result<BlMesh, CdtError> {
+    // Combined cloud (all elements).
+    let cloud: Vec<Point2> = log.measure(TaskKind::Serial, 0, || {
+        let mut c = Vec::new();
+        for l in layers {
+            c.extend(l.all_points());
+        }
+        (c, 0)
+    });
+
+    // Coarse partitioning (Figure 8) — serial in this path; the parallel
+    // driver distributes it.
+    let leaves: Vec<Subdomain> = log.measure(TaskKind::Decompose, 0, || {
+        let d = decompose(
+            Subdomain::root(&cloud),
+            &DecomposeParams::for_subdomain_count(target_subdomains),
+        );
+        (d.leaves, 0)
+    });
+    let n_leaves = leaves.len();
+
+    // Independent per-leaf triangulation, measured per leaf.
+    let mut all_tris: Vec<[u32; 3]> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for leaf in &leaves {
+        let bytes = (leaf.len() * 16) as u64;
+        let tris = log.measure(TaskKind::BlTriangulate, bytes, || {
+            let t = triangulate_leaf(leaf);
+            let n = t.len() as u64;
+            (t, n)
+        });
+        for t in tris {
+            let mut key = t;
+            key.sort_unstable();
+            if seen.insert(key) {
+                all_tris.push(t);
+            }
+        }
+    }
+
+    // Reassemble, constrain, and carve (merge-side work).
+    let mesh = log.measure(TaskKind::Merge, 0, || {
+        let mut mesh = Mesh::from_triangles(cloud.clone(), all_tris.clone());
+        // Coordinate -> canonical cloud id (lowest original index), which
+        // is the id the deduplicating partitioner kept.
+        let mut id_of: HashMap<(u64, u64), u32> = HashMap::new();
+        for (i, p) in cloud.iter().enumerate() {
+            id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+        }
+        let lookup = |p: Point2| -> u32 {
+            *id_of
+                .get(&(p.x.to_bits(), p.y.to_bits()))
+                .expect("border point missing from cloud")
+        };
+        // Constrain surfaces and outer borders.
+        for l in layers {
+            let s = &l.surface;
+            for i in 0..s.len() {
+                let (a, b) = (lookup(s[i]), lookup(s[(i + 1) % s.len()]));
+                if a != b {
+                    insert_constraint(&mut mesh, a, b).expect("surface constraint failed");
+                }
+            }
+            let ob = l.outer_border();
+            for i in 0..ob.len() {
+                let (a, b) = (lookup(ob[i]), lookup(ob[(i + 1) % ob.len()]));
+                if a != b {
+                    insert_constraint(&mut mesh, a, b).expect("outer border constraint failed");
+                }
+            }
+        }
+        carve(&mut mesh, hole_seeds);
+        let n = mesh.num_triangles() as u64;
+        (mesh, n)
+    });
+
+    Ok(BlMesh {
+        mesh,
+        outer_borders: layers.iter().map(|l| l.outer_border()).collect(),
+        cloud_points: cloud.len(),
+        subdomains: n_leaves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm_airfoil::naca0012_domain;
+    use adm_blayer::{build_boundary_layer, BlParams, Geometric};
+    use adm_geom::polygon::contains_point;
+
+    #[test]
+    fn naca0012_bl_mesh_is_carved_and_conforming() {
+        let domain = naca0012_domain(50, 30.0);
+        let growth = Geometric::new(5e-4, 1.3);
+        let bl = build_boundary_layer(
+            &domain.loops[0].points,
+            &growth,
+            &BlParams {
+                height: 0.04,
+                ..Default::default()
+            },
+        );
+        let mut log = TaskLog::default();
+        let seeds = domain.hole_seeds();
+        let out = mesh_boundary_layer(&[bl], &seeds, 16, &mut log).unwrap();
+        let mesh = &out.mesh;
+        mesh.check_consistency();
+        assert!(mesh.num_triangles() > 1000);
+        // No triangle centroid inside the airfoil.
+        let surf = &domain.loops[0].points;
+        for t in mesh.live_triangles() {
+            let tri = mesh.triangles[t as usize];
+            let c = Point2::new(
+                (mesh.vertices[tri[0] as usize].x
+                    + mesh.vertices[tri[1] as usize].x
+                    + mesh.vertices[tri[2] as usize].x)
+                    / 3.0,
+                (mesh.vertices[tri[0] as usize].y
+                    + mesh.vertices[tri[1] as usize].y
+                    + mesh.vertices[tri[2] as usize].y)
+                    / 3.0,
+            );
+            assert!(!contains_point(surf, c), "triangle inside the airfoil");
+            // And inside the outer border.
+            assert!(
+                contains_point(&out.outer_borders[0], c),
+                "triangle outside the boundary layer"
+            );
+        }
+        // Task log captured the per-leaf costs.
+        let tasks = log.parallel_tasks();
+        assert!(tasks.len() >= 8, "got {} tasks", tasks.len());
+        assert!(tasks.iter().all(|t| t.kind == TaskKind::BlTriangulate));
+        assert!(tasks.iter().any(|t| t.cost_s > 0.0));
+    }
+
+    #[test]
+    fn anisotropic_elements_exist_near_the_wall() {
+        // The whole point of the exercise: near-wall triangles must be
+        // strongly anisotropic.
+        let domain = naca0012_domain(60, 30.0);
+        let growth = Geometric::new(1e-4, 1.25);
+        let bl = build_boundary_layer(
+            &domain.loops[0].points,
+            &growth,
+            &BlParams {
+                height: 0.03,
+                ..Default::default()
+            },
+        );
+        let mut log = TaskLog::default();
+        let seeds = domain.hole_seeds();
+        let out = mesh_boundary_layer(&[bl], &seeds, 8, &mut log).unwrap();
+        let mesh = &out.mesh;
+        let mut max_aspect = 0.0f64;
+        for t in mesh.live_triangles() {
+            let tri = mesh.triangles[t as usize];
+            let q = adm_delaunay::quality::tri_quality(
+                mesh.vertices[tri[0] as usize],
+                mesh.vertices[tri[1] as usize],
+                mesh.vertices[tri[2] as usize],
+            );
+            if q.aspect.is_finite() {
+                max_aspect = max_aspect.max(q.aspect);
+            }
+        }
+        assert!(
+            max_aspect > 20.0,
+            "boundary layer is not anisotropic (max aspect {max_aspect:.1})"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Inviscid-region meshing: near-body subdomain plus decoupled quadrants
+//! (paper §II.E).
+//!
+//! The near-body subdomain is bounded by the marched near-body rectangle
+//! outside and the boundary-layer outer borders inside (the airfoil plus
+//! its anisotropic layer is a hole). The rest of the domain out to the
+//! far field is decoupled into quadrant-descended subdomains that refine
+//! independently.
+
+use crate::tasklog::{TaskKind, TaskLog};
+use adm_decouple::{decouple_by_threshold, initial_quadrants, GradedSizing, Region, SizingField};
+use adm_delaunay::mesh::Mesh;
+use adm_delaunay::triangulator::{triangulate, RefineOptions, TriOptions};
+use adm_geom::aabb::Aabb;
+use adm_geom::point::Point2;
+
+/// Result of the inviscid stage.
+pub struct InviscidMesh {
+    /// The near-body mesh (boundary-layer holes carved).
+    pub nearbody: Mesh,
+    /// One mesh per decoupled subdomain.
+    pub subdomain_meshes: Vec<Mesh>,
+    /// Shared-border segment splits during refinement (must be zero for a
+    /// conforming union — reported for diagnostics).
+    pub border_splits: usize,
+}
+
+/// Smallest body edge length for which no boundary-layer outer-border
+/// segment will be split by Ruppert refinement: every constrained segment
+/// of length `d` is final when `d < 2k = sqrt(A / sqrt(2))` (paper eq. 1),
+/// so the sizing at the border must satisfy
+/// `A(0) = EQUILATERAL * h0^2 >= sqrt(2) * d_max^2`.
+pub fn conforming_h0(outer_borders: &[Vec<Point2>]) -> f64 {
+    let mut d_max: f64 = 0.0;
+    for b in outer_borders {
+        let n = b.len();
+        for i in 0..n {
+            d_max = d_max.max(b[i].distance(b[(i + 1) % n]));
+        }
+    }
+    // h0 >= d_max * (sqrt(2)/EQUILATERAL)^(1/2) ~= 1.807 * d_max; add 15%
+    // margin for the circumcenter-blocked split path.
+    2.1 * d_max
+}
+
+/// Builds the graded sizing field for the configuration. `h0` is raised
+/// to [`conforming_h0`] if below it, so independent refinement never
+/// splits the shared boundary-layer border.
+pub fn build_sizing(
+    outer_borders: &[Vec<Point2>],
+    h0: f64,
+    rate: f64,
+    max_area: f64,
+) -> GradedSizing {
+    let body: Vec<Point2> = outer_borders.iter().flatten().copied().collect();
+    let h0 = h0.max(conforming_h0(outer_borders));
+    GradedSizing::new(&body, h0, rate, max_area, 64)
+}
+
+/// Refines one region (border polygon) against the sizing field.
+/// Returns the mesh and the number of border-segment splits.
+pub fn refine_region(region_border: &[Point2], sizing: &dyn SizingField) -> (Mesh, usize) {
+    let n = region_border.len() as u32;
+    let segments: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let sz = |p: Point2| sizing.target_area(p);
+    let opts = TriOptions {
+        segments,
+        carve_outside: true,
+        refine: Some(RefineOptions {
+            sizing: Some(&sz),
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let out = triangulate(region_border, &opts).expect("region triangulation failed");
+    (out.mesh, out.refine_stats.map_or(0, |s| s.segment_splits))
+}
+
+/// Refines the near-body subdomain: outer rectangle border + hole loops.
+pub fn refine_nearbody(
+    rect_border: &[Point2],
+    holes: &[Vec<Point2>],
+    hole_seeds: &[Point2],
+    sizing: &dyn SizingField,
+) -> (Mesh, usize) {
+    let mut points: Vec<Point2> = rect_border.to_vec();
+    let mut segments: Vec<(u32, u32)> = {
+        let n = rect_border.len() as u32;
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    };
+    for hole in holes {
+        let base = points.len() as u32;
+        let n = hole.len() as u32;
+        points.extend_from_slice(hole);
+        segments.extend((0..n).map(|i| (base + i, base + (i + 1) % n)));
+    }
+    let sz = |p: Point2| sizing.target_area(p);
+    let opts = TriOptions {
+        segments,
+        holes: hole_seeds.to_vec(),
+        carve_outside: true,
+        refine: Some(RefineOptions {
+            sizing: Some(&sz),
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let out = triangulate(&points, &opts).expect("near-body triangulation failed");
+    (out.mesh, out.refine_stats.map_or(0, |s| s.segment_splits))
+}
+
+/// Propagates interface splits from a refined donor mesh back into the
+/// boundary-layer mesh.
+///
+/// In narrow inter-element gaps the two clamped boundary-layer borders
+/// face each other at a distance smaller than their segment lengths, so
+/// Ruppert refinement of the near-body subdomain legitimately splits
+/// interface segments. Conformity is restored by applying the *same*
+/// splits (bitwise-identical midpoints, recorded from the donor's
+/// constrained edges) to the boundary-layer side.
+///
+/// Returns the number of vertices inserted into `bl`.
+pub fn propagate_interface_splits(
+    bl: &mut Mesh,
+    donor: &Mesh,
+    interface_loops: &[Vec<Point2>],
+) -> usize {
+    use adm_geom::segment::Segment;
+    // Donor constrained endpoints.
+    let mut donor_pts: Vec<Point2> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in donor.constrained_edges() {
+            for v in [a, b] {
+                let p = donor.vertices[v as usize];
+                if seen.insert((p.x.to_bits(), p.y.to_bits())) {
+                    donor_pts.push(p);
+                }
+            }
+        }
+    }
+    // Coordinate -> BL vertex id.
+    let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
+    for (i, p) in bl.vertices.iter().enumerate() {
+        id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+    }
+    let mut inserted = 0usize;
+    for border in interface_loops {
+        let n = border.len();
+        for i in 0..n {
+            let (a, b) = (border[i], border[(i + 1) % n]);
+            let seg = Segment::new(a, b);
+            let len = seg.length();
+            if len == 0.0 {
+                continue;
+            }
+            // Donor vertices strictly interior to this segment.
+            let dir = b - a;
+            let mut added: Vec<(f64, Point2)> = donor_pts
+                .iter()
+                .filter(|&&p| p != a && p != b)
+                .filter(|&&p| seg.distance_to_point(p) < 1e-9 * (1.0 + len))
+                .map(|&p| ((p - a).dot(dir) / dir.norm_sq(), p))
+                // Guard against near-endpoint splits (degenerate slivers).
+                .filter(|&(t, _)| t > 1e-9 && t < 1.0 - 1e-9)
+                .collect();
+            if added.is_empty() {
+                continue;
+            }
+            added.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let Some(&ida) = id_of.get(&(a.x.to_bits(), a.y.to_bits())) else { continue };
+            let Some(&idb) = id_of.get(&(b.x.to_bits(), b.y.to_bits())) else { continue };
+            let mut left = ida;
+            for (_, p) in added {
+                let Some((t, e)) = bl.find_edge(left, idb) else { break };
+                let v = bl.split_edge(t, e, p);
+                inserted += 1;
+                left = v;
+            }
+        }
+    }
+    inserted
+}
+
+/// The per-region decoupling threshold targeting roughly
+/// `target_subdomains` leaves: the total initial estimate divided by the
+/// target.
+pub fn decouple_threshold(
+    initial: &[Region],
+    target_subdomains: usize,
+    sizing: &dyn SizingField,
+) -> f64 {
+    let total: f64 = initial.iter().map(|r| r.estimated_triangles(sizing)).sum();
+    // A '+' split quarters a region, so a threshold of exactly
+    // total/target can overshoot the leaf count by up to 4x (and with it
+    // the decoupling-border triangle overhead); the factor 2 centers the
+    // outcome on the target.
+    2.0 * total / target_subdomains.max(1) as f64
+}
+
+/// Runs the whole inviscid stage sequentially, measuring per-subdomain
+/// refinement costs.
+#[allow(clippy::too_many_arguments)]
+pub fn mesh_inviscid(
+    outer_borders: &[Vec<Point2>],
+    hole_seeds: &[Point2],
+    farfield: &Aabb,
+    sizing: &GradedSizing,
+    nearbody_margin_abs: f64,
+    target_subdomains: usize,
+    log: &mut TaskLog,
+) -> InviscidMesh {
+    // Near-body box around the boundary layers.
+    let mut bbox = Aabb::empty();
+    for b in outer_borders {
+        for &p in b {
+            bbox.expand(p);
+        }
+    }
+    let nearbody_box = bbox.inflated(nearbody_margin_abs);
+
+    // Initial quadrants + recursive decoupling. The threshold rule is
+    // per-region (execution-order independent) so the distributed driver
+    // produces the identical leaf set.
+    let (leaves, nearbody_border): (Vec<Region>, Vec<Point2>) =
+        log.measure(TaskKind::Decompose, 0, || {
+            let init = initial_quadrants(&nearbody_box, farfield, sizing);
+            let threshold = decouple_threshold(&init.quadrants, target_subdomains, sizing);
+            let leaves = decouple_by_threshold(init.quadrants.to_vec(), threshold, sizing);
+            ((leaves, init.nearbody_border), 0)
+        });
+
+    // Near-body subdomain.
+    let mut border_splits = 0usize;
+    let holes: Vec<Vec<Point2>> = outer_borders.to_vec();
+    let nearbody = log.measure(
+        TaskKind::NearBodyRefine,
+        (nearbody_border.len() * 16) as u64,
+        || {
+            let (mesh, splits) = refine_nearbody(&nearbody_border, &holes, hole_seeds, sizing);
+            border_splits += splits;
+            let n = mesh.num_triangles() as u64;
+            (mesh, n)
+        },
+    );
+
+    // Decoupled subdomains.
+    let mut subdomain_meshes = Vec::with_capacity(leaves.len());
+    for leaf in &leaves {
+        let bytes = (leaf.border.len() * 16) as u64;
+        let mesh = log.measure(TaskKind::InviscidRefine, bytes, || {
+            let (mesh, splits) = refine_region(&leaf.border, sizing);
+            border_splits += splits;
+            let n = mesh.num_triangles() as u64;
+            (mesh, n)
+        });
+        subdomain_meshes.push(mesh);
+    }
+    InviscidMesh {
+        nearbody,
+        subdomain_meshes,
+        border_splits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm_decouple::UniformSizing;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn refine_region_on_simple_square() {
+        let border: Vec<Point2> = {
+            // Pre-discretized square border.
+            let mut b = Vec::new();
+            for k in 0..10 {
+                b.push(p(k as f64 * 0.1, 0.0));
+            }
+            for k in 0..10 {
+                b.push(p(1.0, k as f64 * 0.1));
+            }
+            for k in 0..10 {
+                b.push(p(1.0 - k as f64 * 0.1, 1.0));
+            }
+            for k in 0..10 {
+                b.push(p(0.0, 1.0 - k as f64 * 0.1));
+            }
+            b
+        };
+        let sizing = UniformSizing(0.01);
+        let (mesh, _splits) = refine_region(&border, &sizing);
+        mesh.check_consistency();
+        assert!(mesh.num_triangles() > 100);
+        let q = adm_delaunay::quality::mesh_quality(&mesh);
+        assert!((q.total_area - 1.0).abs() < 1e-9);
+        assert!(q.max_area <= 0.01 + 1e-12);
+    }
+
+    #[test]
+    fn nearbody_with_square_hole() {
+        let rect: Vec<Point2> = {
+            let mut b = Vec::new();
+            for k in 0..8 {
+                b.push(p(-2.0 + k as f64 * 0.5, -2.0));
+            }
+            for k in 0..8 {
+                b.push(p(2.0, -2.0 + k as f64 * 0.5));
+            }
+            for k in 0..8 {
+                b.push(p(2.0 - k as f64 * 0.5, 2.0));
+            }
+            for k in 0..8 {
+                b.push(p(-2.0, 2.0 - k as f64 * 0.5));
+            }
+            b
+        };
+        let hole: Vec<Point2> = vec![
+            p(-0.5, -0.5),
+            p(0.5, -0.5),
+            p(0.5, 0.5),
+            p(-0.5, 0.5),
+        ];
+        let sizing = UniformSizing(0.05);
+        let (mesh, _) = refine_nearbody(&rect, &[hole], &[p(0.0, 0.0)], &sizing);
+        mesh.check_consistency();
+        let q = adm_delaunay::quality::mesh_quality(&mesh);
+        assert!((q.total_area - (16.0 - 1.0)).abs() < 1e-9);
+    }
+}

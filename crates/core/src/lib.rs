@@ -1,0 +1,26 @@
+//! # adm-core — the push-button parallel anisotropic mesh generator
+//!
+//! End-to-end reproduction of the paper's pipeline: anisotropic boundary
+//! layers (adm-blayer) → projection-based parallel triangulation
+//! (adm-partition) → graded Delaunay decoupling and independent Ruppert
+//! refinement of the inviscid region (adm-decouple + adm-delaunay) →
+//! merged, conforming global mesh. Per-subdomain costs are logged so the
+//! scaling study (adm-simnet) replays the real workload.
+
+pub mod blmesh;
+pub mod config;
+pub mod distio;
+pub mod inviscid;
+pub mod merge;
+pub mod pipeline;
+pub mod tasklog;
+
+pub use blmesh::{mesh_boundary_layer, BlMesh};
+pub use config::MeshConfig;
+pub use distio::{read_distributed_merged, read_distributed_parts, write_distributed};
+pub use inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region, InviscidMesh};
+pub use merge::{check_conformity, Conformity, MeshMerger};
+pub use pipeline::{
+    generate, generate_parallel, generate_undecomposed, PipelineResult, PipelineStats,
+};
+pub use tasklog::{TaskKind, TaskLog, TaskRecord};

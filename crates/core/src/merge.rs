@@ -1,0 +1,192 @@
+//! Merging independently-meshed subdomains into one global mesh.
+//!
+//! Subdomain meshes share bitwise-identical border points (the decoupling
+//! invariant), so merging is exact-coordinate vertex deduplication plus
+//! triangle re-indexing, followed by a conformity check.
+
+use adm_delaunay::mesh::Mesh;
+use adm_geom::point::Point2;
+use std::collections::HashMap;
+
+/// Accumulates subdomain meshes into one global mesh.
+#[derive(Default)]
+pub struct MeshMerger {
+    vertices: Vec<Point2>,
+    triangles: Vec<[u32; 3]>,
+    constrained: Vec<(u32, u32)>,
+    index: HashMap<(u64, u64), u32>,
+}
+
+impl MeshMerger {
+    /// Creates an empty merger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn vertex_id(&mut self, p: Point2) -> u32 {
+        *self
+            .index
+            .entry((p.x.to_bits(), p.y.to_bits()))
+            .or_insert_with(|| {
+                self.vertices.push(p);
+                (self.vertices.len() - 1) as u32
+            })
+    }
+
+    /// Adds all live triangles (and constrained edges) of `mesh`.
+    pub fn add_mesh(&mut self, mesh: &Mesh) {
+        for t in mesh.live_triangles() {
+            let tri = mesh.triangles[t as usize];
+            let g = [
+                self.vertex_id(mesh.vertices[tri[0] as usize]),
+                self.vertex_id(mesh.vertices[tri[1] as usize]),
+                self.vertex_id(mesh.vertices[tri[2] as usize]),
+            ];
+            self.triangles.push(g);
+        }
+        for (a, b) in mesh.constrained_edges() {
+            let ga = self.vertex_id(mesh.vertices[a as usize]);
+            let gb = self.vertex_id(mesh.vertices[b as usize]);
+            self.constrained.push((ga, gb));
+        }
+    }
+
+    /// Adds raw triangles over explicit points.
+    pub fn add_triangles(&mut self, points: &[Point2], tris: &[[u32; 3]]) {
+        for t in tris {
+            let g = [
+                self.vertex_id(points[t[0] as usize]),
+                self.vertex_id(points[t[1] as usize]),
+                self.vertex_id(points[t[2] as usize]),
+            ];
+            self.triangles.push(g);
+        }
+    }
+
+    /// Number of triangles so far.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Finalizes into a global [`Mesh`], rebuilding adjacency.
+    ///
+    /// # Panics
+    /// Panics if the union is non-manifold (an interface mismatch).
+    pub fn finish(self) -> Mesh {
+        let mut mesh = Mesh::from_triangles(self.vertices, self.triangles);
+        for (a, b) in self.constrained {
+            mesh.constrain_edge(a, b);
+        }
+        mesh
+    }
+}
+
+/// Conformity report for a merged mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conformity {
+    /// Interior edges shared by exactly two triangles.
+    pub interior_edges: usize,
+    /// Boundary edges (exactly one triangle).
+    pub boundary_edges: usize,
+}
+
+/// Verifies edge-manifoldness and returns edge statistics. (Construction
+/// via [`MeshMerger::finish`] already panics on >2-triangle edges; this
+/// reports the counts.)
+pub fn check_conformity(mesh: &Mesh) -> Conformity {
+    let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangles[t as usize];
+        for k in 0..3 {
+            let (a, b) = (tri[k], tri[(k + 1) % 3]);
+            let key = if a < b { (a, b) } else { (b, a) };
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    let mut conf = Conformity {
+        interior_edges: 0,
+        boundary_edges: 0,
+    };
+    for (&key, &c) in &counts {
+        match c {
+            1 => conf.boundary_edges += 1,
+            2 => conf.interior_edges += 1,
+            n => panic!("edge {key:?} shared by {n} triangles"),
+        }
+    }
+    conf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn merging_dedups_shared_border() {
+        // Two unit squares sharing an edge, each as its own mesh.
+        let left = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        let right = Mesh::from_triangles(
+            vec![p(1.0, 0.0), p(2.0, 0.0), p(2.0, 1.0), p(1.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        let mut m = MeshMerger::new();
+        m.add_mesh(&left);
+        m.add_mesh(&right);
+        let merged = m.finish();
+        assert_eq!(merged.num_vertices(), 6); // 8 - 2 shared
+        assert_eq!(merged.num_triangles(), 4);
+        merged.check_consistency();
+        let conf = check_conformity(&merged);
+        assert_eq!(conf.boundary_edges, 6);
+        assert_eq!(conf.interior_edges, 3);
+    }
+
+    #[test]
+    fn constrained_edges_survive_merge() {
+        let mut left = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        left.constrain_edge(1, 2);
+        let mut m = MeshMerger::new();
+        m.add_mesh(&left);
+        let merged = m.finish();
+        assert_eq!(merged.num_constrained(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-manifold")]
+    fn interface_mismatch_is_detected() {
+        // Two triangulations of the same square with different diagonals:
+        // overlapping triangles create a non-manifold union.
+        let a = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        let b = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 3], [1, 2, 3]],
+        );
+        let mut m = MeshMerger::new();
+        m.add_mesh(&a);
+        m.add_mesh(&b);
+        let _ = m.finish();
+    }
+
+    #[test]
+    fn add_raw_triangles() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)];
+        let mut m = MeshMerger::new();
+        m.add_triangles(&pts, &[[0, 1, 2]]);
+        assert_eq!(m.triangle_count(), 1);
+        let mesh = m.finish();
+        assert_eq!(mesh.num_vertices(), 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! The push-button pipeline (paper §I): geometry in, mesh out.
+//!
+//! [`generate`] runs every stage sequentially while logging per-subdomain
+//! costs (the measurement side of the scaling study); [`generate_parallel`]
+//! executes the subdomain work on `adm-mpirt` ranks with the paper's
+//! dynamic load balancer, and must produce the same mesh.
+
+use crate::blmesh::{mesh_boundary_layer, BlMesh};
+use crate::config::MeshConfig;
+use crate::inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region};
+use crate::merge::{check_conformity, MeshMerger};
+use crate::tasklog::{TaskKind, TaskLog};
+use adm_blayer::build_multielement_layers;
+use adm_decouple::{initial_quadrants, Region};
+use adm_delaunay::mesh::Mesh;
+use adm_geom::aabb::Aabb;
+use adm_geom::point::Point2;
+use adm_mpirt::{run_rank_dynamic, BalancerConfig, Comm, Src, Window, WorkItem, WorkQueue};
+use adm_partition::{triangulate_leaf, DecomposeParams, Subdomain};
+use std::sync::Arc;
+
+/// Aggregate numbers for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Boundary-layer cloud size.
+    pub bl_points: usize,
+    /// Triangles in the carved boundary-layer mesh.
+    pub bl_triangles: usize,
+    /// Triangles in the inviscid region (near-body + subdomains).
+    pub inviscid_triangles: usize,
+    /// Total triangles in the merged mesh.
+    pub total_triangles: usize,
+    /// Total vertices in the merged mesh.
+    pub total_vertices: usize,
+    /// Shared-border splits during refinement (0 = perfectly conforming
+    /// decoupling).
+    pub border_splits: usize,
+    /// Wall time of the whole run in seconds.
+    pub total_s: f64,
+}
+
+/// Output of a pipeline run.
+pub struct PipelineResult {
+    /// The merged global mesh.
+    pub mesh: Mesh,
+    /// Per-task measurements (input for the scaling simulation).
+    pub log: TaskLog,
+    /// Aggregates.
+    pub stats: PipelineStats,
+}
+
+/// Runs the full pipeline sequentially.
+pub fn generate(config: &MeshConfig) -> PipelineResult {
+    let t0 = std::time::Instant::now();
+    let mut log = TaskLog::default();
+
+    // 1. Anisotropic boundary layers (§II.A-II.C).
+    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
+    let layers = log.measure(TaskKind::BlBuild, 0, || {
+        (
+            build_multielement_layers(&surfaces, &config.growth, &config.bl),
+            0,
+        )
+    });
+
+    // 2. Parallel-decomposed boundary-layer triangulation (§II.D).
+    let hole_seeds = config.pslg.hole_seeds();
+    let bl: BlMesh =
+        mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &mut log)
+            .expect("boundary-layer meshing failed");
+
+    // 3. Graded decoupled inviscid region (§II.E).
+    let sizing = build_sizing(
+        &bl.outer_borders,
+        config.effective_sizing_h0(),
+        config.sizing_rate,
+        config.sizing_max_area,
+    );
+    let chord = config.pslg.reference_chord();
+    let inviscid = mesh_inviscid(
+        &bl.outer_borders,
+        &hole_seeds,
+        &config.pslg.farfield,
+        &sizing,
+        config.nearbody_margin * chord,
+        config.inviscid_subdomains,
+        &mut log,
+    );
+
+    // 3b. Interface repair: apply any near-body border splits to the
+    // boundary-layer side so the union stays conforming.
+    let mut bl = bl;
+    let propagated = log.measure(TaskKind::Merge, 0, || {
+        let n = crate::inviscid::propagate_interface_splits(
+            &mut bl.mesh,
+            &inviscid.nearbody,
+            &bl.outer_borders,
+        );
+        (n, 0)
+    });
+
+    // 4. Merge.
+    let bl_triangles = bl.mesh.num_triangles();
+    let inviscid_triangles = inviscid.nearbody.num_triangles()
+        + inviscid
+            .subdomain_meshes
+            .iter()
+            .map(|m| m.num_triangles())
+            .sum::<usize>();
+    let mesh = log.measure(TaskKind::Merge, 0, || {
+        let mut merger = MeshMerger::new();
+        merger.add_mesh(&bl.mesh);
+        merger.add_mesh(&inviscid.nearbody);
+        for m in &inviscid.subdomain_meshes {
+            merger.add_mesh(m);
+        }
+        let mesh = merger.finish();
+        check_conformity(&mesh);
+        let n = mesh.num_triangles() as u64;
+        (mesh, n)
+    });
+
+    let stats = PipelineStats {
+        bl_points: bl.cloud_points,
+        bl_triangles,
+        inviscid_triangles,
+        total_triangles: mesh.num_triangles(),
+        total_vertices: mesh.num_vertices(),
+        border_splits: inviscid.border_splits - propagated.min(inviscid.border_splits),
+        total_s: t0.elapsed().as_secs_f64(),
+    };
+    PipelineResult { mesh, log, stats }
+}
+
+/// A transferable meshing task for the parallel driver. Decomposition
+/// and decoupling are tasks themselves: a split pushes its children back
+/// into the queue, from where the balancer may ship them to other ranks —
+/// the paper's "repeatedly decoupled and sent to other processes until
+/// all processes have sufficient work".
+enum Task {
+    /// Decompose-or-triangulate one boundary-layer subdomain.
+    Bl(Box<Subdomain>),
+    /// Decouple-or-refine one inviscid region.
+    Region { region: Box<Region>, est: u64 },
+    /// Refine the near-body subdomain.
+    NearBody {
+        rect: Vec<Point2>,
+        holes: Vec<Vec<Point2>>,
+        seeds: Vec<Point2>,
+        est: u64,
+    },
+}
+
+impl WorkItem for Task {
+    fn cost(&self) -> u64 {
+        match self {
+            Task::Bl(s) => s.cost(),
+            Task::Region { est, .. } => *est,
+            Task::NearBody { est, .. } => *est,
+        }
+    }
+}
+
+/// A task's result shipped back to the root.
+enum TaskOut {
+    BlTris(Vec<[u32; 3]>),
+    SubMesh(Box<Mesh>),
+    /// A split task produced only child tasks.
+    Nothing,
+}
+
+/// Runs the pipeline with the subdomain work — including the recursive
+/// decomposition and decoupling — executed on `ranks` mpirt ranks under
+/// the dynamic load balancer. Produces the bitwise-identical mesh of
+/// [`generate`]: every split/stop decision is per-subdomain and therefore
+/// independent of which rank executes it.
+pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
+    assert!(ranks >= 1);
+    let t0 = std::time::Instant::now();
+
+    // Root-side geometry setup (the boundary layer build is per-surface
+    // work the paper parallelizes by surface ownership; at our scales it
+    // is a negligible prefix).
+    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
+    let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
+    let hole_seeds = config.pslg.hole_seeds();
+    let cloud: Vec<Point2> = layers.iter().flat_map(|l| l.all_points()).collect();
+    let outer_borders: Vec<Vec<Point2>> = layers.iter().map(|l| l.outer_border()).collect();
+    let sizing = build_sizing(
+        &outer_borders,
+        config.effective_sizing_h0(),
+        config.sizing_rate,
+        config.sizing_max_area,
+    );
+    let chord = config.pslg.reference_chord();
+    let mut bbox = Aabb::empty();
+    for b in &outer_borders {
+        for &p in b {
+            bbox.expand(p);
+        }
+    }
+    let nearbody_box = bbox.inflated(config.nearbody_margin * chord);
+    let init = initial_quadrants(&nearbody_box, &config.pslg.farfield, &sizing);
+    let threshold = crate::inviscid::decouple_threshold(
+        &init.quadrants,
+        config.inviscid_subdomains,
+        &sizing,
+    );
+    let nearbody_border = init.nearbody_border.clone();
+
+    // Seed tasks: the undecomposed BL root, the four quadrants, and the
+    // near-body region. Everything else is created dynamically.
+    let bl_params = DecomposeParams::for_subdomain_count(config.bl_subdomains);
+    let mut seed_tasks: Vec<Task> = Vec::new();
+    seed_tasks.push(Task::Bl(Box::new(Subdomain::root(&cloud))));
+    for q in init.quadrants.iter() {
+        seed_tasks.push(Task::Region {
+            est: q.estimated_triangles(&sizing) as u64,
+            region: Box::new(q.clone()),
+        });
+    }
+    seed_tasks.push(Task::NearBody {
+        rect: nearbody_border,
+        holes: outer_borders.clone(),
+        seeds: hole_seeds.clone(),
+        est: 4096,
+    });
+
+    let window = Window::new(ranks + 2);
+    let seed_tasks = std::sync::Mutex::new(Some(seed_tasks));
+    let sizing = Arc::new(sizing);
+
+    let mut rank_outputs = adm_mpirt::run(ranks, |comm: Comm| {
+        let initial = if comm.rank() == 0 {
+            seed_tasks.lock().unwrap().take().unwrap()
+        } else {
+            Vec::new()
+        };
+        let queue = Arc::new(WorkQueue::with_counter(
+            initial,
+            window.clone(),
+            comm.size() + 1,
+        ));
+        let sizing = sizing.clone();
+        let (outs, _stats) = run_rank_dynamic(
+            &comm,
+            queue,
+            window.clone(),
+            BalancerConfig::default(),
+            move |task, q| match task {
+                Task::Bl(mut leaf) => {
+                    let stop = leaf.level >= bl_params.max_level
+                        || leaf.len() < bl_params.min_vertices.max(4)
+                        || leaf.internal_count() == 0;
+                    if stop {
+                        TaskOut::BlTris(triangulate_leaf(&leaf))
+                    } else {
+                        let axis = leaf.choose_cut_axis();
+                        let (lo, hi, _path) = leaf.split(axis);
+                        q.push(Task::Bl(Box::new(lo)));
+                        q.push(Task::Bl(Box::new(hi)));
+                        TaskOut::Nothing
+                    }
+                }
+                Task::Region { region, .. } => {
+                    if region.estimated_triangles(sizing.as_ref()) > threshold
+                        && adm_decouple::splittable(&region)
+                    {
+                        for child in region.plus_split(sizing.as_ref()) {
+                            q.push(Task::Region {
+                                est: child.estimated_triangles(sizing.as_ref()) as u64,
+                                region: Box::new(child),
+                            });
+                        }
+                        TaskOut::Nothing
+                    } else {
+                        let (mesh, _) = refine_region(&region.border, sizing.as_ref());
+                        TaskOut::SubMesh(Box::new(mesh))
+                    }
+                }
+                Task::NearBody {
+                    rect,
+                    holes,
+                    seeds,
+                    ..
+                } => {
+                    let (mesh, _) = refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
+                    TaskOut::SubMesh(Box::new(mesh))
+                }
+            },
+        );
+        // Ship results to the root.
+        if comm.rank() == 0 {
+            let mut all = outs;
+            for _ in 1..comm.size() {
+                let (_src, mut v) = comm.recv::<Vec<TaskOut>>(Src::Any, 0xFE);
+                all.append(&mut v);
+            }
+            Some(all)
+        } else {
+            comm.send(0, 0xFE, outs);
+            None
+        }
+    });
+    let all_outs = rank_outputs
+        .remove(0)
+        .expect("root rank produces the gathered output");
+
+    // Root-side merge: boundary-layer triangles first (constrain + carve),
+    // then the sub-meshes.
+    let mut all_tris: Vec<[u32; 3]> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut sub_meshes: Vec<Mesh> = Vec::new();
+    for out in all_outs {
+        match out {
+            TaskOut::BlTris(tris) => {
+                for t in tris {
+                    let mut key = t;
+                    key.sort_unstable();
+                    if seen.insert(key) {
+                        all_tris.push(t);
+                    }
+                }
+            }
+            TaskOut::SubMesh(m) => sub_meshes.push(*m),
+            TaskOut::Nothing => {}
+        }
+    }
+    let mut bl_mesh = Mesh::from_triangles(cloud.clone(), all_tris);
+    let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
+    for (i, p) in cloud.iter().enumerate() {
+        id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+    }
+    let lookup = |p: Point2| -> u32 { id_of[&(p.x.to_bits(), p.y.to_bits())] };
+    for l in &layers {
+        let s = &l.surface;
+        for i in 0..s.len() {
+            let (a, b) = (lookup(s[i]), lookup(s[(i + 1) % s.len()]));
+            if a != b {
+                adm_delaunay::cdt::insert_constraint(&mut bl_mesh, a, b)
+                    .expect("surface constraint failed");
+            }
+        }
+        let ob = l.outer_border();
+        for i in 0..ob.len() {
+            let (a, b) = (lookup(ob[i]), lookup(ob[(i + 1) % ob.len()]));
+            if a != b {
+                adm_delaunay::cdt::insert_constraint(&mut bl_mesh, a, b)
+                    .expect("border constraint failed");
+            }
+        }
+    }
+    adm_delaunay::cdt::carve(&mut bl_mesh, &hole_seeds);
+    // Interface repair (same as the sequential path).
+    for m in &sub_meshes {
+        crate::inviscid::propagate_interface_splits(&mut bl_mesh, m, &outer_borders);
+    }
+
+    let bl_triangles = bl_mesh.num_triangles();
+    let inviscid_triangles: usize = sub_meshes.iter().map(|m| m.num_triangles()).sum();
+    let mut merger = MeshMerger::new();
+    merger.add_mesh(&bl_mesh);
+    for m in &sub_meshes {
+        merger.add_mesh(m);
+    }
+    let mesh = merger.finish();
+    check_conformity(&mesh);
+
+    let stats = PipelineStats {
+        bl_points: cloud.len(),
+        bl_triangles,
+        inviscid_triangles,
+        total_triangles: mesh.num_triangles(),
+        total_vertices: mesh.num_vertices(),
+        border_splits: 0,
+        total_s: t0.elapsed().as_secs_f64(),
+    };
+    PipelineResult {
+        mesh,
+        log: TaskLog::default(),
+        stats,
+    }
+}
+
+/// Sequential single-triangulator baseline: meshes the *same* domain as
+/// one constrained refinement problem without any decomposition or
+/// decoupling, mimicking "plain Triangle" for the sequential-efficiency
+/// comparison (§IV: 196 s vs 192 s). Uses the identical boundary layer
+/// and sizing so the work is comparable.
+pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
+    let t0 = std::time::Instant::now();
+    let mut log = TaskLog::default();
+    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
+    let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
+    let hole_seeds = config.pslg.hole_seeds();
+    let bl = mesh_boundary_layer(&layers, &hole_seeds, 1, &mut log).expect("bl meshing failed");
+    let sizing = build_sizing(
+        &bl.outer_borders,
+        config.effective_sizing_h0(),
+        config.sizing_rate,
+        config.sizing_max_area,
+    );
+    // One big inviscid region: far-field rectangle with the BL outer
+    // borders as holes — no quadrants, no decoupling.
+    let f = &config.pslg.farfield;
+    let rect = vec![
+        f.min,
+        Point2::new(f.max.x, f.min.y),
+        f.max,
+        Point2::new(f.min.x, f.max.y),
+    ];
+    let inviscid = log.measure(TaskKind::InviscidRefine, 0, || {
+        let (mesh, _) = refine_nearbody(&rect, &bl.outer_borders, &hole_seeds, &sizing);
+        let n = mesh.num_triangles() as u64;
+        (mesh, n)
+    });
+    let mut bl = bl;
+    crate::inviscid::propagate_interface_splits(&mut bl.mesh, &inviscid, &bl.outer_borders);
+    let mut merger = MeshMerger::new();
+    merger.add_mesh(&bl.mesh);
+    merger.add_mesh(&inviscid);
+    let mesh = merger.finish();
+    let stats = PipelineStats {
+        bl_points: bl.cloud_points,
+        bl_triangles: bl.mesh.num_triangles(),
+        inviscid_triangles: inviscid.num_triangles(),
+        total_triangles: mesh.num_triangles(),
+        total_vertices: mesh.num_vertices(),
+        border_splits: 0,
+        total_s: t0.elapsed().as_secs_f64(),
+    };
+    PipelineResult { mesh, log, stats }
+}

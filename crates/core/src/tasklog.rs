@@ -1,0 +1,144 @@
+//! Per-task cost records.
+//!
+//! Every subdomain meshing task logs its measured wall time and payload
+//! size. The scaling benches feed these records straight into
+//! `adm-simnet` to regenerate the paper's Figures 11/12 on hardware that
+//! cannot run 256 ranks.
+
+use std::time::Instant;
+
+/// What kind of work a task was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Triangulating one boundary-layer subdomain.
+    BlTriangulate,
+    /// Refining one decoupled inviscid subdomain.
+    InviscidRefine,
+    /// Refining the near-body subdomain.
+    NearBodyRefine,
+    /// Boundary-layer construction (normals, rays, intersection
+    /// resolution, point insertion) — parallel across ranks in the paper
+    /// (each process owns a portion of the surface vertices, §II.B).
+    BlBuild,
+    /// Recursive decomposition / decoupling — modeled by the simulator's
+    /// tree-distribution phase.
+    Decompose,
+    /// Final merge / global mesh assembly — output-side work the paper
+    /// excludes from its timings (the production mesh stays distributed).
+    Merge,
+    /// Any other serial stage.
+    Serial,
+}
+
+/// One measured task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Task category.
+    pub kind: TaskKind,
+    /// Measured wall time in seconds.
+    pub cost_s: f64,
+    /// Approximate serialized payload in bytes (what a work transfer
+    /// would move).
+    pub bytes: u64,
+    /// Triangles produced.
+    pub triangles: u64,
+}
+
+/// Collected task records for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct TaskLog {
+    /// All records in completion order.
+    pub records: Vec<TaskRecord>,
+}
+
+impl TaskLog {
+    /// Times `f` and appends a record with its measured cost.
+    pub fn measure<R>(
+        &mut self,
+        kind: TaskKind,
+        bytes: u64,
+        f: impl FnOnce() -> (R, u64),
+    ) -> R {
+        let t0 = Instant::now();
+        let (out, triangles) = f();
+        self.records.push(TaskRecord {
+            kind,
+            cost_s: t0.elapsed().as_secs_f64(),
+            bytes,
+            triangles,
+        });
+        out
+    }
+
+    /// Total measured time of the given kind.
+    pub fn total_s(&self, kind: TaskKind) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.cost_s)
+            .sum()
+    }
+
+    /// Records of the per-subdomain kinds (the simulator's task pool).
+    pub fn parallel_tasks(&self) -> Vec<TaskRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    TaskKind::BlTriangulate | TaskKind::InviscidRefine | TaskKind::NearBodyRefine
+                )
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Total triangles across all records.
+    pub fn total_triangles(&self) -> u64 {
+        self.records.iter().map(|r| r.triangles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_cost_and_output() {
+        let mut log = TaskLog::default();
+        let out = log.measure(TaskKind::BlTriangulate, 128, || ("hello", 7));
+        assert_eq!(out, "hello");
+        assert_eq!(log.records.len(), 1);
+        let r = log.records[0];
+        assert_eq!(r.kind, TaskKind::BlTriangulate);
+        assert_eq!(r.bytes, 128);
+        assert_eq!(r.triangles, 7);
+        assert!(r.cost_s >= 0.0);
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let mut log = TaskLog::default();
+        log.records.push(TaskRecord {
+            kind: TaskKind::Serial,
+            cost_s: 1.0,
+            bytes: 0,
+            triangles: 0,
+        });
+        log.records.push(TaskRecord {
+            kind: TaskKind::InviscidRefine,
+            cost_s: 2.0,
+            bytes: 10,
+            triangles: 100,
+        });
+        log.records.push(TaskRecord {
+            kind: TaskKind::InviscidRefine,
+            cost_s: 3.0,
+            bytes: 20,
+            triangles: 200,
+        });
+        assert_eq!(log.total_s(TaskKind::InviscidRefine), 5.0);
+        assert_eq!(log.parallel_tasks().len(), 2);
+        assert_eq!(log.total_triangles(), 300);
+    }
+}

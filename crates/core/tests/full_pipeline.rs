@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: the push-button promise.
+
+use adm_core::{generate, generate_parallel, MeshConfig};
+use adm_delaunay::quality::mesh_quality;
+
+fn small_naca_config() -> MeshConfig {
+    let mut c = MeshConfig::naca0012(40);
+    c.sizing_max_area = 2.0;
+    c.bl_subdomains = 8;
+    c.inviscid_subdomains = 8;
+    c
+}
+
+#[test]
+fn naca0012_pipeline_end_to_end() {
+    let config = small_naca_config();
+    let out = generate(&config);
+    let mesh = &out.mesh;
+    mesh.check_consistency();
+    assert!(out.stats.total_triangles > 5_000, "{:?}", out.stats);
+    assert_eq!(
+        out.stats.total_triangles,
+        out.stats.bl_triangles + out.stats.inviscid_triangles
+    );
+    // Conforming decoupling: no shared border was split.
+    assert_eq!(out.stats.border_splits, 0, "decoupling contract violated");
+    let q = mesh_quality(mesh);
+    assert!(q.min_angle > 0.0);
+    assert!(q.triangles == out.stats.total_triangles);
+    let tasks = out.log.parallel_tasks();
+    assert!(tasks.len() >= 9, "only {} parallel tasks", tasks.len());
+}
+
+#[test]
+fn parallel_run_matches_sequential_mesh() {
+    let config = small_naca_config();
+    let seq = generate(&config);
+    for ranks in [1usize, 2] {
+        let par = generate_parallel(&config, ranks);
+        assert_eq!(
+            par.stats.total_triangles, seq.stats.total_triangles,
+            "rank count {ranks}: triangle count differs"
+        );
+        assert_eq!(par.stats.total_vertices, seq.stats.total_vertices);
+        let canon = |mesh: &adm_delaunay::Mesh| -> Vec<Vec<(u64, u64)>> {
+            let mut v: Vec<Vec<(u64, u64)>> = mesh
+                .live_triangles()
+                .map(|t| {
+                    let tri = mesh.triangles[t as usize];
+                    let mut c: Vec<(u64, u64)> = tri
+                        .iter()
+                        .map(|&i| {
+                            let p = mesh.vertices[i as usize];
+                            (p.x.to_bits(), p.y.to_bits())
+                        })
+                        .collect();
+                    c.sort_unstable();
+                    c
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&par.mesh), canon(&seq.mesh), "rank count {ranks}");
+    }
+}
+
+#[test]
+fn three_element_pipeline_end_to_end() {
+    let mut config = MeshConfig::three_element(36);
+    config.sizing_max_area = 2.0;
+    config.bl_subdomains = 8;
+    config.inviscid_subdomains = 8;
+    let out = generate(&config);
+    out.mesh.check_consistency();
+    assert!(out.stats.total_triangles > 8_000, "{:?}", out.stats);
+    assert_eq!(out.stats.border_splits, 0);
+    for l in &config.pslg.loops {
+        for t in out.mesh.live_triangles() {
+            let tri = out.mesh.triangles[t as usize];
+            let c = adm_geom::Point2::new(
+                (out.mesh.vertices[tri[0] as usize].x
+                    + out.mesh.vertices[tri[1] as usize].x
+                    + out.mesh.vertices[tri[2] as usize].x)
+                    / 3.0,
+                (out.mesh.vertices[tri[0] as usize].y
+                    + out.mesh.vertices[tri[1] as usize].y
+                    + out.mesh.vertices[tri[2] as usize].y)
+                    / 3.0,
+            );
+            assert!(
+                !adm_geom::polygon::contains_point(&l.points, c),
+                "triangle inside element {}",
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn polynomial_growth_law_works_end_to_end() {
+    let mut config = small_naca_config();
+    config.growth = adm_blayer::GrowthSpec::Polynomial {
+        first_height: 3e-4,
+        exponent: 1.6,
+    };
+    let out = generate(&config);
+    out.mesh.check_consistency();
+    assert!(out.stats.total_triangles > 4_000);
+    assert_eq!(out.stats.border_splits, 0);
+}
+
+#[test]
+fn capped_growth_law_works_end_to_end() {
+    let mut config = small_naca_config();
+    config.growth = adm_blayer::GrowthSpec::CappedGeometric {
+        first_height: 2e-4,
+        ratio: 1.4,
+        max_thickness: 4e-3,
+    };
+    let out = generate(&config);
+    out.mesh.check_consistency();
+    assert!(out.stats.total_triangles > 4_000);
+    assert_eq!(out.stats.border_splits, 0);
+}

@@ -1,0 +1,224 @@
+//! Mesh import/export.
+//!
+//! Supports Triangle-compatible ASCII `.node`/`.ele` text (the format the
+//! paper's 9-minute sequential write time refers to) and a compact binary
+//! format (the paper notes binary output cuts write time when the flow
+//! solver accepts it).
+
+use crate::mesh::Mesh;
+use adm_geom::point::Point2;
+use std::io::{self, BufRead, Read, Write};
+
+/// Writes the mesh as Triangle-style ASCII: a `.node` section then a
+/// `.ele` section, concatenated into one stream.
+pub fn write_ascii<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{} 2 0 0", mesh.num_vertices())?;
+    for (i, v) in mesh.vertices.iter().enumerate() {
+        writeln!(w, "{} {:.17} {:.17}", i, v.x, v.y)?;
+    }
+    writeln!(w, "{} 3 0", mesh.num_triangles())?;
+    let mut k = 0usize;
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangles[t as usize];
+        writeln!(w, "{} {} {} {}", k, tri[0], tri[1], tri[2])?;
+        k += 1;
+    }
+    Ok(())
+}
+
+/// Reads a mesh previously written by [`write_ascii`].
+pub fn read_ascii<R: BufRead>(r: &mut R) -> io::Result<Mesh> {
+    let mut line = String::new();
+    let read_line = |r: &mut R, line: &mut String| -> io::Result<Vec<f64>> {
+        line.clear();
+        loop {
+            if r.read_line(line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated mesh"));
+            }
+            let t = line.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                let vals: Result<Vec<f64>, _> = t.split_whitespace().map(str::parse).collect();
+                return vals.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+            line.clear();
+        }
+    };
+    let header = read_line(r, &mut line)?;
+    let n = header[0] as usize;
+    let mut vertices = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row = read_line(r, &mut line)?;
+        vertices.push(Point2::new(row[1], row[2]));
+    }
+    let header = read_line(r, &mut line)?;
+    let m = header[0] as usize;
+    let mut tris = Vec::with_capacity(m);
+    for _ in 0..m {
+        let row = read_line(r, &mut line)?;
+        tris.push([row[1] as u32, row[2] as u32, row[3] as u32]);
+    }
+    Ok(Mesh::from_triangles(vertices, tris))
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"ADM2DM01";
+
+/// Writes the mesh in the compact binary format (little-endian).
+pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(mesh.num_triangles() as u64).to_le_bytes())?;
+    for v in &mesh.vertices {
+        w.write_all(&v.x.to_le_bytes())?;
+        w.write_all(&v.y.to_le_bytes())?;
+    }
+    for t in mesh.live_triangles() {
+        for &vi in &mesh.triangles[t as usize] {
+            w.write_all(&vi.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a mesh in the binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut vertices = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut buf8)?;
+        let x = f64::from_le_bytes(buf8);
+        r.read_exact(&mut buf8)?;
+        let y = f64::from_le_bytes(buf8);
+        vertices.push(Point2::new(x, y));
+    }
+    let mut tris = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        let mut t = [0u32; 3];
+        for slot in &mut t {
+            r.read_exact(&mut buf4)?;
+            *slot = u32::from_le_bytes(buf4);
+        }
+        tris.push(t);
+    }
+    Ok(Mesh::from_triangles(vertices, tris))
+}
+
+/// Renders the mesh edges as an SVG document (for the qualitative figures).
+pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()> {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for v in &mesh.vertices {
+        min = min.min(*v);
+        max = max.max(*v);
+    }
+    let span_x = (max.x - min.x).max(1e-12);
+    let span_y = (max.y - min.y).max(1e-12);
+    let scale = width / span_x;
+    let height = span_y * scale;
+    writeln!(
+        w,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {width:.2} {height:.2}\">"
+    )?;
+    writeln!(w, "<g stroke=\"#456\" stroke-width=\"0.4\" fill=\"none\">")?;
+    let tx = |p: Point2| ((p.x - min.x) * scale, (max.y - p.y) * scale);
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangles[t as usize];
+        let (x0, y0) = tx(mesh.vertices[tri[0] as usize]);
+        let (x1, y1) = tx(mesh.vertices[tri[1] as usize]);
+        let (x2, y2) = tx(mesh.vertices[tri[2] as usize]);
+        writeln!(
+            w,
+            "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2} L{x2:.2} {y2:.2} Z\"/>"
+        )?;
+    }
+    writeln!(w, "</g>")?;
+    // Constrained edges highlighted.
+    writeln!(w, "<g stroke=\"#c33\" stroke-width=\"0.9\" fill=\"none\">")?;
+    for (a, b) in mesh.constrained_edges() {
+        let (x0, y0) = tx(mesh.vertices[a as usize]);
+        let (x1, y1) = tx(mesh.vertices[b as usize]);
+        writeln!(w, "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2}\"/>")?;
+    }
+    writeln!(w, "</g>")?;
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdt::{carve, constrained_delaunay};
+
+    fn sample_mesh() -> Mesh {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 3.0),
+            Point2::new(0.0, 3.0),
+            Point2::new(1.5, 1.4),
+        ];
+        let segs = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();
+        carve(&mut mesh, &[]);
+        mesh
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_ascii(&mesh, &mut buf).unwrap();
+        let back = read_ascii(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), mesh.num_vertices());
+        assert_eq!(back.num_triangles(), mesh.num_triangles());
+        assert_eq!(back.vertices, mesh.vertices);
+        back.check_consistency();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_binary(&mesh, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), mesh.num_vertices());
+        assert_eq!(back.num_triangles(), mesh.num_triangles());
+        assert_eq!(back.vertices, mesh.vertices);
+        back.check_consistency();
+    }
+
+    #[test]
+    fn binary_is_smaller_than_ascii() {
+        let mesh = sample_mesh();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_ascii(&mesh, &mut a).unwrap();
+        write_binary(&mesh, &mut b).unwrap();
+        assert!(b.len() < a.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let data = b"NOTAMESHxxxxxxxxxxxxxxxx".to_vec();
+        assert!(read_binary(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn svg_output_contains_paths() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_svg(&mesh, &mut buf, 400.0).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.matches("<path").count() >= mesh.num_triangles());
+        assert!(s.ends_with("</svg>\n"));
+    }
+}

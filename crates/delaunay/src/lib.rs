@@ -1,0 +1,35 @@
+//! # adm-delaunay — Delaunay triangulation, CDT, and Ruppert refinement
+//!
+//! The workspace's from-scratch substitute for Shewchuk's *Triangle*
+//! (the paper's sequential meshing engine):
+//!
+//! * [`divconq`] — Guibas–Stolfi divide-and-conquer Delaunay kernel with
+//!   vertical cuts and a pre-sorted input fast path (paper §III);
+//! * [`mesh`] — adjacency-carrying triangle mesh with exact point location
+//!   and Bowyer–Watson cavity insertion;
+//! * [`cdt`] — constraint segment insertion and Triangle-style carving of
+//!   concavities/holes;
+//! * [`mod@refine`] — Ruppert refinement with the `sqrt(2)` quality bound and
+//!   sizing-function area bounds (paper §II.E);
+//! * [`quality`] / [`io`] / [`triangulator`] — metrics, Triangle-format
+//!   I/O + SVG, and the switch-style facade.
+
+pub mod cdt;
+pub mod divconq;
+pub mod incremental;
+pub mod io;
+pub mod mesh;
+pub mod poly;
+pub mod quadedge;
+pub mod quality;
+pub mod refine;
+pub mod triangulator;
+
+pub use cdt::{carve, constrained_delaunay, insert_constraint, CdtError};
+pub use divconq::{triangulate_dc, DcTriangulation};
+pub use incremental::triangulate_incremental;
+pub use mesh::{Location, Mesh, NIL};
+pub use poly::{read_poly, write_poly, PolyFile};
+pub use quality::{circumcenter, mesh_quality, tri_quality, MeshQuality, TriQuality};
+pub use refine::{refine, RefineParams, RefineStats};
+pub use triangulator::{triangulate, RefineOptions, TriOptions, TriOutput};

@@ -1,0 +1,1062 @@
+//! Triangle mesh with adjacency, point location, and cavity insertion.
+//!
+//! The mesh stores vertices contiguously (paper §III argues for contiguous
+//! `Vertex` storage) and triangles as CCW index triples with a parallel
+//! neighbor array. Incremental insertion uses the Bowyer–Watson cavity
+//! algorithm driven by the exact predicates; cavities never cross
+//! constrained edges, so insertion preserves *constrained* Delaunayhood.
+//!
+//! Insertion only supports points inside the current mesh or on its edges —
+//! the refinement pipeline never needs hull growth (circumcenters that
+//! would fall outside the domain are intercepted as segment encroachment
+//! before they are inserted).
+
+use adm_geom::point::Point2;
+use adm_geom::predicates::{incircle, orient2d};
+use std::collections::{HashMap, HashSet};
+
+/// Sentinel for "no neighbor" (mesh boundary).
+pub const NIL: u32 = u32::MAX;
+
+/// Canonical (unordered) vertex pair used as an edge key.
+#[inline]
+pub fn edge_key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Where a query point lies relative to the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Strictly inside triangle `t`.
+    InTriangle(u32),
+    /// On edge `i` of triangle `t` (but not on a vertex).
+    OnEdge(u32, u8),
+    /// Coincides with vertex `v` (some incident triangle is `t`).
+    OnVertex(u32, u32),
+    /// Outside the mesh; the walk exited through edge `i` of triangle `t`.
+    Outside(u32, u8),
+    /// The walk was stopped by a constrained edge `i` of triangle `t`
+    /// before reaching the target (only from [`Mesh::walk_from`] with
+    /// `stop_at_constraints`).
+    Blocked(u32, u8),
+}
+
+/// A triangle mesh with neighbor adjacency and constrained-edge bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    /// Vertex coordinates (never removed).
+    pub vertices: Vec<Point2>,
+    /// CCW vertex triples; slots of dead triangles are garbage until reused.
+    pub triangles: Vec<[u32; 3]>,
+    /// `neighbors[t][i]` = triangle across the edge opposite vertex `i`.
+    pub neighbors: Vec<[u32; 3]>,
+    alive: Vec<bool>,
+    live_count: usize,
+    free: Vec<u32>,
+    /// Some live triangle incident to each vertex (NIL if none yet).
+    vert_tri: Vec<u32>,
+    /// Constrained (fixed) edges as canonical vertex pairs.
+    constrained: HashSet<(u32, u32)>,
+}
+
+impl Mesh {
+    /// Builds a mesh from a vertex list and CCW triangle soup, deriving
+    /// the neighbor adjacency from shared edges.
+    ///
+    /// # Panics
+    /// Panics if an edge is shared by more than two triangles or by two
+    /// triangles with the same orientation (non-manifold input).
+    pub fn from_triangles(vertices: Vec<Point2>, tris: Vec<[u32; 3]>) -> Self {
+        let mut mesh = Mesh {
+            vert_tri: vec![NIL; vertices.len()],
+            vertices,
+            triangles: tris,
+            ..Default::default()
+        };
+        mesh.alive = vec![true; mesh.triangles.len()];
+        mesh.live_count = mesh.triangles.len();
+        mesh.neighbors = vec![[NIL; 3]; mesh.triangles.len()];
+        let mut half: HashMap<(u32, u32), (u32, u8)> = HashMap::new();
+        for t in 0..mesh.triangles.len() as u32 {
+            let tri = mesh.triangles[t as usize];
+            for i in 0..3u8 {
+                let (a, b) = (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3]);
+                mesh.vert_tri[a as usize] = t;
+                // The twin half-edge runs b -> a.
+                if let Some((n, j)) = half.remove(&(b, a)) {
+                    mesh.neighbors[t as usize][i as usize] = n;
+                    mesh.neighbors[n as usize][j as usize] = t;
+                } else {
+                    let prev = half.insert((a, b), (t, i));
+                    assert!(prev.is_none(), "non-manifold edge ({a},{b})");
+                }
+            }
+        }
+        mesh
+    }
+
+    /// Number of live triangles (O(1)).
+    pub fn num_triangles(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` if triangle slot `t` is live.
+    #[inline]
+    pub fn is_alive(&self, t: u32) -> bool {
+        self.alive[t as usize]
+    }
+
+    /// Iterator over live triangle ids.
+    pub fn live_triangles(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.triangles.len() as u32).filter(move |&t| self.alive[t as usize])
+    }
+
+    /// The two endpoints of edge `i` of triangle `t` (CCW direction).
+    #[inline]
+    pub fn edge_vertices(&self, t: u32, i: u8) -> (u32, u32) {
+        let tri = self.triangles[t as usize];
+        (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3])
+    }
+
+    /// Marks edge `(a, b)` constrained. The edge need not exist yet.
+    pub fn constrain_edge(&mut self, a: u32, b: u32) {
+        self.constrained.insert(edge_key(a, b));
+    }
+
+    /// Removes the constrained mark from `(a, b)`.
+    pub fn unconstrain_edge(&mut self, a: u32, b: u32) {
+        self.constrained.remove(&edge_key(a, b));
+    }
+
+    /// `true` when edge `(a, b)` is constrained.
+    #[inline]
+    pub fn is_constrained(&self, a: u32, b: u32) -> bool {
+        self.constrained.contains(&edge_key(a, b))
+    }
+
+    /// All constrained edges (canonical pairs).
+    pub fn constrained_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.constrained.iter().copied()
+    }
+
+    /// Number of constrained edges.
+    pub fn num_constrained(&self) -> usize {
+        self.constrained.len()
+    }
+
+    /// Any live triangle, or `None` for an empty mesh.
+    pub fn any_triangle(&self) -> Option<u32> {
+        self.live_triangles().next()
+    }
+
+    /// A live triangle incident to vertex `v`, refreshing the cached hint
+    /// if it went stale.
+    pub fn triangle_of_vertex(&self, v: u32) -> Option<u32> {
+        let t = self.vert_tri[v as usize];
+        if t != NIL && self.alive[t as usize] && self.triangles[t as usize].contains(&v) {
+            return Some(t);
+        }
+        // Fallback scan (only hit after pathological deletion patterns).
+        self.live_triangles()
+            .find(|&t| self.triangles[t as usize].contains(&v))
+    }
+
+    /// Index (0..3) of vertex `v` within triangle `t`.
+    pub fn vertex_index_in(&self, t: u32, v: u32) -> Option<u8> {
+        self.triangles[t as usize]
+            .iter()
+            .position(|&x| x == v)
+            .map(|i| i as u8)
+    }
+
+    /// All live triangles incident to `v`, in no particular order.
+    pub fn triangles_around_vertex(&self, v: u32) -> Vec<u32> {
+        let Some(start) = self.triangle_of_vertex(v) else {
+            return Vec::new();
+        };
+        let mut out = vec![start];
+        // Walk CCW from `start`; if we hit the boundary, walk CW from
+        // `start` for the rest.
+        let mut cur = start;
+        loop {
+            let i = self.vertex_index_in(cur, v).expect("vertex in triangle");
+            // CCW neighbor around v: across the edge opposite vertex at
+            // position (i+1) — the edge (v, next_ccw).
+            let n = self.neighbors[cur as usize][((i + 1) % 3) as usize];
+            if n == NIL {
+                break;
+            }
+            if n == start {
+                return out; // full circle
+            }
+            out.push(n);
+            cur = n;
+        }
+        let mut cur = start;
+        loop {
+            let i = self.vertex_index_in(cur, v).expect("vertex in triangle");
+            let n = self.neighbors[cur as usize][((i + 2) % 3) as usize];
+            if n == NIL || n == start {
+                return out;
+            }
+            out.push(n);
+            cur = n;
+        }
+    }
+
+    /// Finds the live triangle containing edge `(a, b)` (in either
+    /// direction); returns `(t, i)` where `i` is the edge index.
+    pub fn find_edge(&self, a: u32, b: u32) -> Option<(u32, u8)> {
+        for t in self.triangles_around_vertex(a) {
+            for i in 0..3u8 {
+                let (u, v) = self.edge_vertices(t, i);
+                if (u == a && v == b) || (u == b && v == a) {
+                    return Some((t, i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks from triangle `from` toward `target` along the straight line
+    /// from `from`'s centroid. Stops when the target's containing triangle
+    /// is reached, the mesh boundary is exited, or (when
+    /// `stop_at_constraints`) a constrained edge must be crossed.
+    pub fn walk_from(&self, from: u32, target: Point2, stop_at_constraints: bool) -> Location {
+        debug_assert!(self.alive[from as usize]);
+        let mut cur = from;
+        let mut prev = NIL;
+        // Upper bound on steps to guarantee termination even if the line
+        // walk degenerates; a straight walk visits each triangle at most
+        // once.
+        let max_steps = 4 * self.triangles.len() + 16;
+        for _ in 0..max_steps {
+            let tri = self.triangles[cur as usize];
+            let (a, b, c) = (
+                self.vertices[tri[0] as usize],
+                self.vertices[tri[1] as usize],
+                self.vertices[tri[2] as usize],
+            );
+            // On-vertex check first.
+            for (k, &vi) in tri.iter().enumerate() {
+                let _ = k;
+                if self.vertices[vi as usize] == target {
+                    return Location::OnVertex(vi, cur);
+                }
+            }
+            let d0 = orient2d(b, c, target); // edge 0 (opposite vertex 0)
+            let d1 = orient2d(c, a, target); // edge 1
+            let d2 = orient2d(a, b, target); // edge 2
+            if d0 >= 0.0 && d1 >= 0.0 && d2 >= 0.0 {
+                // Inside or on an edge.
+                if d0 == 0.0 {
+                    return Location::OnEdge(cur, 0);
+                }
+                if d1 == 0.0 {
+                    return Location::OnEdge(cur, 1);
+                }
+                if d2 == 0.0 {
+                    return Location::OnEdge(cur, 2);
+                }
+                return Location::InTriangle(cur);
+            }
+            // Move through the most violated edge not returning to `prev`.
+            let mut order = [(d0, 0u8), (d1, 1u8), (d2, 2u8)];
+            order.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            let mut moved = false;
+            for &(d, i) in &order {
+                if d >= 0.0 {
+                    break;
+                }
+                let n = self.neighbors[cur as usize][i as usize];
+                if n == prev && n != NIL {
+                    continue;
+                }
+                let (u, v) = self.edge_vertices(cur, i);
+                if stop_at_constraints && self.is_constrained(u, v) {
+                    return Location::Blocked(cur, i);
+                }
+                if n == NIL {
+                    return Location::Outside(cur, i);
+                }
+                prev = cur;
+                cur = n;
+                moved = true;
+                break;
+            }
+            if !moved {
+                // Only the edge back to `prev` is violated; revisit is
+                // impossible for a straight walk, treat conservatively.
+                let (d, i) = order[0];
+                debug_assert!(d < 0.0);
+                let n = self.neighbors[cur as usize][i as usize];
+                if n == NIL {
+                    return Location::Outside(cur, i);
+                }
+                let (u, v) = self.edge_vertices(cur, i);
+                if stop_at_constraints && self.is_constrained(u, v) {
+                    return Location::Blocked(cur, i);
+                }
+                prev = cur;
+                cur = n;
+            }
+        }
+        // The greedy walk can cycle among extreme slivers (it is not a
+        // true straight-line walk). Fall back to an exhaustive scan —
+        // exact, O(n), and only reached in pathological geometry.
+        self.locate_by_scan(target, stop_at_constraints, cur)
+    }
+
+    /// Exhaustive point location over all live triangles; the fallback
+    /// when the greedy walk exhausts its step budget.
+    fn locate_by_scan(&self, target: Point2, stop_at_constraints: bool, last: u32) -> Location {
+        for t in self.live_triangles() {
+            let tri = self.triangles[t as usize];
+            let (a, b, c) = (
+                self.vertices[tri[0] as usize],
+                self.vertices[tri[1] as usize],
+                self.vertices[tri[2] as usize],
+            );
+            for (k, &vi) in tri.iter().enumerate() {
+                let _ = k;
+                if self.vertices[vi as usize] == target {
+                    return Location::OnVertex(vi, t);
+                }
+            }
+            let d0 = orient2d(b, c, target);
+            let d1 = orient2d(c, a, target);
+            let d2 = orient2d(a, b, target);
+            if d0 >= 0.0 && d1 >= 0.0 && d2 >= 0.0 {
+                if d0 == 0.0 {
+                    return Location::OnEdge(t, 0);
+                }
+                if d1 == 0.0 {
+                    return Location::OnEdge(t, 1);
+                }
+                if d2 == 0.0 {
+                    return Location::OnEdge(t, 2);
+                }
+                return Location::InTriangle(t);
+            }
+        }
+        // Outside every triangle. Report the boundary edge of the last
+        // walk triangle that faces the target; with `stop_at_constraints`
+        // a constrained facing edge reports Blocked.
+        let tri = self.triangles[last as usize];
+        let (a, b, c) = (
+            self.vertices[tri[0] as usize],
+            self.vertices[tri[1] as usize],
+            self.vertices[tri[2] as usize],
+        );
+        let ds = [orient2d(b, c, target), orient2d(c, a, target), orient2d(a, b, target)];
+        let mut worst = 0u8;
+        for i in 1..3u8 {
+            if ds[i as usize] < ds[worst as usize] {
+                worst = i;
+            }
+        }
+        if stop_at_constraints {
+            let (u, v) = self.edge_vertices(last, worst);
+            if self.is_constrained(u, v) {
+                return Location::Blocked(last, worst);
+            }
+        }
+        Location::Outside(last, worst)
+    }
+
+    /// Locates `target` starting from an arbitrary live triangle.
+    pub fn locate(&self, target: Point2) -> Location {
+        let start = self.any_triangle().expect("empty mesh");
+        self.walk_from(start, target, false)
+    }
+
+    /// Appends a new vertex (no topology change). Used by construction
+    /// engines that manage their own triangle creation.
+    pub(crate) fn push_vertex(&mut self, p: Point2) -> u32 {
+        self.vertices.push(p);
+        self.vert_tri.push(NIL);
+        (self.vertices.len() - 1) as u32
+    }
+
+    pub(crate) fn alloc_triangle(&mut self, verts: [u32; 3]) -> u32 {
+        let t = if let Some(t) = self.free.pop() {
+            self.triangles[t as usize] = verts;
+            self.neighbors[t as usize] = [NIL; 3];
+            self.alive[t as usize] = true;
+            t
+        } else {
+            let t = self.triangles.len() as u32;
+            self.triangles.push(verts);
+            self.neighbors.push([NIL; 3]);
+            self.alive.push(true);
+            t
+        };
+        self.live_count += 1;
+        for &v in &verts {
+            self.vert_tri[v as usize] = t;
+        }
+        t
+    }
+
+    pub(crate) fn kill_triangle(&mut self, t: u32) {
+        debug_assert!(self.alive[t as usize]);
+        self.alive[t as usize] = false;
+        self.live_count -= 1;
+        self.free.push(t);
+    }
+
+    /// Inserts point `p` into the mesh with the Bowyer–Watson cavity
+    /// algorithm, starting the location walk at `hint` (any live triangle).
+    ///
+    /// Returns the vertex index of `p` (an existing index if `p` duplicates
+    /// a mesh vertex). Returns `None` when `p` lies outside the mesh.
+    ///
+    /// If `p` lies on a constrained edge, that edge is split: the two
+    /// halves inherit the constrained mark.
+    pub fn insert_point(&mut self, p: Point2, hint: u32) -> Option<u32> {
+        match self.walk_from(hint, p, false) {
+            Location::OnVertex(v, _) => Some(v),
+            Location::Outside(..) | Location::Blocked(..) => None,
+            Location::InTriangle(t) => Some(self.insert_in_cavity(p, t, None)),
+            Location::OnEdge(t, i) => Some(self.split_edge(t, i, p)),
+        }
+    }
+
+    /// Splits edge `i` of triangle `t` at point `p` (intended to lie on or
+    /// numerically near the edge — e.g. its midpoint, which is generally
+    /// *not* exactly collinear in floating point). Unlike
+    /// [`Mesh::insert_point`] this performs no location walk: the cavity is
+    /// seeded from the edge's adjacent triangles and the edge itself is
+    /// removed, so the split succeeds regardless of which side of the edge
+    /// `p` rounded to. Constrained marks are inherited by both halves.
+    pub fn split_edge(&mut self, t: u32, i: u8, p: Point2) -> u32 {
+        let (a, b) = self.edge_vertices(t, i);
+        let was_constrained = self.is_constrained(a, b);
+        if was_constrained {
+            self.unconstrain_edge(a, b);
+        }
+        let v = self.insert_in_cavity(p, t, Some((t, i)));
+        if was_constrained {
+            self.constrain_edge(a, v);
+            self.constrain_edge(v, b);
+        }
+        v
+    }
+
+    /// Core cavity insertion. `seed` is a triangle whose circumcircle
+    /// contains `p` (its containing triangle). `on_edge` carries the edge
+    /// `p` lies on, whose two adjacent triangles seed the cavity.
+    fn insert_in_cavity(&mut self, p: Point2, seed: u32, on_edge: Option<(u32, u8)>) -> u32 {
+        let pv = self.vertices.len() as u32;
+        self.vertices.push(p);
+        self.vert_tri.push(NIL);
+
+        // Grow the conflict cavity by BFS. Constrained edges are opaque.
+        let mut cavity: Vec<u32> = Vec::with_capacity(8);
+        let mut in_cavity: HashSet<u32> = HashSet::with_capacity(16);
+        let mut stack: Vec<u32> = Vec::with_capacity(8);
+        let push = |t: u32, in_cavity: &mut HashSet<u32>, stack: &mut Vec<u32>| {
+            if in_cavity.insert(t) {
+                stack.push(t);
+            }
+        };
+        push(seed, &mut in_cavity, &mut stack);
+        // When splitting an edge, both adjacent triangles seed the cavity
+        // and the edge itself must never survive as a fan base — even when
+        // `p` rounded slightly off the edge line.
+        let mut skip_pair: Option<(u32, u32)> = None;
+        if let Some((t, i)) = on_edge {
+            skip_pair = Some(self.edge_vertices(t, i));
+            let n = self.neighbors[t as usize][i as usize];
+            if n != NIL {
+                push(n, &mut in_cavity, &mut stack);
+            }
+        }
+        while let Some(t) = stack.pop() {
+            cavity.push(t);
+            for i in 0..3u8 {
+                let n = self.neighbors[t as usize][i as usize];
+                if n == NIL || in_cavity.contains(&n) {
+                    continue;
+                }
+                let (u, v) = self.edge_vertices(t, i);
+                if self.is_constrained(u, v) {
+                    continue;
+                }
+                let tri = self.triangles[n as usize];
+                let (a, b, c) = (
+                    self.vertices[tri[0] as usize],
+                    self.vertices[tri[1] as usize],
+                    self.vertices[tri[2] as usize],
+                );
+                if incircle(a, b, c, p) > 0.0 {
+                    push(n, &mut in_cavity, &mut stack);
+                }
+            }
+        }
+
+        // Collect the border: directed edges (u, v) of cavity triangles
+        // whose neighbor is outside the cavity, with the external triangle.
+        // The cavity must be star-shaped around p; when p is exactly
+        // collinear with (or beyond) a border edge that has an internal
+        // neighbor, the triangle contributing that edge is evicted from
+        // the cavity and the border recomputed (cavity repair). Eviction
+        // only shrinks the set and never touches the seeds (p lies inside
+        // them), so the loop terminates.
+        let seeds: HashSet<u32> = {
+            let mut s = HashSet::new();
+            s.insert(seed);
+            if let Some((t, i)) = on_edge {
+                let n = self.neighbors[t as usize][i as usize];
+                if n != NIL {
+                    s.insert(n);
+                }
+            }
+            s
+        };
+        let mut active: HashSet<u32> = in_cavity.clone();
+        let mut border: Vec<(u32, u32, u32)> = Vec::with_capacity(cavity.len() + 2);
+        'repair: loop {
+            border.clear();
+            for &t in &cavity {
+                if !active.contains(&t) {
+                    continue;
+                }
+                for i in 0..3u8 {
+                    let n = self.neighbors[t as usize][i as usize];
+                    if n != NIL && active.contains(&n) {
+                        continue;
+                    }
+                    let (u, v) = self.edge_vertices(t, i);
+                    let degenerate = {
+                        let skip = skip_pair
+                            .map(|(sa, sb)| (u == sa && v == sb) || (u == sb && v == sa))
+                            .unwrap_or(false);
+                        !skip
+                            && orient2d(p, self.vertices[u as usize], self.vertices[v as usize])
+                                <= 0.0
+                    };
+                    if degenerate && n != NIL && !seeds.contains(&t) {
+                        active.remove(&t);
+                        continue 'repair;
+                    }
+                    border.push((u, v, n));
+                }
+            }
+            break;
+        }
+        let cavity: Vec<u32> = cavity.into_iter().filter(|t| active.contains(t)).collect();
+        for &t in &cavity {
+            self.kill_triangle(t);
+        }
+
+        // Fan retriangulation: one triangle (p, u, v) per border edge.
+        // Degenerate edges (p exactly on a border edge, which only happens
+        // when that edge lies on the mesh boundary) are skipped, leaving p
+        // on the boundary.
+        let mut spoke: HashMap<(u32, u32), (u32, u8)> = HashMap::with_capacity(2 * border.len());
+        for &(u, v, n) in &border {
+            if let Some((sa, sb)) = skip_pair {
+                if (u == sa && v == sb) || (u == sb && v == sa) {
+                    debug_assert_eq!(n, NIL, "split edge survived as interior border");
+                    continue;
+                }
+            }
+            if orient2d(p, self.vertices[u as usize], self.vertices[v as usize]) <= 0.0 {
+                debug_assert!(
+                    n == NIL,
+                    "degenerate fan edge with internal neighbor {n}: p={p:?} u={:?} v={:?} orient={}",
+                    self.vertices[u as usize],
+                    self.vertices[v as usize],
+                    orient2d(p, self.vertices[u as usize], self.vertices[v as usize]),
+                );
+                continue;
+            }
+            let t = self.alloc_triangle([pv, u, v]);
+            // Edge 0 (opposite p) is (u, v): pairs with external n.
+            self.neighbors[t as usize][0] = n;
+            if n != NIL {
+                // Find n's edge matching (v, u).
+                let mut fixed = false;
+                for j in 0..3u8 {
+                    let (x, y) = self.edge_vertices(n, j);
+                    if (x == v && y == u) || (x == u && y == v) {
+                        self.neighbors[n as usize][j as usize] = t;
+                        fixed = true;
+                        break;
+                    }
+                }
+                debug_assert!(fixed, "external neighbor lost its border edge");
+            }
+            // Edge 1 (opposite u) is (v, p); edge 2 (opposite v) is (p, u).
+            for (key, idx) in [((v, pv), 1u8), ((pv, u), 2u8)] {
+                let twin = (key.1, key.0);
+                if let Some((t2, j)) = spoke.remove(&twin) {
+                    self.neighbors[t as usize][idx as usize] = t2;
+                    self.neighbors[t2 as usize][j as usize] = t;
+                } else {
+                    spoke.insert(key, (t, idx));
+                }
+            }
+        }
+        pv
+    }
+
+    /// Flips the edge `i` of triangle `t` shared with its neighbor:
+    /// the quadrilateral's diagonal is replaced by the other diagonal.
+    /// Returns the two new triangle ids. The edge must be interior and
+    /// unconstrained, and the quadrilateral strictly convex.
+    ///
+    /// # Panics
+    /// Panics (debug) if the edge is on the boundary or constrained.
+    pub fn flip_edge(&mut self, t: u32, i: u8) -> (u32, u32) {
+        let n = self.neighbors[t as usize][i as usize];
+        debug_assert_ne!(n, NIL, "cannot flip a boundary edge");
+        let (u, v) = self.edge_vertices(t, i);
+        debug_assert!(!self.is_constrained(u, v), "cannot flip a constrained edge");
+        let apex_t = self.triangles[t as usize][i as usize];
+        let nj = (0..3u8)
+            .find(|&j| {
+                let (x, y) = self.edge_vertices(n, j);
+                (x, y) == (v, u)
+            })
+            .expect("neighbor shares the edge");
+        let apex_n = self.triangles[n as usize][nj as usize];
+
+        // External neighbors of the quadrilateral (by the edges they face).
+        let find_nb = |mesh: &Mesh, tri: u32, a: u32, b: u32| -> u32 {
+            for j in 0..3u8 {
+                let (x, y) = mesh.edge_vertices(tri, j);
+                if (x == a && y == b) || (x == b && y == a) {
+                    return mesh.neighbors[tri as usize][j as usize];
+                }
+            }
+            unreachable!("edge not in triangle")
+        };
+        let n_tu = find_nb(self, t, apex_t, u); // across (apex_t, u)
+        let n_tv = find_nb(self, t, v, apex_t); // across (v, apex_t)
+        let n_nu = find_nb(self, n, u, apex_n); // across (u, apex_n)
+        let n_nv = find_nb(self, n, apex_n, v); // across (apex_n, v)
+
+        // Rebuild in place: t := (apex_t, u, apex_n), n := (apex_n, v, apex_t).
+        self.kill_triangle(t);
+        self.kill_triangle(n);
+        let t1 = self.alloc_triangle([apex_t, u, apex_n]);
+        let t2 = self.alloc_triangle([apex_n, v, apex_t]);
+        // t1 edges: opp apex_t = (u, apex_n) -> n_nu; opp u = (apex_n,
+        // apex_t) -> t2; opp apex_n = (apex_t, u) -> n_tu.
+        self.neighbors[t1 as usize] = [n_nu, t2, n_tu];
+        // t2 edges: opp apex_n = (v, apex_t) -> n_tv; opp v = (apex_t,
+        // apex_n) -> t1; opp apex_t = (apex_n, v) -> n_nv.
+        self.neighbors[t2 as usize] = [n_tv, t1, n_nv];
+        // Patch the externals.
+        let mut patch = |ext: u32, old_a: u32, old_b: u32, new_t: u32| {
+            if ext == NIL {
+                return;
+            }
+            for j in 0..3u8 {
+                let (x, y) = self.edge_vertices(ext, j);
+                if (x == old_a && y == old_b) || (x == old_b && y == old_a) {
+                    self.neighbors[ext as usize][j as usize] = new_t;
+                }
+            }
+        };
+        patch(n_nu, u, apex_n, t1);
+        patch(n_tu, apex_t, u, t1);
+        patch(n_tv, v, apex_t, t2);
+        patch(n_nv, apex_n, v, t2);
+        (t1, t2)
+    }
+
+    /// Removes a set of triangles, patching surviving neighbors to NIL and
+    /// refreshing vertex-triangle hints.
+    pub fn remove_triangles(&mut self, dead: &HashSet<u32>) {
+        // Sorted order keeps the free list — and therefore all future slot
+        // reuse — deterministic regardless of hash seeding.
+        let mut dead_sorted: Vec<u32> = dead.iter().copied().collect();
+        dead_sorted.sort_unstable();
+        for &t in &dead_sorted {
+            debug_assert!(self.alive[t as usize]);
+            for i in 0..3u8 {
+                let n = self.neighbors[t as usize][i as usize];
+                if n != NIL && !dead.contains(&n) {
+                    for j in 0..3u8 {
+                        if self.neighbors[n as usize][j as usize] == t {
+                            self.neighbors[n as usize][j as usize] = NIL;
+                        }
+                    }
+                }
+            }
+            self.kill_triangle(t);
+        }
+        // Refresh hints for vertices that pointed at dead triangles.
+        for v in 0..self.vert_tri.len() {
+            let t = self.vert_tri[v];
+            if t != NIL && !self.alive[t as usize] {
+                self.vert_tri[v] = NIL;
+            }
+        }
+        for t in 0..self.triangles.len() as u32 {
+            if self.alive[t as usize] {
+                for &v in &self.triangles[t as usize] {
+                    if self.vert_tri[v as usize] == NIL {
+                        self.vert_tri[v as usize] = t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces the triangulation inside a cavity: kills `dead` triangles
+    /// and installs `new_tris` (CCW triples), wiring internal adjacency and
+    /// reconnecting to the external border. `border` maps *directed* border
+    /// edges (as seen from inside the cavity) to the external triangle.
+    pub(crate) fn replace_cavity(
+        &mut self,
+        dead: &[u32],
+        new_tris: &[[u32; 3]],
+        border: &HashMap<(u32, u32), u32>,
+    ) {
+        for &t in dead {
+            self.kill_triangle(t);
+        }
+        let mut pending: HashMap<(u32, u32), (u32, u8)> = HashMap::new();
+        for tri in new_tris {
+            let t = self.alloc_triangle(*tri);
+            for i in 0..3u8 {
+                let (u, v) = self.edge_vertices(t, i);
+                if let Some((t2, j)) = pending.remove(&(v, u)) {
+                    self.neighbors[t as usize][i as usize] = t2;
+                    self.neighbors[t2 as usize][j as usize] = t;
+                } else if let Some(&n) = border.get(&(u, v)) {
+                    self.neighbors[t as usize][i as usize] = n;
+                    if n != NIL {
+                        for j in 0..3u8 {
+                            let (x, y) = self.edge_vertices(n, j);
+                            if (x, y) == (v, u) {
+                                self.neighbors[n as usize][j as usize] = t;
+                            }
+                        }
+                    }
+                } else {
+                    pending.insert((u, v), (t, i));
+                }
+            }
+        }
+        debug_assert!(pending.is_empty(), "unmatched cavity edges: {pending:?}");
+    }
+
+    /// Verifies internal consistency: neighbor symmetry, CCW orientation,
+    /// vertex-triangle hints. Panics with a description on failure. For
+    /// tests and debug assertions.
+    pub fn check_consistency(&self) {
+        for t in self.live_triangles() {
+            let tri = self.triangles[t as usize];
+            let (a, b, c) = (
+                self.vertices[tri[0] as usize],
+                self.vertices[tri[1] as usize],
+                self.vertices[tri[2] as usize],
+            );
+            assert!(
+                orient2d(a, b, c) > 0.0,
+                "triangle {t} not CCW: {tri:?} {a:?} {b:?} {c:?}"
+            );
+            for i in 0..3u8 {
+                let n = self.neighbors[t as usize][i as usize];
+                if n == NIL {
+                    continue;
+                }
+                assert!(self.alive[n as usize], "triangle {t} has dead neighbor {n}");
+                let (u, v) = self.edge_vertices(t, i);
+                let found = (0..3u8).any(|j| {
+                    let (x, y) = self.edge_vertices(n, j);
+                    self.neighbors[n as usize][j as usize] == t && ((x, y) == (v, u))
+                });
+                assert!(found, "neighbor symmetry broken between {t} and {n}");
+            }
+        }
+    }
+
+    /// `true` when every non-constrained interior edge satisfies the local
+    /// Delaunay (empty-circumcircle) condition — i.e. the mesh is a
+    /// constrained Delaunay triangulation.
+    pub fn is_constrained_delaunay(&self) -> bool {
+        for t in self.live_triangles() {
+            for i in 0..3u8 {
+                let n = self.neighbors[t as usize][i as usize];
+                if n == NIL || n < t {
+                    continue;
+                }
+                let (u, v) = self.edge_vertices(t, i);
+                if self.is_constrained(u, v) {
+                    continue;
+                }
+                let tri = self.triangles[t as usize];
+                let (a, b, c) = (
+                    self.vertices[tri[0] as usize],
+                    self.vertices[tri[1] as usize],
+                    self.vertices[tri[2] as usize],
+                );
+                // Apex of the neighbor across edge i.
+                let ntri = self.triangles[n as usize];
+                let apex = ntri
+                    .iter()
+                    .copied()
+                    .find(|&x| x != u && x != v)
+                    .expect("neighbor shares edge");
+                if incircle(a, b, c, self.vertices[apex as usize]) > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::divconq::triangulate_dc;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn square_mesh() -> Mesh {
+        // Unit square split along the (0,0)-(1,1) diagonal.
+        Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+    }
+
+    fn mesh_from_dc(points: &[Point2]) -> Mesh {
+        let t = triangulate_dc(points, false);
+        let tris = t.triangles();
+        Mesh::from_triangles(t.points.clone(), tris)
+    }
+
+    #[test]
+    fn adjacency_from_soup() {
+        let m = square_mesh();
+        m.check_consistency();
+        assert_eq!(m.num_triangles(), 2);
+        // Shared edge (0, 2).
+        assert_eq!(m.neighbors[0][1], 1); // edge opposite vertex 1 of tri 0 is (2,0)
+        assert_eq!(m.neighbors[1][2], 0);
+    }
+
+    #[test]
+    fn locate_inside_on_edge_on_vertex_outside() {
+        let m = square_mesh();
+        assert!(matches!(m.locate(p(0.6, 0.2)), Location::InTriangle(0)));
+        assert!(matches!(m.locate(p(0.2, 0.6)), Location::InTriangle(1)));
+        match m.locate(p(0.5, 0.5)) {
+            Location::OnEdge(t, i) => {
+                let (a, b) = m.edge_vertices(t, i);
+                assert_eq!(edge_key(a, b), (0, 2));
+            }
+            other => panic!("expected on-edge, got {other:?}"),
+        }
+        assert!(matches!(m.locate(p(1.0, 1.0)), Location::OnVertex(2, _)));
+        assert!(matches!(m.locate(p(2.0, 2.0)), Location::Outside(..)));
+    }
+
+    #[test]
+    fn insert_interior_point_keeps_delaunay() {
+        let mut m = square_mesh();
+        let v = m.insert_point(p(0.5, 0.25), 0).unwrap();
+        assert_eq!(v, 4);
+        m.check_consistency();
+        assert!(m.is_constrained_delaunay());
+        assert_eq!(m.num_triangles(), 4);
+    }
+
+    #[test]
+    fn insert_on_interior_edge() {
+        let mut m = square_mesh();
+        let v = m.insert_point(p(0.5, 0.5), 0).unwrap();
+        assert_eq!(v, 4);
+        m.check_consistency();
+        assert!(m.is_constrained_delaunay());
+        assert_eq!(m.num_triangles(), 4);
+    }
+
+    #[test]
+    fn insert_on_boundary_edge() {
+        let mut m = square_mesh();
+        let v = m.insert_point(p(0.5, 0.0), 0).unwrap();
+        m.check_consistency();
+        assert!(m.is_constrained_delaunay());
+        // p is now a hull vertex; triangle count grows by 1.
+        assert_eq!(m.num_triangles(), 3);
+        assert!(m.triangles_around_vertex(v).len() >= 1);
+    }
+
+    #[test]
+    fn insert_duplicate_returns_existing() {
+        let mut m = square_mesh();
+        let v = m.insert_point(p(1.0, 0.0), 0).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(m.num_vertices(), 4);
+    }
+
+    #[test]
+    fn insert_outside_returns_none() {
+        let mut m = square_mesh();
+        assert!(m.insert_point(p(3.0, 3.0), 0).is_none());
+    }
+
+    #[test]
+    fn constrained_edge_split_inherits_mark() {
+        let mut m = square_mesh();
+        m.constrain_edge(0, 2);
+        let v = m.insert_point(p(0.5, 0.5), 0).unwrap();
+        assert!(!m.is_constrained(0, 2));
+        assert!(m.is_constrained(0, v));
+        assert!(m.is_constrained(v, 2));
+        m.check_consistency();
+    }
+
+    #[test]
+    fn cavity_does_not_cross_constraints() {
+        // Square with constrained diagonal; insert a point whose cavity
+        // would normally include both sides.
+        let mut m = square_mesh();
+        m.constrain_edge(0, 2);
+        // Close to the diagonal inside triangle 0.
+        let v = m.insert_point(p(0.55, 0.45), 0).unwrap();
+        m.check_consistency();
+        // The diagonal must survive.
+        assert!(m.find_edge(0, 2).is_some());
+        assert!(m.is_constrained(0, 2));
+        let _ = v;
+    }
+
+    #[test]
+    fn many_random_insertions_stay_delaunay() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = mesh_from_dc(&[
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+        ]);
+        let mut hint = m.any_triangle().unwrap();
+        for k in 0..300 {
+            let q = p(rng.gen_range(0.01..9.99), rng.gen_range(0.01..9.99));
+            let v = m.insert_point(q, hint).unwrap_or_else(|| panic!("insert {k} failed"));
+            hint = m.triangle_of_vertex(v).unwrap();
+        }
+        m.check_consistency();
+        assert!(m.is_constrained_delaunay());
+        // Euler: all 4 corners on hull, T = 2n - 2 - h.
+        assert_eq!(m.num_triangles(), 2 * m.num_vertices() - 2 - 4);
+    }
+
+    #[test]
+    fn triangles_around_interior_and_boundary_vertex() {
+        let mut m = square_mesh();
+        let v = m.insert_point(p(0.5, 0.5), 0).unwrap();
+        let around_center = m.triangles_around_vertex(v);
+        assert_eq!(around_center.len(), 4);
+        let around_corner = m.triangles_around_vertex(0);
+        assert_eq!(around_corner.len(), 2);
+    }
+
+    #[test]
+    fn walk_blocked_by_constraint() {
+        let mut m = square_mesh();
+        m.constrain_edge(0, 2);
+        // Walk from triangle 0 toward a point in triangle 1.
+        let loc = m.walk_from(0, p(0.1, 0.9), true);
+        match loc {
+            Location::Blocked(t, i) => {
+                let (a, b) = m.edge_vertices(t, i);
+                assert_eq!(edge_key(a, b), (0, 2));
+            }
+            other => panic!("expected blocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flip_edge_swaps_diagonal() {
+        let mut m = square_mesh();
+        // Shared edge (0, 2) is edge 1 of triangle 0.
+        let (t1, t2) = m.flip_edge(0, 1);
+        m.check_consistency();
+        assert!(m.find_edge(0, 2).is_none());
+        assert!(m.find_edge(1, 3).is_some());
+        assert!(m.is_alive(t1) && m.is_alive(t2));
+        assert_eq!(m.num_triangles(), 2);
+    }
+
+    #[test]
+    fn flip_edge_roundtrip_restores_topology() {
+        let mut m = square_mesh();
+        let (t1, _) = m.flip_edge(0, 1);
+        // Find the new shared edge (1,3) inside t1 and flip back.
+        let (t, i) = m.find_edge(1, 3).unwrap();
+        let _ = t1;
+        let (a, b) = m.edge_vertices(t, i);
+        assert_eq!(edge_key(a, b), (1, 3));
+        m.flip_edge(t, i);
+        m.check_consistency();
+        assert!(m.find_edge(0, 2).is_some());
+        assert!(m.find_edge(1, 3).is_none());
+    }
+
+    #[test]
+    fn flip_edge_with_external_neighbors() {
+        // 2x1 strip of 4 triangles: flipping an interior edge must patch
+        // the surrounding neighbors.
+        let mut m = Mesh::from_triangles(
+            vec![
+                p(0.0, 0.0),
+                p(1.0, 0.0),
+                p(2.0, 0.0),
+                p(2.0, 1.0),
+                p(1.0, 1.0),
+                p(0.0, 1.0),
+            ],
+            vec![[0, 1, 5], [1, 4, 5], [1, 2, 4], [2, 3, 4]],
+        );
+        // Shared edge (1, 4) between triangles 1 and 2.
+        let (t, i) = m.find_edge(1, 4).unwrap();
+        m.flip_edge(t, i);
+        m.check_consistency();
+        assert!(m.find_edge(2, 5).is_some());
+        assert_eq!(m.num_triangles(), 4);
+    }
+
+    #[test]
+    fn find_edge_works() {
+        let m = square_mesh();
+        assert!(m.find_edge(0, 2).is_some());
+        assert!(m.find_edge(0, 1).is_some());
+        assert!(m.find_edge(1, 3).is_none());
+    }
+
+    #[test]
+    fn grid_insertions_on_lattice_lines() {
+        // Insert points exactly on existing edges repeatedly.
+        let mut m = mesh_from_dc(&[p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]);
+        let hint = m.any_triangle().unwrap();
+        for k in 1..8 {
+            let q = p(k as f64 * 0.5, k as f64 * 0.5); // on the diagonal
+            m.insert_point(q, hint);
+        }
+        m.check_consistency();
+        assert!(m.is_constrained_delaunay());
+    }
+}

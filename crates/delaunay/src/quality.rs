@@ -1,0 +1,219 @@
+//! Triangle and mesh quality metrics.
+//!
+//! Ruppert's algorithm (paper §II.E) bounds the circumradius-to-shortest-
+//! edge ratio by `sqrt(2)`, which corresponds to a minimum angle of
+//! `arcsin(1/(2*sqrt(2))) ≈ 20.7°` — the same "quality switch" setting the
+//! paper uses when generating the isotropic comparison mesh.
+
+use crate::mesh::Mesh;
+use adm_geom::point::Point2;
+
+/// Per-triangle quality numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriQuality {
+    /// Signed area (positive for CCW triangles).
+    pub area: f64,
+    /// Circumradius.
+    pub circumradius: f64,
+    /// Shortest edge length.
+    pub shortest_edge: f64,
+    /// Longest edge length.
+    pub longest_edge: f64,
+    /// Circumradius-to-shortest-edge ratio (Ruppert's quality measure).
+    pub ratio: f64,
+    /// Smallest interior angle in radians.
+    pub min_angle: f64,
+    /// Largest interior angle in radians.
+    pub max_angle: f64,
+    /// Aspect ratio: longest edge / (2 * inradius).
+    pub aspect: f64,
+}
+
+/// Computes quality metrics for the triangle `(a, b, c)`.
+pub fn tri_quality(a: Point2, b: Point2, c: Point2) -> TriQuality {
+    let la = b.distance(c);
+    let lb = c.distance(a);
+    let lc = a.distance(b);
+    let area = 0.5 * (b - a).cross(c - a);
+    let shortest = la.min(lb).min(lc);
+    let longest = la.max(lb).max(lc);
+    let circumradius = if area.abs() > 0.0 {
+        la * lb * lc / (4.0 * area.abs())
+    } else {
+        f64::INFINITY
+    };
+    let ratio = if shortest > 0.0 {
+        circumradius / shortest
+    } else {
+        f64::INFINITY
+    };
+    // Law of cosines per corner.
+    let angle = |opp: f64, e1: f64, e2: f64| {
+        let cosv = ((e1 * e1 + e2 * e2 - opp * opp) / (2.0 * e1 * e2)).clamp(-1.0, 1.0);
+        cosv.acos()
+    };
+    let aa = angle(la, lb, lc);
+    let ab = angle(lb, lc, la);
+    let ac = angle(lc, la, lb);
+    let min_angle = aa.min(ab).min(ac);
+    let max_angle = aa.max(ab).max(ac);
+    let s = 0.5 * (la + lb + lc);
+    let inradius = if s > 0.0 { area.abs() / s } else { 0.0 };
+    let aspect = if inradius > 0.0 {
+        longest / (2.0 * inradius)
+    } else {
+        f64::INFINITY
+    };
+    TriQuality {
+        area,
+        circumradius,
+        shortest_edge: shortest,
+        longest_edge: longest,
+        ratio,
+        min_angle,
+        max_angle,
+        aspect,
+    }
+}
+
+/// Circumcenter of the CCW triangle `(a, b, c)` computed in coordinates
+/// relative to `a` for stability. Returns `None` for (near-)degenerate
+/// triangles whose circumcenter is not finite.
+pub fn circumcenter(a: Point2, b: Point2, c: Point2) -> Option<Point2> {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let acx = c.x - a.x;
+    let acy = c.y - a.y;
+    let d = 2.0 * (abx * acy - aby * acx);
+    if d == 0.0 {
+        return None;
+    }
+    let ab2 = abx * abx + aby * aby;
+    let ac2 = acx * acx + acy * acy;
+    let ux = (acy * ab2 - aby * ac2) / d;
+    let uy = (abx * ac2 - acx * ab2) / d;
+    let p = Point2::new(a.x + ux, a.y + uy);
+    p.is_finite().then_some(p)
+}
+
+/// Aggregate quality report for a mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshQuality {
+    /// Number of live triangles measured.
+    pub triangles: usize,
+    /// Global minimum interior angle (radians).
+    pub min_angle: f64,
+    /// Global maximum interior angle (radians).
+    pub max_angle: f64,
+    /// Largest circumradius-to-shortest-edge ratio.
+    pub max_ratio: f64,
+    /// Total area.
+    pub total_area: f64,
+    /// Smallest / largest triangle area.
+    pub min_area: f64,
+    pub max_area: f64,
+    /// Histogram of minimum angles in 10-degree bins [0-10, ..., 50-60].
+    pub angle_histogram: [usize; 6],
+}
+
+/// Measures every live triangle of the mesh.
+pub fn mesh_quality(mesh: &Mesh) -> MeshQuality {
+    let mut q = MeshQuality {
+        triangles: 0,
+        min_angle: f64::INFINITY,
+        max_angle: 0.0,
+        max_ratio: 0.0,
+        total_area: 0.0,
+        min_area: f64::INFINITY,
+        max_area: 0.0,
+        angle_histogram: [0; 6],
+    };
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangles[t as usize];
+        let tq = tri_quality(
+            mesh.vertices[tri[0] as usize],
+            mesh.vertices[tri[1] as usize],
+            mesh.vertices[tri[2] as usize],
+        );
+        q.triangles += 1;
+        q.min_angle = q.min_angle.min(tq.min_angle);
+        q.max_angle = q.max_angle.max(tq.max_angle);
+        q.max_ratio = q.max_ratio.max(tq.ratio);
+        q.total_area += tq.area;
+        q.min_area = q.min_area.min(tq.area);
+        q.max_area = q.max_area.max(tq.area);
+        let deg = tq.min_angle.to_degrees();
+        let bin = ((deg / 10.0) as usize).min(5);
+        q.angle_histogram[bin] += 1;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn equilateral_quality() {
+        let h = 3f64.sqrt() / 2.0;
+        let q = tri_quality(p(0.0, 0.0), p(1.0, 0.0), p(0.5, h));
+        assert!((q.min_angle.to_degrees() - 60.0).abs() < 1e-10);
+        assert!((q.max_angle.to_degrees() - 60.0).abs() < 1e-10);
+        // R/l for equilateral = 1/sqrt(3).
+        assert!((q.ratio - 1.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert!((q.area - h / 2.0).abs() < 1e-12);
+        assert!((q.aspect - 1.0 / (2.0 / 3.0)).abs() < 1e-9 || q.aspect > 1.0);
+    }
+
+    #[test]
+    fn right_triangle_quality() {
+        let q = tri_quality(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0));
+        assert!((q.max_angle.to_degrees() - 90.0).abs() < 1e-10);
+        assert!((q.min_angle.to_degrees() - 45.0).abs() < 1e-10);
+        // Circumradius = hypotenuse / 2.
+        assert!((q.circumradius - 2f64.sqrt() / 2.0).abs() < 1e-12);
+        assert!((q.shortest_edge - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliver_has_huge_ratio() {
+        let q = tri_quality(p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1e-8));
+        assert!(q.ratio > 1e6);
+        assert!(q.min_angle < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_triangle() {
+        let q = tri_quality(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0));
+        assert_eq!(q.area, 0.0);
+        assert!(q.ratio.is_infinite());
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let (a, b, c) = (p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0));
+        let cc = circumcenter(a, b, c).unwrap();
+        let (da, db, dc) = (cc.distance(a), cc.distance(b), cc.distance(c));
+        assert!((da - db).abs() < 1e-12);
+        assert!((db - dc).abs() < 1e-12);
+        assert_eq!(cc, p(1.0, 1.0));
+    }
+
+    #[test]
+    fn circumcenter_degenerate_is_none() {
+        assert!(circumcenter(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn ratio_to_min_angle_relation() {
+        // ratio = 1 / (2 sin(min_angle)) holds for the angle opposite the
+        // shortest edge.
+        let q = tri_quality(p(0.0, 0.0), p(1.0, 0.0), p(0.3, 0.4));
+        let expect = 1.0 / (2.0 * q.min_angle.sin());
+        assert!((q.ratio - expect).abs() / expect < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! High-level triangulation facade mirroring how the paper drives Triangle.
+//!
+//! The pipeline calls Triangle in two modes:
+//! * **point-set mode** for boundary-layer subdomains (x-sorted vertices,
+//!   vertical cuts, optional border constraints);
+//! * **PSLG + refinement mode** for inviscid subdomains (constrained
+//!   border, sizing-function area bound, quality bound `sqrt(2)`).
+//!
+//! [`triangulate`] packages both behind one options struct, like
+//! Triangle's command-line switches.
+
+use crate::cdt::{carve, constrained_delaunay, CdtError};
+use crate::mesh::Mesh;
+use crate::refine::{refine, RefineParams, RefineStats, SizingFn};
+use adm_geom::point::Point2;
+
+/// Options for a triangulation run (Triangle's "switches").
+#[derive(Default)]
+pub struct TriOptions<'a> {
+    /// Input is already lexicographically sorted — skip the sort, exactly
+    /// like the paper's modified Triangle (§III).
+    pub assume_sorted: bool,
+    /// Constraint segments as input point index pairs.
+    pub segments: Vec<(u32, u32)>,
+    /// Seed points marking holes to carve out.
+    pub holes: Vec<Point2>,
+    /// Remove triangles outside the constrained border (`-p` behaviour).
+    /// Automatically implied when `segments` is non-empty and refinement
+    /// is requested.
+    pub carve_outside: bool,
+    /// Quality + sizing refinement (`-q -a` behaviour).
+    pub refine: Option<RefineOptions<'a>>,
+}
+
+/// Refinement sub-options.
+pub struct RefineOptions<'a> {
+    /// Circumradius-to-shortest-edge bound (default `sqrt(2)`).
+    pub max_ratio: f64,
+    /// Uniform maximum triangle area.
+    pub max_area: Option<f64>,
+    /// Per-location target area.
+    pub sizing: Option<SizingFn<'a>>,
+}
+
+impl Default for RefineOptions<'_> {
+    fn default() -> Self {
+        RefineOptions {
+            max_ratio: std::f64::consts::SQRT_2,
+            max_area: None,
+            sizing: None,
+        }
+    }
+}
+
+/// Output of a triangulation run.
+pub struct TriOutput {
+    /// The resulting mesh.
+    pub mesh: Mesh,
+    /// Mapping input point index -> mesh vertex index.
+    pub point_map: Vec<u32>,
+    /// Refinement statistics, when refinement ran.
+    pub refine_stats: Option<RefineStats>,
+}
+
+/// Triangulates `points` according to `opts`.
+pub fn triangulate(points: &[Point2], opts: &TriOptions<'_>) -> Result<TriOutput, CdtError> {
+    let (mut mesh, point_map) = constrained_delaunay(points, &opts.segments, opts.assume_sorted)?;
+    let wants_carve = opts.carve_outside || (!opts.segments.is_empty() && opts.refine.is_some());
+    if wants_carve {
+        carve(&mut mesh, &opts.holes);
+    }
+    let refine_stats = if let Some(r) = &opts.refine {
+        // Refinement requires the border to be constrained; when the caller
+        // did not carve, constrain the hull so midpoint splits stay legal.
+        if !crate::refine::boundary_fully_constrained(&mesh) {
+            let boundary: Vec<(u32, u32)> = mesh
+                .live_triangles()
+                .flat_map(|t| (0..3u8).map(move |i| (t, i)))
+                .filter(|&(t, i)| mesh.neighbors[t as usize][i as usize] == crate::mesh::NIL)
+                .map(|(t, i)| mesh.edge_vertices(t, i))
+                .collect();
+            for (a, b) in boundary {
+                mesh.constrain_edge(a, b);
+            }
+        }
+        let params = RefineParams {
+            max_ratio: r.max_ratio,
+            max_area: r.max_area,
+            ..Default::default()
+        };
+        Some(refine(&mut mesh, r.sizing, &params))
+    } else {
+        None
+    };
+    Ok(TriOutput {
+        mesh,
+        point_map,
+        refine_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::mesh_quality;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn point_set_mode() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.4, 0.6)];
+        let out = triangulate(&pts, &TriOptions::default()).unwrap();
+        assert_eq!(out.mesh.num_triangles(), 4);
+        assert!(out.refine_stats.is_none());
+        out.mesh.check_consistency();
+    }
+
+    #[test]
+    fn pslg_refinement_mode() {
+        let pts = vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)];
+        let opts = TriOptions {
+            segments: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            refine: Some(RefineOptions {
+                max_area: Some(0.05),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let out = triangulate(&pts, &opts).unwrap();
+        let q = mesh_quality(&out.mesh);
+        assert!(q.max_area <= 0.05 + 1e-12);
+        assert!(q.max_ratio <= std::f64::consts::SQRT_2 + 1e-9);
+        assert!((q.total_area - 4.0).abs() < 1e-9);
+        assert!(out.refine_stats.unwrap().circumcenters > 0);
+    }
+
+    #[test]
+    fn refinement_without_segments_constrains_hull() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 0.9)];
+        let opts = TriOptions {
+            refine: Some(RefineOptions {
+                max_area: Some(0.01),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let out = triangulate(&pts, &opts).unwrap();
+        let q = mesh_quality(&out.mesh);
+        assert!(q.max_area <= 0.01 + 1e-12);
+        out.mesh.check_consistency();
+    }
+
+    #[test]
+    fn sorted_input_mode() {
+        let mut pts = vec![p(0.3, 0.7), p(0.1, 0.2), p(0.9, 0.4), p(0.5, 0.5), p(0.2, 0.9)];
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        let out = triangulate(&pts, &TriOptions { assume_sorted: true, ..Default::default() })
+            .unwrap();
+        out.mesh.check_consistency();
+        assert!(out.mesh.is_constrained_delaunay());
+    }
+}

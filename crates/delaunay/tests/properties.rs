@@ -1,0 +1,184 @@
+//! Property-based tests for the Delaunay engine.
+
+use adm_delaunay::cdt::{carve, constrained_delaunay, insert_constraint};
+use adm_delaunay::divconq::triangulate_dc;
+use adm_delaunay::mesh::Mesh;
+use adm_delaunay::refine::{refine, RefineParams};
+use adm_geom::point::Point2;
+use adm_geom::predicates::{in_circle, orient2d};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point2::new(x, y)),
+        n,
+    )
+}
+
+/// Grid-ish points maximize cocircular degeneracies.
+fn grid_points() -> impl Strategy<Value = Vec<Point2>> {
+    (2usize..8, 2usize..8, -5i32..5).prop_map(|(nx, ny, off)| {
+        let mut v = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push(Point2::new(
+                    (i as i32 + off) as f64,
+                    (j as i32 + off) as f64,
+                ));
+            }
+        }
+        v
+    })
+}
+
+fn assert_is_delaunay(points: &[Point2], tris: &[[u32; 3]]) {
+    for t in tris {
+        let (a, b, c) = (
+            points[t[0] as usize],
+            points[t[1] as usize],
+            points[t[2] as usize],
+        );
+        assert!(orient2d(a, b, c) > 0.0, "non-CCW triangle");
+        for (i, &p) in points.iter().enumerate() {
+            if t.contains(&(i as u32)) {
+                continue;
+            }
+            assert!(!in_circle(a, b, c, p), "empty-circle violation");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every DC triangulation satisfies the empty-circumcircle property
+    /// and the Euler relation.
+    #[test]
+    fn dc_triangulation_is_delaunay(pts in points(3..60)) {
+        let dc = triangulate_dc(&pts, false);
+        let tris = dc.triangles();
+        assert_is_delaunay(&dc.points, &tris);
+        // Euler: T = 2n - 2 - h for non-degenerate inputs.
+        let h = dc.hull().len();
+        if h >= 3 {
+            prop_assert_eq!(tris.len(), 2 * dc.points.len() - 2 - h);
+        } else {
+            prop_assert!(tris.is_empty());
+        }
+    }
+
+    /// Grids (maximally cocircular) still triangulate correctly.
+    #[test]
+    fn dc_on_grids(pts in grid_points()) {
+        let dc = triangulate_dc(&pts, false);
+        let tris = dc.triangles();
+        assert_is_delaunay(&dc.points, &tris);
+        let area: f64 = tris
+            .iter()
+            .map(|t| {
+                0.5 * (dc.points[t[1] as usize] - dc.points[t[0] as usize])
+                    .cross(dc.points[t[2] as usize] - dc.points[t[0] as usize])
+            })
+            .sum();
+        // Grid hull is the bounding rectangle.
+        let b = adm_geom::aabb::Aabb::from_points(&dc.points).unwrap();
+        prop_assert!((area - b.width() * b.height()).abs() < 1e-9);
+    }
+
+    /// Duplicates never change the triangulation.
+    #[test]
+    fn duplicates_are_harmless(pts in points(3..30), dup_idx in prop::collection::vec(0usize..29, 0..10)) {
+        let mut with_dups = pts.clone();
+        for &i in &dup_idx {
+            if i < pts.len() {
+                with_dups.push(pts[i]);
+            }
+        }
+        let a = triangulate_dc(&pts, false);
+        let b = triangulate_dc(&with_dups, false);
+        prop_assert_eq!(&a.points, &b.points);
+        prop_assert_eq!(a.triangles().len(), b.triangles().len());
+    }
+
+    /// Inserting random interior points keeps the mesh consistent and
+    /// constrained-Delaunay.
+    #[test]
+    fn random_insertions(extra in prop::collection::vec((0.05f64..0.95, 0.05f64..0.95), 1..40)) {
+        let base = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let dc = triangulate_dc(&base, false);
+        let mut mesh = Mesh::from_triangles(dc.points.clone(), dc.triangles());
+        let mut hint = mesh.any_triangle().unwrap();
+        for (x, y) in extra {
+            if let Some(v) = mesh.insert_point(Point2::new(x, y), hint) {
+                hint = mesh.triangle_of_vertex(v).unwrap();
+            }
+        }
+        mesh.check_consistency();
+        prop_assert!(mesh.is_constrained_delaunay());
+    }
+
+    /// A random chord forced into a random triangulation survives as a
+    /// chain of constrained edges; the mesh stays consistent.
+    #[test]
+    fn random_constraints(pts in points(8..40), picks in prop::collection::vec((0usize..39, 0usize..39), 1..5)) {
+        let (mut mesh, map) = match constrained_delaunay(&pts, &[], false) {
+            Ok(v) => v,
+            Err(_) => return Ok(()),
+        };
+        if mesh.num_triangles() == 0 {
+            return Ok(());
+        }
+        for (i, j) in picks {
+            let (i, j) = (i % pts.len(), j % pts.len());
+            let (a, b) = (map[i], map[j]);
+            if a == b {
+                continue;
+            }
+            // Crossing previously-inserted constraints is a legal error;
+            // everything else must succeed.
+            let _ = insert_constraint(&mut mesh, a, b);
+            mesh.check_consistency();
+        }
+        prop_assert!(mesh.is_constrained_delaunay());
+    }
+
+    /// Refinement of a random convex quadrilateral terminates within the
+    /// quality bound and conserves area.
+    #[test]
+    fn refine_random_convex_quad(
+        w in 0.5f64..4.0,
+        h in 0.5f64..4.0,
+        skew in -0.3f64..0.3,
+        max_area in 0.01f64..0.2,
+    ) {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(w, 0.0),
+            Point2::new(w + skew, h),
+            Point2::new(skew, h),
+        ];
+        let segs = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();
+        carve(&mut mesh, &[]);
+        let stats = refine(
+            &mut mesh,
+            None,
+            &RefineParams {
+                max_area: Some(max_area),
+                max_insertions: 200_000,
+                ..Default::default()
+            },
+        );
+        prop_assert!(!stats.hit_cap);
+        mesh.check_consistency();
+        let q = adm_delaunay::quality::mesh_quality(&mesh);
+        prop_assert!(q.max_ratio <= std::f64::consts::SQRT_2 + 1e-9);
+        prop_assert!(q.max_area <= max_area + 1e-12);
+        prop_assert!((q.total_area - w * h).abs() < 1e-6 * w * h);
+    }
+}

@@ -1,0 +1,322 @@
+//! Axis-aligned bounding boxes and Cohen–Sutherland segment/box clipping.
+//!
+//! The boundary-layer intersection pipeline (paper §II.B) first prunes
+//! candidate rays by testing their segments against the AABB of another
+//! element's boundary layer with "a modified version of the
+//! Cohen–Sutherland algorithm"; survivors go on to the alternating digital
+//! tree and finally to exact segment tests.
+
+use crate::point::Point2;
+use crate::segment::Segment;
+
+/// An axis-aligned bounding box (closed on all sides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Point2,
+    pub max: Point2,
+}
+
+/// Cohen–Sutherland region outcodes.
+mod outcode {
+    pub const INSIDE: u8 = 0;
+    pub const LEFT: u8 = 1;
+    pub const RIGHT: u8 = 2;
+    pub const BOTTOM: u8 = 4;
+    pub const TOP: u8 = 8;
+}
+
+impl Aabb {
+    /// Box from two corner points (in any order).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The empty box (inverted bounds); `expand` grows it around points.
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point2::new(f64::INFINITY, f64::INFINITY),
+            max: Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// `true` while no point has been added to an [`Aabb::empty`] box.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest box containing all `points`; `None` for an empty slice.
+    pub fn from_points(points: &[Point2]) -> Option<Self> {
+        let mut b = Aabb::empty();
+        for &p in points {
+            b.expand(p);
+        }
+        if b.is_empty() {
+            None
+        } else {
+            Some(b)
+        }
+    }
+
+    /// Bounding box of a segment (its *extent box*, paper §II.B).
+    pub fn of_segment(s: &Segment) -> Self {
+        Aabb::new(s.a, s.b)
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows the box to contain another box.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Enlarges the box by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: Point2::new(self.min.x - margin, self.min.y - margin),
+            max: Point2::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// `true` when `p` lies in the closed box.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` when the closed boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Cohen–Sutherland outcode of `p` with respect to this box.
+    #[inline]
+    fn outcode(&self, p: Point2) -> u8 {
+        let mut code = outcode::INSIDE;
+        if p.x < self.min.x {
+            code |= outcode::LEFT;
+        } else if p.x > self.max.x {
+            code |= outcode::RIGHT;
+        }
+        if p.y < self.min.y {
+            code |= outcode::BOTTOM;
+        } else if p.y > self.max.y {
+            code |= outcode::TOP;
+        }
+        code
+    }
+
+    /// Cohen–Sutherland test: does the segment intersect the box?
+    ///
+    /// This is the *pruning* variant used by the paper — it answers the
+    /// yes/no question without constructing the clipped segment unless
+    /// needed. Trivially-accept and trivially-reject cases exit after the
+    /// outcode comparison.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        self.clip_segment(s).is_some()
+    }
+
+    /// Cohen–Sutherland clipping: the part of `s` inside the box, or `None`
+    /// when the segment misses the box entirely.
+    pub fn clip_segment(&self, s: &Segment) -> Option<Segment> {
+        let mut a = s.a;
+        let mut b = s.b;
+        let mut code_a = self.outcode(a);
+        let mut code_b = self.outcode(b);
+
+        // Each iteration moves one outside endpoint onto a box edge; at
+        // most four iterations are possible before accept/reject.
+        loop {
+            if code_a | code_b == outcode::INSIDE {
+                return Some(Segment::new(a, b)); // trivially accept
+            }
+            if code_a & code_b != 0 {
+                return None; // trivially reject: both in one outside half-plane
+            }
+            let code_out = if code_a != outcode::INSIDE { code_a } else { code_b };
+            let p = if code_out & outcode::TOP != 0 {
+                Point2::new(
+                    a.x + (b.x - a.x) * (self.max.y - a.y) / (b.y - a.y),
+                    self.max.y,
+                )
+            } else if code_out & outcode::BOTTOM != 0 {
+                Point2::new(
+                    a.x + (b.x - a.x) * (self.min.y - a.y) / (b.y - a.y),
+                    self.min.y,
+                )
+            } else if code_out & outcode::RIGHT != 0 {
+                Point2::new(
+                    self.max.x,
+                    a.y + (b.y - a.y) * (self.max.x - a.x) / (b.x - a.x),
+                )
+            } else {
+                Point2::new(
+                    self.min.x,
+                    a.y + (b.y - a.y) * (self.min.x - a.x) / (b.x - a.x),
+                )
+            };
+            if !p.is_finite() {
+                // Degenerate (zero-length direction against a slab it never
+                // reaches) — cannot intersect.
+                return None;
+            }
+            if code_out == code_a {
+                a = p;
+                code_a = self.outcode(a);
+            } else {
+                b = p;
+                code_b = self.outcode(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn construction_orders_corners() {
+        let b = Aabb::new(Point2::new(2.0, -1.0), Point2::new(-2.0, 1.0));
+        assert_eq!(b.min, Point2::new(-2.0, -1.0));
+        assert_eq!(b.max, Point2::new(2.0, 1.0));
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.center(), Point2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn from_points_and_expand() {
+        assert!(Aabb::from_points(&[]).is_none());
+        let pts = [
+            Point2::new(0.0, 5.0),
+            Point2::new(-3.0, 1.0),
+            Point2::new(2.0, 2.0),
+        ];
+        let b = Aabb::from_points(&pts).unwrap();
+        assert_eq!(b.min, Point2::new(-3.0, 1.0));
+        assert_eq!(b.max, Point2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn box_box_intersection() {
+        let a = unit_box();
+        let b = Aabb::new(Point2::new(0.5, 0.5), Point2::new(2.0, 2.0));
+        let c = Aabb::new(Point2::new(1.5, 1.5), Point2::new(2.0, 2.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Edge-touching boxes intersect (closed boxes).
+        let d = Aabb::new(Point2::new(1.0, 0.0), Point2::new(2.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn clip_trivial_accept() {
+        let b = unit_box();
+        let s = Segment::new(Point2::new(0.2, 0.2), Point2::new(0.8, 0.8));
+        assert_eq!(b.clip_segment(&s), Some(s));
+    }
+
+    #[test]
+    fn clip_trivial_reject() {
+        let b = unit_box();
+        let s = Segment::new(Point2::new(2.0, 2.0), Point2::new(3.0, 5.0));
+        assert_eq!(b.clip_segment(&s), None);
+        assert!(!b.intersects_segment(&s));
+    }
+
+    #[test]
+    fn clip_crossing_segment() {
+        let b = unit_box();
+        let s = Segment::new(Point2::new(-1.0, 0.5), Point2::new(2.0, 0.5));
+        let clipped = b.clip_segment(&s).unwrap();
+        assert!((clipped.a.x - 0.0).abs() < 1e-15);
+        assert!((clipped.b.x - 1.0).abs() < 1e-15);
+        assert_eq!(clipped.a.y, 0.5);
+    }
+
+    #[test]
+    fn clip_diagonal_corner_cut() {
+        let b = unit_box();
+        // Cuts the lower-left corner region.
+        let s = Segment::new(Point2::new(-0.5, 0.5), Point2::new(0.5, -0.5));
+        let clipped = b.clip_segment(&s).unwrap();
+        // Clipped segment must lie within the box.
+        assert!(b.contains(clipped.a));
+        assert!(b.contains(clipped.b));
+    }
+
+    #[test]
+    fn segment_missing_corner_is_rejected() {
+        let b = unit_box();
+        // Passes near, but misses, the upper-right corner: both endpoints
+        // outside, outcodes differ, but no part is inside.
+        let s = Segment::new(Point2::new(0.9, 2.0), Point2::new(2.0, 0.9));
+        assert!(!b.intersects_segment(&s));
+    }
+
+    #[test]
+    fn vertical_and_horizontal_segments() {
+        let b = unit_box();
+        let v = Segment::new(Point2::new(0.5, -1.0), Point2::new(0.5, 2.0));
+        let h = Segment::new(Point2::new(-1.0, 0.5), Point2::new(2.0, 0.5));
+        assert!(b.intersects_segment(&v));
+        assert!(b.intersects_segment(&h));
+        let v_out = Segment::new(Point2::new(1.5, -1.0), Point2::new(1.5, 2.0));
+        assert!(!b.intersects_segment(&v_out));
+    }
+
+    #[test]
+    fn degenerate_point_segment() {
+        let b = unit_box();
+        let inside = Segment::new(Point2::new(0.5, 0.5), Point2::new(0.5, 0.5));
+        let outside = Segment::new(Point2::new(5.0, 5.0), Point2::new(5.0, 5.0));
+        assert!(b.intersects_segment(&inside));
+        assert!(!b.intersects_segment(&outside));
+    }
+
+    #[test]
+    fn inflate_and_union() {
+        let b = unit_box().inflated(1.0);
+        assert_eq!(b.min, Point2::new(-1.0, -1.0));
+        assert_eq!(b.max, Point2::new(2.0, 2.0));
+        let u = unit_box().union(&Aabb::new(Point2::new(5.0, 5.0), Point2::new(6.0, 6.0)));
+        assert_eq!(u.max, Point2::new(6.0, 6.0));
+        assert_eq!(u.min, Point2::new(0.0, 0.0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Alternating digital tree (ADT) for geometric intersection searching.
+//!
+//! Following Bonet & Peraire (1991) and the paper's §II.B: a 2-D segment's
+//! *extent box* `(xmin, ymin, xmax, ymax)` is projected to a point in 4-D
+//! space. Two extent boxes intersect iff the 4-D point of one lies inside a
+//! 4-D hyperbox derived from the other, so "which of these n segments might
+//! intersect mine" becomes a hyperbox range search, answered in `O(log n)`
+//! expected time per query.
+//!
+//! The tree is *digital*: the splitting coordinate alternates with depth
+//! (`depth mod 4`) and the splitting plane is the midpoint of the node's
+//! inherited region, not a data-dependent median — so no rebalancing is
+//! needed and insertion is cheap.
+
+use crate::aabb::Aabb;
+use crate::segment::Segment;
+
+/// A point in the 4-D extent space.
+pub type Point4 = [f64; 4];
+
+const DIMS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Point4,
+    /// Caller-supplied identifier (e.g. ray index).
+    id: usize,
+    children: [Option<u32>; 2],
+}
+
+/// An alternating digital tree over 4-D points.
+#[derive(Debug, Clone)]
+pub struct Adt {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    /// Global region in which all keys must lie; fixed at construction.
+    lo: Point4,
+    hi: Point4,
+}
+
+impl Adt {
+    /// Creates an empty tree whose keys will all lie inside the 4-D region
+    /// `[lo, hi]`. For segment extent boxes, use
+    /// [`Adt::for_domain`] which derives the region from a 2-D bounding box.
+    pub fn new(lo: Point4, hi: Point4) -> Self {
+        Adt {
+            nodes: Vec::new(),
+            root: None,
+            lo,
+            hi,
+        }
+    }
+
+    /// Tree for segment extent boxes drawn from the 2-D domain `domain`.
+    pub fn for_domain(domain: &Aabb) -> Self {
+        let lo = [domain.min.x, domain.min.y, domain.min.x, domain.min.y];
+        let hi = [domain.max.x, domain.max.y, domain.max.x, domain.max.y];
+        Adt::new(lo, hi)
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts a 4-D key with an associated id.
+    ///
+    /// Keys outside the construction region are clamped for the purpose of
+    /// choosing a branch (queries stay correct because the node key itself
+    /// is compared exactly; only the *region* bisection uses the clamp).
+    pub fn insert(&mut self, key: Point4, id: usize) {
+        let new_index = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            key,
+            id,
+            children: [None, None],
+        });
+        let Some(mut cur) = self.root else {
+            self.root = Some(new_index);
+            return;
+        };
+        let (mut lo, mut hi) = (self.lo, self.hi);
+        let mut depth = 0usize;
+        loop {
+            let dim = depth % DIMS;
+            let mid = 0.5 * (lo[dim] + hi[dim]);
+            let k = key[dim].clamp(self.lo[dim], self.hi[dim]);
+            let side = usize::from(k >= mid);
+            if side == 0 {
+                hi[dim] = mid;
+            } else {
+                lo[dim] = mid;
+            }
+            match self.nodes[cur as usize].children[side] {
+                Some(next) => cur = next,
+                None => {
+                    self.nodes[cur as usize].children[side] = Some(new_index);
+                    return;
+                }
+            }
+            depth += 1;
+        }
+    }
+
+    /// Inserts the extent box of a segment.
+    pub fn insert_segment(&mut self, seg: &Segment, id: usize) {
+        self.insert(extent_key(seg), id);
+    }
+
+    /// Collects the ids of all stored keys lying inside the closed 4-D
+    /// hyperbox `[qlo, qhi]`.
+    pub fn query(&self, qlo: Point4, qhi: Point4, out: &mut Vec<usize>) {
+        let Some(root) = self.root else { return };
+        // Explicit stack of (node, depth, region) to avoid recursion depth
+        // limits on adversarial insertion orders.
+        let mut stack = vec![(root, 0usize, self.lo, self.hi)];
+        while let Some((idx, depth, lo, hi)) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if key_in_box(&node.key, &qlo, &qhi) {
+                out.push(node.id);
+            }
+            let dim = depth % DIMS;
+            let mid = 0.5 * (lo[dim] + hi[dim]);
+            // Left child region: [lo, hi] with hi[dim] = mid.
+            if let Some(l) = node.children[0] {
+                if qlo[dim] <= mid {
+                    let mut h = hi;
+                    h[dim] = mid;
+                    stack.push((l, depth + 1, lo, h));
+                }
+            }
+            // Right child region: [lo, hi] with lo[dim] = mid.
+            if let Some(r) = node.children[1] {
+                if qhi[dim] >= mid {
+                    let mut l = lo;
+                    l[dim] = mid;
+                    stack.push((r, depth + 1, l, hi));
+                }
+            }
+        }
+    }
+
+    /// Ids of stored segments whose extent boxes intersect the extent box
+    /// of `seg`. This is the pruning query from §II.B: a superset of the
+    /// true intersections, to be confirmed with exact segment tests.
+    pub fn query_segment(&self, seg: &Segment, out: &mut Vec<usize>) {
+        let b = Aabb::of_segment(seg);
+        // Stored (xmin, ymin, xmax, ymax) intersects query box iff:
+        //   xmin <= q.max.x, ymin <= q.max.y, xmax >= q.min.x, ymax >= q.min.y
+        let qlo = [f64::NEG_INFINITY, f64::NEG_INFINITY, b.min.x, b.min.y];
+        let qhi = [b.max.x, b.max.y, f64::INFINITY, f64::INFINITY];
+        self.query(qlo, qhi, out);
+    }
+}
+
+/// Extent-box key of a segment: `(xmin, ymin, xmax, ymax)` as a 4-D point.
+#[inline]
+pub fn extent_key(seg: &Segment) -> Point4 {
+    let b = Aabb::of_segment(seg);
+    [b.min.x, b.min.y, b.max.x, b.max.y]
+}
+
+#[inline]
+fn key_in_box(key: &Point4, lo: &Point4, hi: &Point4) -> bool {
+    (0..DIMS).all(|d| key[d] >= lo[d] && key[d] <= hi[d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point2::new(ax, ay), Point2::new(bx, by))
+    }
+
+    fn domain() -> Aabb {
+        Aabb::new(Point2::new(-10.0, -10.0), Point2::new(10.0, 10.0))
+    }
+
+    /// Brute-force reference: ids of segments whose AABB intersects `q`'s.
+    fn brute(segs: &[Segment], q: &Segment) -> Vec<usize> {
+        let qb = Aabb::of_segment(q);
+        let mut ids: Vec<usize> = segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| Aabb::of_segment(s).intersects(&qb))
+            .map(|(i, _)| i)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let t = Adt::for_domain(&domain());
+        let mut out = vec![];
+        t.query_segment(&seg(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_segment_hit_and_miss() {
+        let mut t = Adt::for_domain(&domain());
+        t.insert_segment(&seg(0.0, 0.0, 1.0, 1.0), 7);
+        let mut out = vec![];
+        t.query_segment(&seg(0.5, -1.0, 0.5, 2.0), &mut out);
+        assert_eq!(out, vec![7]);
+        out.clear();
+        t.query_segment(&seg(5.0, 5.0, 6.0, 6.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn touching_extent_boxes_are_reported() {
+        let mut t = Adt::for_domain(&domain());
+        t.insert_segment(&seg(0.0, 0.0, 1.0, 0.0), 0);
+        let mut out = vec![];
+        // Extent boxes share only the point (1, 0).
+        t.query_segment(&seg(1.0, 0.0, 2.0, 0.0), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_segments() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut segs = Vec::new();
+        for _ in 0..300 {
+            let ax = rng.gen_range(-9.0..9.0);
+            let ay = rng.gen_range(-9.0..9.0);
+            let bx = ax + rng.gen_range(-1.0..1.0);
+            let by = ay + rng.gen_range(-1.0..1.0);
+            segs.push(seg(ax, ay, bx, by));
+        }
+        let mut t = Adt::for_domain(&domain());
+        for (i, s) in segs.iter().enumerate() {
+            t.insert_segment(s, i);
+        }
+        for qi in (0..segs.len()).step_by(17) {
+            let mut got = vec![];
+            t.query_segment(&segs[qi], &mut got);
+            got.sort_unstable();
+            assert_eq!(got, brute(&segs, &segs[qi]), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn keys_outside_domain_are_still_found() {
+        // The domain only guides region bisection; out-of-range keys must
+        // still be retrievable.
+        let mut t = Adt::for_domain(&domain());
+        t.insert_segment(&seg(50.0, 50.0, 51.0, 51.0), 3);
+        let mut out = vec![];
+        t.query_segment(&seg(49.0, 49.0, 52.0, 52.0), &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn many_identical_keys() {
+        let mut t = Adt::for_domain(&domain());
+        for i in 0..20 {
+            t.insert_segment(&seg(1.0, 1.0, 2.0, 2.0), i);
+        }
+        let mut out = vec![];
+        t.query_segment(&seg(1.5, 1.5, 1.6, 1.6), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_prunes_subtrees() {
+        // Structural sanity: after inserting well-separated clusters, a
+        // query in one cluster returns exactly that cluster.
+        let mut t = Adt::for_domain(&domain());
+        for i in 0..10 {
+            let x = -9.0 + 0.05 * i as f64;
+            t.insert_segment(&seg(x, -9.0, x + 0.02, -8.9), i);
+        }
+        for i in 0..10 {
+            let x = 8.0 + 0.05 * i as f64;
+            t.insert_segment(&seg(x, 8.0, x + 0.02, 8.1), 100 + i);
+        }
+        let mut out = vec![];
+        t.query_segment(&seg(-9.5, -9.5, -8.0, -8.5), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,317 @@
+//! Robust adaptive geometric predicates.
+//!
+//! `orient2d` and `incircle` are the two predicates every Delaunay algorithm
+//! stands on. Both are evaluated with a cheap floating-point filter first
+//! (Shewchuk's stage-A error bounds); when the filter cannot certify the
+//! sign, the determinant is re-evaluated **exactly** with floating-point
+//! expansions from [`crate::expansion`]. The result is therefore always the
+//! sign of the exact real-arithmetic determinant.
+
+use crate::expansion::{two_diff, Expansion};
+use crate::point::Point2;
+
+/// Machine epsilon for `f64` halved, as used in Shewchuk's bounds
+/// (his `epsilon` is the rounding unit 2^-53).
+const EPS: f64 = f64::EPSILON / 2.0;
+
+/// Stage-A error bound for `orient2d`: `(3 + 16*eps) * eps`.
+const CCW_ERR_BOUND_A: f64 = (3.0 + 16.0 * EPS) * EPS;
+
+/// Stage-A error bound for `incircle`: `(10 + 96*eps) * eps`.
+const ICC_ERR_BOUND_A: f64 = (10.0 + 96.0 * EPS) * EPS;
+
+/// Orientation of the triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` lies to the left of the directed line `a -> b` (counter-clockwise).
+    Ccw,
+    /// `c` lies to the right of the directed line `a -> b` (clockwise).
+    Cw,
+    /// The three points are exactly collinear.
+    Collinear,
+}
+
+/// Returns a positive value if `a, b, c` are in counter-clockwise order,
+/// negative if clockwise, and exactly `0.0` if collinear.
+///
+/// The magnitude (when nonzero) is an approximation of twice the signed
+/// triangle area; only the **sign** is guaranteed exact.
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = CCW_ERR_BOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+    orient2d_exact(a, b, c)
+}
+
+/// Fully exact `orient2d` via expansion arithmetic.
+///
+/// The determinant expands to six exact products whose `c`-only terms
+/// cancel: `ax*by - ax*cy - cx*by - ay*bx + ay*cx + cy*bx`.
+fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> f64 {
+    let t1 = Expansion::product(a.x, b.y);
+    let t2 = Expansion::product(a.x, c.y).negate();
+    let t3 = Expansion::product(c.x, b.y).negate();
+    let t4 = Expansion::product(a.y, b.x).negate();
+    let t5 = Expansion::product(a.y, c.x);
+    let t6 = Expansion::product(c.y, b.x);
+    let det = t1.add(&t2).add(&t3).add(&t4).add(&t5).add(&t6);
+    let s = det.sign();
+    if s == 0.0 {
+        0.0
+    } else {
+        // Preserve an order-of-magnitude estimate with the exact sign.
+        let approx = det.approx();
+        if approx != 0.0 && approx.signum() == s {
+            approx
+        } else {
+            s * f64::MIN_POSITIVE
+        }
+    }
+}
+
+/// Classified orientation of `(a, b, c)`.
+#[inline]
+pub fn orientation(a: Point2, b: Point2, c: Point2) -> Orientation {
+    let d = orient2d(a, b, c);
+    if d > 0.0 {
+        Orientation::Ccw
+    } else if d < 0.0 {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Returns a positive value if `d` lies strictly inside the circle through
+/// `a, b, c` (which must be in counter-clockwise order), negative if
+/// strictly outside, and exactly `0.0` if the four points are concyclic.
+///
+/// If `a, b, c` are clockwise the sign is flipped, matching the standard
+/// determinant convention.
+pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = ICC_ERR_BOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det;
+    }
+    incircle_exact(a, b, c, d)
+}
+
+/// Fully exact `incircle` via expansion arithmetic.
+///
+/// The differences `a - d` etc. are captured exactly with `two_diff` (each
+/// becomes a <=2-component expansion); all subsequent products and sums use
+/// exact expansion arithmetic, so the returned sign is exact.
+fn incircle_exact(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
+    let exp_diff = |p: f64, q: f64| {
+        let (hi, lo) = two_diff(p, q);
+        let mut e = Expansion::from_f64(lo);
+        e = e.add(&Expansion::from_f64(hi));
+        e
+    };
+    let adx = exp_diff(a.x, d.x);
+    let ady = exp_diff(a.y, d.y);
+    let bdx = exp_diff(b.x, d.x);
+    let bdy = exp_diff(b.y, d.y);
+    let cdx = exp_diff(c.x, d.x);
+    let cdy = exp_diff(c.y, d.y);
+
+    let alift = adx.mul(&adx).add(&ady.mul(&ady));
+    let blift = bdx.mul(&bdx).add(&bdy.mul(&bdy));
+    let clift = cdx.mul(&cdx).add(&cdy.mul(&cdy));
+
+    let bc = bdx.mul(&cdy).sub(&cdx.mul(&bdy));
+    let ca = cdx.mul(&ady).sub(&adx.mul(&cdy));
+    let ab = adx.mul(&bdy).sub(&bdx.mul(&ady));
+
+    let det = alift.mul(&bc).add(&blift.mul(&ca)).add(&clift.mul(&ab));
+    let s = det.sign();
+    if s == 0.0 {
+        0.0
+    } else {
+        let approx = det.approx();
+        if approx != 0.0 && approx.signum() == s {
+            approx
+        } else {
+            s * f64::MIN_POSITIVE
+        }
+    }
+}
+
+/// `true` when `d` is strictly inside the circumcircle of the CCW triangle
+/// `(a, b, c)`.
+#[inline]
+pub fn in_circle(a: Point2, b: Point2, c: Point2, d: Point2) -> bool {
+    incircle(a, b, c, d) > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orient_basic() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        assert!(orient2d(a, b, c) > 0.0);
+        assert!(orient2d(a, c, b) < 0.0);
+        assert_eq!(orientation(a, b, c), Orientation::Ccw);
+        assert_eq!(orientation(a, c, b), Orientation::Cw);
+    }
+
+    #[test]
+    fn orient_collinear_exact() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 1.0);
+        let c = Point2::new(2.0, 2.0);
+        assert_eq!(orient2d(a, b, c), 0.0);
+        assert_eq!(orientation(a, b, c), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orient_nearly_collinear_is_decided_exactly() {
+        // Classic adversarial case: points on a line y = x with a tiny
+        // perturbation below the rounding noise of the naive formula.
+        let a = Point2::new(0.5, 0.5);
+        let b = Point2::new(12.0, 12.0);
+        // c is *exactly* on the line a-b.
+        let c = Point2::new(24.0, 24.0);
+        assert_eq!(orient2d(a, b, c), 0.0);
+        // Nudge c by one ulp in y: orientation must become definite and
+        // consistent with the direction of the nudge.
+        let c_up = Point2::new(24.0, f64::from_bits(24.0f64.to_bits() + 1));
+        let c_dn = Point2::new(24.0, f64::from_bits(24.0f64.to_bits() - 1));
+        assert!(orient2d(a, b, c_up) > 0.0);
+        assert!(orient2d(a, b, c_dn) < 0.0);
+    }
+
+    #[test]
+    fn orient_antisymmetry_under_swap() {
+        let a = Point2::new(1e-12, 1e-12);
+        let b = Point2::new(1.0, 1.0 + 1e-15);
+        let c = Point2::new(2.0, 2.0);
+        let d1 = orient2d(a, b, c);
+        let d2 = orient2d(b, a, c);
+        assert_eq!(d1 > 0.0, d2 < 0.0);
+    }
+
+    #[test]
+    fn incircle_basic() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        // Inside the circumcircle (center (0.5, 0.5), r = sqrt(0.5)).
+        assert!(incircle(a, b, c, Point2::new(0.5, 0.5)) > 0.0);
+        // Far outside.
+        assert!(incircle(a, b, c, Point2::new(5.0, 5.0)) < 0.0);
+        // Exactly on the circle: (1, 1) is concyclic with the unit right
+        // triangle.
+        assert_eq!(incircle(a, b, c, Point2::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn incircle_orientation_flip() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        let inside = Point2::new(0.4, 0.4);
+        let pos = incircle(a, b, c, inside);
+        let neg = incircle(a, c, b, inside);
+        assert!(pos > 0.0);
+        assert!(neg < 0.0);
+    }
+
+    #[test]
+    fn incircle_cocircular_grid_points() {
+        // Four corners of a square are exactly cocircular.
+        let a = Point2::new(-1.0, -1.0);
+        let b = Point2::new(1.0, -1.0);
+        let c = Point2::new(1.0, 1.0);
+        let d = Point2::new(-1.0, 1.0);
+        assert_eq!(incircle(a, b, c, d), 0.0);
+    }
+
+    #[test]
+    fn incircle_near_degenerate_decided_exactly() {
+        // Square corners with the query point nudged by one ulp: the sign
+        // must follow the nudge.
+        let a = Point2::new(-1.0, -1.0);
+        let b = Point2::new(1.0, -1.0);
+        let c = Point2::new(1.0, 1.0);
+        let inward = Point2::new(-1.0 + f64::EPSILON, 1.0 - f64::EPSILON);
+        let outward = Point2::new(-1.0 - f64::EPSILON, 1.0 + f64::EPSILON);
+        assert!(incircle(a, b, c, inward) > 0.0);
+        assert!(incircle(a, b, c, outward) < 0.0);
+    }
+
+    #[test]
+    fn orient_translation_invariance_of_sign() {
+        // The adaptive predicate must give the same sign after a large
+        // translation that destroys naive precision.
+        let t = 1e6;
+        let a = Point2::new(0.0 + t, 0.0 + t);
+        let b = Point2::new(1.0 + t, 1.0 + t);
+        let c = Point2::new(2.0 + t, 2.0 + t);
+        assert_eq!(orient2d(a, b, c), 0.0);
+    }
+
+    #[test]
+    fn incircle_on_perturbed_circle_many_angles() {
+        // Points near the unit circle: strictly-inside and strictly-outside
+        // queries must be classified correctly at 1e-9 perturbations.
+        let a = Point2::new(1.0, 0.0);
+        let b = Point2::new(0.0, 1.0);
+        let c = Point2::new(-1.0, 0.0);
+        for k in 0..32 {
+            let theta = 0.1 + (k as f64) * 0.19;
+            let (s, co) = theta.sin_cos();
+            let inside = Point2::new(co * (1.0 - 1e-9), s * (1.0 - 1e-9));
+            let outside = Point2::new(co * (1.0 + 1e-9), s * (1.0 + 1e-9));
+            assert!(incircle(a, b, c, inside) > 0.0, "k={k}");
+            assert!(incircle(a, b, c, outside) < 0.0, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Rank abstraction and point-to-point messaging.
+//!
+//! `adm-mpirt` models the paper's MPI layer on a single machine: each
+//! *rank* is an OS thread with private data, and all communication goes
+//! through explicit messages (or the RMA window in [`crate::window`]) —
+//! no shared mutable state leaks between ranks, preserving the
+//! distributed-memory programming model of the original implementation
+//! (MPICH v3.0, paper §III).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A typed message envelope.
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Shared communication fabric.
+pub struct Fabric {
+    senders: Vec<Sender<Envelope>>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+/// Per-rank communicator handle (the `MPI_COMM_WORLD` view of one rank).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` call.
+    /// A `Mutex` (uncontended: only this rank touches it) keeps `Comm`
+    /// `Sync`, so the mesher and communicator threads can share one handle.
+    pending: std::sync::Mutex<VecDeque<Envelope>>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+/// Creates a fabric and the per-rank communicators for `size` ranks.
+pub fn fabric(size: usize) -> Vec<Comm> {
+    assert!(size >= 1);
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let fabric = Fabric {
+        senders,
+        barrier: Arc::new(std::sync::Barrier::new(size)),
+    };
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            size,
+            senders: fabric.senders.clone(),
+            inbox,
+            pending: std::sync::Mutex::new(VecDeque::new()),
+            barrier: fabric.barrier.clone(),
+        })
+        .collect()
+}
+
+/// Source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Any source (`MPI_ANY_SOURCE`).
+    Any,
+    /// A specific rank.
+    Rank(usize),
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `value` to `dest` with `tag` (non-blocking, buffered).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        self.senders[dest]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Blocking receive matching `(src, tag)` and payload type `T`.
+    /// Non-matching messages are buffered for later receives (MPI matching
+    /// semantics). Panics if a matching envelope has the wrong type.
+    pub fn recv<T: Send + 'static>(&self, src: Src, tag: u64) -> (usize, T) {
+        // Scan the pending buffer first.
+        {
+            let mut pending = self.pending.lock().unwrap();
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.tag == tag && src_matches(src, e.src))
+            {
+                let e = pending.remove(pos).unwrap();
+                return unwrap_payload(e);
+            }
+        }
+        loop {
+            let e = self.inbox.recv().expect("fabric closed");
+            if e.tag == tag && src_matches(src, e.src) {
+                return unwrap_payload(e);
+            }
+            self.pending.lock().unwrap().push_back(e);
+        }
+    }
+
+    /// Non-blocking receive; returns `None` when no matching message is
+    /// available right now.
+    pub fn try_recv<T: Send + 'static>(&self, src: Src, tag: u64) -> Option<(usize, T)> {
+        {
+            let mut pending = self.pending.lock().unwrap();
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.tag == tag && src_matches(src, e.src))
+            {
+                let e = pending.remove(pos).unwrap();
+                return Some(unwrap_payload(e));
+            }
+        }
+        while let Ok(e) = self.inbox.try_recv() {
+            if e.tag == tag && src_matches(src, e.src) {
+                return Some(unwrap_payload(e));
+            }
+            self.pending.lock().unwrap().push_back(e);
+        }
+        None
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gathers one value per rank at `root` (returns `Some(values)` only
+    /// at the root, ordered by rank).
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        const GATHER_TAG: u64 = u64::MAX - 1;
+        if self.rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            slots[root] = Some(value);
+            for _ in 0..self.size - 1 {
+                let (src, v) = self.recv::<T>(Src::Any, GATHER_TAG);
+                slots[src] = Some(v);
+            }
+            Some(slots.into_iter().map(|s| s.expect("gather slot")).collect())
+        } else {
+            self.send(root, GATHER_TAG, value);
+            None
+        }
+    }
+
+    /// Broadcasts `value` from `root`; every rank returns the value.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        const BCAST_TAG: u64 = u64::MAX - 2;
+        if self.rank == root {
+            let v = value.expect("root must provide the broadcast value");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, BCAST_TAG, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv::<T>(Src::Rank(root), BCAST_TAG).1
+        }
+    }
+}
+
+#[inline]
+fn src_matches(sel: Src, actual: usize) -> bool {
+    match sel {
+        Src::Any => true,
+        Src::Rank(r) => r == actual,
+    }
+}
+
+fn unwrap_payload<T: 'static>(e: Envelope) -> (usize, T) {
+    let src = e.src;
+    match e.payload.downcast::<T>() {
+        Ok(v) => (src, *v),
+        Err(_) => panic!(
+            "type mismatch for message from rank {src} tag: expected {}",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+/// Spawns `size` ranks running `body` and returns their results in rank
+/// order. This is the `mpiexec` of the runtime.
+pub fn run<R, F>(size: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Comm) -> R + Sync,
+{
+    let comms = fabric(size);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let body = &body;
+                scope.spawn(move || body(comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, comm.rank() as u64);
+            let (src, v) = comm.recv::<u64>(Src::Rank(prev), 7);
+            (src, v)
+        });
+        for (rank, (src, v)) in results.iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            assert_eq!(*src, prev);
+            assert_eq!(*v as usize, prev);
+        }
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, "first".to_string());
+                comm.send(1, 2, "second".to_string());
+                String::new()
+            } else {
+                // Receive tag 2 first: tag-1 message must be buffered.
+                let (_, b) = comm.recv::<String>(Src::Rank(0), 2);
+                let (_, a) = comm.recv::<String>(Src::Rank(0), 1);
+                format!("{b}/{a}")
+            }
+        });
+        assert_eq!(results[1], "second/first");
+    }
+
+    #[test]
+    fn any_source_receive() {
+        let results = run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    let (src, v) = comm.recv::<usize>(Src::Any, 5);
+                    got.push((src, v));
+                }
+                got.sort_unstable();
+                got
+            } else {
+                comm.send(0, 5, comm.rank() * 10);
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier(); // rank 1 polls before anything is sent
+                comm.send(1, 9, 42u32);
+                comm.barrier();
+                0
+            } else {
+                let early = comm.try_recv::<u32>(Src::Any, 9);
+                assert!(early.is_none());
+                comm.barrier();
+                comm.barrier();
+                // Message is now in flight or delivered.
+                let (_, v) = comm.recv::<u32>(Src::Any, 9);
+                v
+            }
+        });
+        assert_eq!(results[1], 42);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run(4, |comm| comm.gather(0, comm.rank() as u64 * 100));
+        assert_eq!(results[0], Some(vec![0, 100, 200, 300]));
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn bcast_distributes_value() {
+        let results = run(4, |comm| {
+            let v = if comm.rank() == 2 {
+                comm.bcast(2, Some("payload".to_string()))
+            } else {
+                comm.bcast::<String>(2, None)
+            };
+            v
+        });
+        assert!(results.iter().all(|v| v == "payload"));
+    }
+
+    #[test]
+    fn typed_payloads_roundtrip() {
+        #[derive(Debug, PartialEq, Clone)]
+        struct Sub {
+            pts: Vec<(f64, f64)>,
+            level: u32,
+        }
+        let results = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(
+                    1,
+                    3,
+                    Sub {
+                        pts: vec![(1.0, 2.0), (3.0, 4.0)],
+                        level: 7,
+                    },
+                );
+                None
+            } else {
+                Some(comm.recv::<Sub>(Src::Rank(0), 3).1)
+            }
+        });
+        let got = results[1].clone().unwrap();
+        assert_eq!(got.level, 7);
+        assert_eq!(got.pts.len(), 2);
+    }
+}

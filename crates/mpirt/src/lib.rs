@@ -1,0 +1,17 @@
+//! # adm-mpirt — distributed-memory runtime model
+//!
+//! A faithful single-machine model of the paper's MPI + pthreads layer
+//! (§III): ranks are OS threads with private memory, point-to-point typed
+//! messages with tag/source matching, gather/broadcast/barrier
+//! collectives, a one-sided **RMA window** for work-load estimates, and
+//! the two-thread (mesher + communicator) dynamic load balancer with
+//! priority-queue scheduling and threshold-triggered work requests
+//! (§II.F).
+
+pub mod comm;
+pub mod loadbalance;
+pub mod window;
+
+pub use comm::{fabric, run, Comm, Src};
+pub use loadbalance::{run_rank, run_rank_dynamic, BalancerConfig, RankStats, WorkItem, WorkQueue};
+pub use window::Window;

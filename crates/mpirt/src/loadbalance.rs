@@ -1,0 +1,559 @@
+//! Dynamic load balancing (paper §II.F and §III).
+//!
+//! Each rank runs **two threads**: a *mesher* that drains a priority queue
+//! of subdomains (largest estimated cost first — small subdomains are kept
+//! back for aggressive balancing near termination) and a *communicator*
+//! that (a) periodically publishes the rank's remaining work estimate to
+//! the RMA window, (b) requests work from the most-loaded rank when the
+//! local estimate falls below a threshold, and (c) serves incoming work
+//! requests from its own queue. Termination is detected through a global
+//! completed-items counter accumulated on the window.
+
+use crate::comm::{Comm, Src};
+use crate::window::Window;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A transferable unit of meshing work.
+pub trait WorkItem: Send + 'static {
+    /// Estimated processing cost (e.g. expected triangle count).
+    fn cost(&self) -> u64;
+}
+
+/// Priority-queue entry ordered by cost (largest first).
+struct QueueItem<W> {
+    cost: u64,
+    seq: u64,
+    item: W,
+}
+
+impl<W> PartialEq for QueueItem<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl<W> Eq for QueueItem<W> {}
+impl<W> PartialOrd for QueueItem<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for QueueItem<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The shared work queue of one rank. In *dynamic* workloads the queue
+/// carries a created-items counter on the RMA window so distributed
+/// termination detection ("all created items completed") works while
+/// tasks spawn follow-up tasks on any rank.
+pub struct WorkQueue<W> {
+    heap: Mutex<(BinaryHeap<QueueItem<W>>, u64)>,
+    counter: Option<(Window, usize)>,
+}
+
+impl<W: WorkItem> WorkQueue<W> {
+    /// Creates a queue holding `items`.
+    pub fn new(items: Vec<W>) -> Self {
+        Self::build(items, None)
+    }
+
+    /// Creates a queue whose pushes (and these initial items) bump the
+    /// created-items counter at `window[slot]` — required by
+    /// [`run_rank_dynamic`].
+    pub fn with_counter(items: Vec<W>, window: Window, slot: usize) -> Self {
+        Self::build(items, Some((window, slot)))
+    }
+
+    fn build(items: Vec<W>, counter: Option<(Window, usize)>) -> Self {
+        if let Some((w, slot)) = &counter {
+            w.fetch_add(*slot, items.len() as u64);
+        }
+        let mut heap = BinaryHeap::with_capacity(items.len());
+        for (seq, item) in items.into_iter().enumerate() {
+            heap.push(QueueItem {
+                cost: item.cost(),
+                seq: seq as u64,
+                item,
+            });
+        }
+        WorkQueue {
+            heap: Mutex::new((heap, 1 << 32)),
+            counter,
+        }
+    }
+
+    /// Pushes an item (bumping the created counter in dynamic mode).
+    pub fn push(&self, item: W) {
+        if let Some((w, slot)) = &self.counter {
+            w.fetch_add(*slot, 1);
+        }
+        let mut g = self.heap.lock().unwrap();
+        let seq = g.1;
+        g.1 += 1;
+        g.0.push(QueueItem {
+            cost: item.cost(),
+            seq,
+            item,
+        });
+    }
+
+    /// Pushes without counting: for items *transferred* between ranks
+    /// (they were already counted where they were created).
+    fn push_transferred(&self, item: W) {
+        let mut g = self.heap.lock().unwrap();
+        let seq = g.1;
+        g.1 += 1;
+        g.0.push(QueueItem {
+            cost: item.cost(),
+            seq,
+            item,
+        });
+    }
+
+    /// Pops the most expensive item.
+    pub fn pop(&self) -> Option<W> {
+        self.heap.lock().unwrap().0.pop().map(|q| q.item)
+    }
+
+    /// Total remaining cost.
+    pub fn load(&self) -> u64 {
+        self.heap.lock().unwrap().0.iter().map(|q| q.cost).sum()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.lock().unwrap().0.len()
+    }
+
+    /// `true` when no work is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Balancer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancerConfig {
+    /// Request work when the local load estimate falls below this.
+    pub threshold: u64,
+    /// Communicator polling interval.
+    pub poll: Duration,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            threshold: 64,
+            poll: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Per-rank balancing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Items this rank processed.
+    pub processed: usize,
+    /// Work requests sent.
+    pub requests_sent: usize,
+    /// Items received from other ranks.
+    pub items_received: usize,
+    /// Items donated to other ranks.
+    pub items_donated: usize,
+    /// Requests denied by this rank (insufficient work to share).
+    pub denies: usize,
+}
+
+/// Communicator-to-communicator protocol.
+enum Msg<W> {
+    /// Please send me work.
+    Request,
+    /// Here is a work item.
+    Work(W),
+    /// I have nothing to spare.
+    Deny,
+}
+
+const LB_TAG: u64 = 0x4C42; // "LB"
+
+/// Runs the two-thread balanced processing loop on one rank. `process` is
+/// the mesher body; it may push follow-up work into the queue it is given.
+/// `total_window` must have `size + 1` slots: one load estimate per rank
+/// plus the completed-items counter in the last slot. `total_items` is the
+/// global number of items that will ever exist.
+pub fn run_rank<W, F, R>(
+    comm: &Comm,
+    queue: Arc<WorkQueue<W>>,
+    window: Window,
+    total_items: u64,
+    cfg: BalancerConfig,
+    mut process: F,
+) -> (Vec<R>, RankStats)
+where
+    W: WorkItem,
+    F: FnMut(W, &WorkQueue<W>) -> R,
+    R: Send,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let done_slot = size;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let busy = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Mutex::new(RankStats::default()));
+
+    let mut results = Vec::new();
+    std::thread::scope(|scope| {
+        // Communicator thread.
+        let comm_queue = queue.clone();
+        let comm_window = window.clone();
+        let comm_shutdown = shutdown.clone();
+        let comm_busy = busy.clone();
+        let comm_stats = stats.clone();
+        let communicator = scope.spawn(move || {
+            let mut outstanding_request = false;
+            loop {
+                // Publish the current work estimate (MPI_Put).
+                comm_window.put(rank, comm_queue.load());
+
+                // Serve or consume protocol messages.
+                while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
+                    match msg {
+                        Msg::Request => {
+                            // Donate the largest queued item; keep one in
+                            // reserve only when the mesher is idle (its
+                            // in-flight task is the reserve otherwise).
+                            let reserve = if comm_busy.load(Ordering::Acquire) { 1 } else { 2 };
+                            if comm_queue.len() >= reserve {
+                                if let Some(item) = comm_queue.pop() {
+                                    comm.send(src, LB_TAG, Msg::Work(item));
+                                    comm_stats.lock().unwrap().items_donated += 1;
+                                } else {
+                                    comm.send(src, LB_TAG, Msg::<W>::Deny);
+                                    comm_stats.lock().unwrap().denies += 1;
+                                }
+                            } else {
+                                comm.send(src, LB_TAG, Msg::<W>::Deny);
+                                comm_stats.lock().unwrap().denies += 1;
+                            }
+                        }
+                        Msg::Work(item) => {
+                            comm_queue.push_transferred(item);
+                            outstanding_request = false;
+                            comm_stats.lock().unwrap().items_received += 1;
+                        }
+                        Msg::Deny => {
+                            outstanding_request = false;
+                        }
+                    }
+                }
+
+                // Global termination: all items processed.
+                if comm_window.get(done_slot) >= total_items {
+                    comm_shutdown.store(true, Ordering::Release);
+                    return;
+                }
+
+                // Request work before the mesher runs dry (paper: "the
+                // communicator thread requests additional work before the
+                // mesher thread runs out of work").
+                if !outstanding_request && comm_queue.load() < cfg.threshold {
+                    if let Some(victim) = comm_window.argmax_excluding(rank, size) {
+                        comm.send(victim, LB_TAG, Msg::<W>::Request);
+                        outstanding_request = true;
+                        comm_stats.lock().unwrap().requests_sent += 1;
+                    }
+                }
+                std::thread::sleep(cfg.poll);
+            }
+        });
+
+        // Mesher loop (this thread).
+        loop {
+            if let Some(item) = queue.pop() {
+                busy.store(true, Ordering::Release);
+                results.push(process(item, &queue));
+                busy.store(false, Ordering::Release);
+                stats.lock().unwrap().processed += 1;
+                window.fetch_add(done_slot, 1);
+            } else {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        communicator.join().expect("communicator panicked");
+    });
+    // Keep this rank's endpoint alive until every communicator has exited:
+    // a peer that observed the completion counter a poll-interval later
+    // than us may still have a work request in flight to this rank.
+    comm.barrier();
+    let s = *stats.lock().unwrap();
+    (results, s)
+}
+
+/// Dynamic-workload variant of [`run_rank`]: the total number of items is
+/// unknown upfront because processing an item may push follow-up items on
+/// any rank (the paper's recursive decomposition/decoupling, where
+/// "subdomains are repeatedly decoupled and sent to other processes").
+///
+/// `window` must have `size + 2` slots: per-rank load estimates, then the
+/// completed-items counter at `size`, then the created-items counter at
+/// `size + 1`. The queue must be built with [`WorkQueue::with_counter`]
+/// pointing at `size + 1`. Termination: `completed == created`, checked
+/// only after the initial barrier so every rank's seed items are counted.
+pub fn run_rank_dynamic<W, F, R>(
+    comm: &Comm,
+    queue: Arc<WorkQueue<W>>,
+    window: Window,
+    cfg: BalancerConfig,
+    mut process: F,
+) -> (Vec<R>, RankStats)
+where
+    W: WorkItem,
+    F: FnMut(W, &WorkQueue<W>) -> R,
+    R: Send,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let done_slot = size;
+    let created_slot = size + 1;
+    assert!(window.len() >= size + 2, "dynamic mode needs size+2 slots");
+    // All seed items must be registered before anyone can observe
+    // completed == created.
+    comm.barrier();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let busy = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Mutex::new(RankStats::default()));
+
+    let mut results = Vec::new();
+    std::thread::scope(|scope| {
+        let comm_queue = queue.clone();
+        let comm_window = window.clone();
+        let comm_shutdown = shutdown.clone();
+        let comm_busy = busy.clone();
+        let comm_stats = stats.clone();
+        let communicator = scope.spawn(move || {
+            let mut outstanding_request = false;
+            loop {
+                comm_window.put(rank, comm_queue.load());
+                while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
+                    match msg {
+                        Msg::Request => {
+                            let reserve = if comm_busy.load(Ordering::Acquire) { 1 } else { 2 };
+                            if comm_queue.len() >= reserve {
+                                if let Some(item) = comm_queue.pop() {
+                                    comm.send(src, LB_TAG, Msg::Work(item));
+                                    comm_stats.lock().unwrap().items_donated += 1;
+                                } else {
+                                    comm.send(src, LB_TAG, Msg::<W>::Deny);
+                                    comm_stats.lock().unwrap().denies += 1;
+                                }
+                            } else {
+                                comm.send(src, LB_TAG, Msg::<W>::Deny);
+                                comm_stats.lock().unwrap().denies += 1;
+                            }
+                        }
+                        Msg::Work(item) => {
+                            comm_queue.push_transferred(item);
+                            outstanding_request = false;
+                            comm_stats.lock().unwrap().items_received += 1;
+                        }
+                        Msg::Deny => {
+                            outstanding_request = false;
+                        }
+                    }
+                }
+                // Termination: everything ever created has completed.
+                // Read `created` first: a stale-low `created` with a
+                // fresh-high `done` could otherwise fake completion.
+                let created = comm_window.get(created_slot);
+                let done = comm_window.get(done_slot);
+                if created > 0 && done >= created {
+                    comm_shutdown.store(true, Ordering::Release);
+                    return;
+                }
+                if !outstanding_request && comm_queue.load() < cfg.threshold {
+                    if let Some(victim) = comm_window.argmax_excluding(rank, size) {
+                        comm.send(victim, LB_TAG, Msg::<W>::Request);
+                        outstanding_request = true;
+                        comm_stats.lock().unwrap().requests_sent += 1;
+                    }
+                }
+                std::thread::sleep(cfg.poll);
+            }
+        });
+
+        loop {
+            if let Some(item) = queue.pop() {
+                busy.store(true, Ordering::Release);
+                results.push(process(item, &queue));
+                busy.store(false, Ordering::Release);
+                stats.lock().unwrap().processed += 1;
+                window.fetch_add(done_slot, 1);
+            } else {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        communicator.join().expect("communicator panicked");
+    });
+    comm.barrier();
+    let s = *stats.lock().unwrap();
+    (results, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+
+    #[derive(Debug)]
+    struct Job {
+        id: usize,
+        work: u64,
+    }
+    impl WorkItem for Job {
+        fn cost(&self) -> u64 {
+            self.work
+        }
+    }
+
+    fn spin(units: u64) {
+        // Wall-clock work that the optimizer cannot remove, so steals have
+        // time to happen regardless of build profile.
+        std::thread::sleep(Duration::from_micros(units * 30));
+    }
+
+    #[test]
+    fn priority_queue_pops_largest_first() {
+        let q = WorkQueue::new(vec![
+            Job { id: 0, work: 5 },
+            Job { id: 1, work: 50 },
+            Job { id: 2, work: 20 },
+        ]);
+        assert_eq!(q.load(), 75);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_among_equal_costs() {
+        let q = WorkQueue::new(vec![
+            Job { id: 0, work: 10 },
+            Job { id: 1, work: 10 },
+            Job { id: 2, work: 10 },
+        ]);
+        assert_eq!(q.pop().unwrap().id, 0);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+    }
+
+    #[test]
+    fn skewed_work_is_balanced_across_ranks() {
+        const RANKS: usize = 4;
+        const ITEMS: usize = 40;
+        let window = Window::new(RANKS + 1);
+        let results = run(RANKS, |comm| {
+            // All work starts on rank 0.
+            let initial: Vec<Job> = if comm.rank() == 0 {
+                (0..ITEMS).map(|id| Job { id, work: 20 }).collect()
+            } else {
+                Vec::new()
+            };
+            let queue = Arc::new(WorkQueue::new(initial));
+            let (processed, stats) = run_rank(
+                &comm,
+                queue,
+                window.clone(),
+                ITEMS as u64,
+                BalancerConfig {
+                    threshold: 100,
+                    poll: Duration::from_micros(100),
+                },
+                |job, _q| {
+                    spin(job.work);
+                    job.id
+                },
+            );
+            (processed, stats)
+        });
+        // Every item processed exactly once.
+        let mut all: Vec<usize> = results.iter().flat_map(|(ids, _)| ids.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+        // Stealing actually happened.
+        let received: usize = results.iter().map(|(_, s)| s.items_received).sum();
+        assert!(received > 0, "no work was stolen");
+        let donated: usize = results.iter().map(|(_, s)| s.items_donated).sum();
+        assert_eq!(received, donated);
+    }
+
+    #[test]
+    fn dynamically_created_work_is_processed() {
+        const RANKS: usize = 2;
+        // 4 seed items, each spawning 3 children: 16 total.
+        let window = Window::new(RANKS + 1);
+        let results = run(RANKS, |comm| {
+            let initial: Vec<Job> = if comm.rank() == 0 {
+                (0..4).map(|id| Job { id, work: 10 }).collect()
+            } else {
+                Vec::new()
+            };
+            let queue = Arc::new(WorkQueue::new(initial));
+            let (processed, _stats) = run_rank(
+                &comm,
+                queue,
+                window.clone(),
+                16,
+                BalancerConfig::default(),
+                |job, q| {
+                    spin(job.work);
+                    if job.id < 4 {
+                        for k in 0..3 {
+                            q.push(Job {
+                                id: 4 + job.id * 3 + k,
+                                work: 5,
+                            });
+                        }
+                    }
+                    job.id
+                },
+            );
+            processed
+        });
+        let mut all: Vec<usize> = results.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_sequential() {
+        let window = Window::new(2);
+        let results = run(1, |comm| {
+            let queue = Arc::new(WorkQueue::new(
+                (0..10).map(|id| Job { id, work: 1 }).collect(),
+            ));
+            run_rank(
+                &comm,
+                queue,
+                window.clone(),
+                10,
+                BalancerConfig::default(),
+                |job, _| job.id,
+            )
+            .0
+        });
+        assert_eq!(results[0].len(), 10);
+    }
+}

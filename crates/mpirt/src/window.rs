@@ -1,0 +1,163 @@
+//! Remote-memory-access window (paper §III).
+//!
+//! The paper allocates an MPI window on the root rank holding one work-load
+//! estimate per process; communicator threads `MPI_Put` their local
+//! estimate and `MPI_Get` the whole array when they need to pick a victim
+//! to request work from. RMA bypasses the remote CPU (InfiniBand NIC
+//! transfers); here the window is an atomic array shared by reference —
+//! the same one-sided semantics (no receiver-side code runs) without the
+//! hardware.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A one-sided memory window of `u64` slots.
+#[derive(Clone)]
+pub struct Window {
+    slots: Arc<Vec<AtomicU64>>,
+}
+
+impl Window {
+    /// Collectively creates a window with `len` slots (zero-initialized).
+    /// In MPI terms the memory lives on the root; every rank holds the
+    /// same handle.
+    pub fn new(len: usize) -> Self {
+        Window {
+            slots: Arc::new((0..len).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the window has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// One-sided put: stores `value` at `offset`.
+    pub fn put(&self, offset: usize, value: u64) {
+        self.slots[offset].store(value, Ordering::Release);
+    }
+
+    /// One-sided get of a single slot.
+    pub fn get(&self, offset: usize) -> u64 {
+        self.slots[offset].load(Ordering::Acquire)
+    }
+
+    /// One-sided get of the entire window (the victim-selection read).
+    pub fn get_all(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Atomic fetch-and-add (MPI_Accumulate with MPI_SUM).
+    pub fn fetch_add(&self, offset: usize, delta: u64) -> u64 {
+        self.slots[offset].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic saturating subtraction.
+    pub fn fetch_sub_saturating(&self, offset: usize, delta: u64) -> u64 {
+        let mut cur = self.slots[offset].load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(delta);
+            match self.slots[offset].compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(prev) => return prev,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Index of the slot with the maximum value among the first `limit`
+    /// slots (ties to the lowest rank), excluding `exclude`. The limit
+    /// matters when extra bookkeeping slots (e.g. a completion counter)
+    /// share the window with the per-rank estimates. Returns `None` when
+    /// all other slots are zero.
+    pub fn argmax_excluding(&self, exclude: usize, limit: usize) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, s) in self.slots.iter().take(limit).enumerate() {
+            if i == exclude {
+                continue;
+            }
+            let v = s.load(Ordering::Acquire);
+            if v > 0 && best.map_or(true, |(_, bv)| v > bv) {
+                best = Some((i, v));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let w = Window::new(4);
+        w.put(2, 99);
+        assert_eq!(w.get(2), 99);
+        assert_eq!(w.get_all(), vec![0, 0, 99, 0]);
+    }
+
+    #[test]
+    fn fetch_add_and_sub() {
+        let w = Window::new(1);
+        assert_eq!(w.fetch_add(0, 5), 0);
+        assert_eq!(w.fetch_add(0, 3), 5);
+        assert_eq!(w.fetch_sub_saturating(0, 100), 8);
+        assert_eq!(w.get(0), 0);
+    }
+
+    #[test]
+    fn argmax_excludes_self_and_zeros() {
+        let w = Window::new(4);
+        w.put(0, 10);
+        w.put(1, 50);
+        w.put(2, 50);
+        assert_eq!(w.argmax_excluding(3, 4), Some(1)); // tie -> lowest rank
+        assert_eq!(w.argmax_excluding(1, 4), Some(2));
+        // A bookkeeping slot beyond the limit is never selected.
+        w.put(3, 999);
+        assert_eq!(w.argmax_excluding(0, 3), Some(1));
+        let empty = Window::new(3);
+        assert_eq!(empty.argmax_excluding(0, 3), None);
+    }
+
+    #[test]
+    fn concurrent_puts_from_ranks() {
+        let w = Window::new(8);
+        let results = run(8, |comm| {
+            let w = w.clone();
+            w.put(comm.rank(), (comm.rank() as u64 + 1) * 10);
+            comm.barrier();
+            w.get_all()
+        });
+        for r in &results {
+            assert_eq!(*r, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+        }
+    }
+
+    #[test]
+    fn concurrent_accumulate_is_atomic() {
+        let w = Window::new(1);
+        run(8, |comm| {
+            let w = w.clone();
+            for _ in 0..1000 {
+                w.fetch_add(0, 1);
+            }
+            comm.barrier();
+        });
+        assert_eq!(w.get(0), 8000);
+    }
+}

@@ -1,0 +1,457 @@
+//! Subdomains with dual sorted vertex storage (paper §II.D and §III).
+//!
+//! A subdomain stores its vertices twice — x-sorted and y-sorted — in
+//! contiguous `Vec`s. This gives O(1) bounding boxes (first/last of each
+//! order), O(1) median location along either axis, and O(n) comparison-free
+//! splitting. The *projected* coordinate (paraboloid lift flattened onto
+//! the plane perpendicular to the cut axis) lives inside the `Vertex`
+//! itself rather than a side array, exactly as §III argues for cache
+//! locality — it is recomputed at each split because it depends on the
+//! median vertex.
+
+use adm_geom::aabb::Aabb;
+use adm_geom::hull::lower_hull_indices_sorted;
+use adm_geom::point::Point2;
+
+/// A boundary-layer vertex inside a subdomain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// Position in the plane.
+    pub pos: Point2,
+    /// Flattened paraboloid projection (valid only during a split).
+    pub proj: f64,
+    /// Global id in the caller's point array.
+    pub id: u32,
+    /// Marked when the vertex lies on a dividing Delaunay path.
+    pub boundary: bool,
+}
+
+impl Vertex {
+    /// Creates a vertex at `pos` with global id `id`.
+    pub fn new(pos: Point2, id: u32) -> Self {
+        Vertex {
+            pos,
+            proj: 0.0,
+            id,
+            boundary: false,
+        }
+    }
+}
+
+/// The axis the median *line* is parallel to. A `Y` cut axis means a
+/// vertical median line: the x-range is split and the dividing path is a
+/// lower hull over `(y, lift)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutAxis {
+    /// Horizontal median line (splits the y-range).
+    X,
+    /// Vertical median line (splits the x-range).
+    Y,
+}
+
+/// Which side of a cut a child subdomain occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Coordinates strictly below the cut value (plus path vertices).
+    Low,
+    /// Coordinates at or above the cut value (plus path vertices).
+    High,
+}
+
+/// One ancestor cut: a child keeps triangles whose circumcenter falls on
+/// its side of every ancestor cut line (the Blelloch merge rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cut {
+    /// Axis the median line is parallel to.
+    pub axis: CutAxis,
+    /// Coordinate of the median line (x for a vertical line, y for a
+    /// horizontal one).
+    pub at: f64,
+    /// This subdomain's side.
+    pub side: Side,
+}
+
+/// A decomposable subdomain.
+#[derive(Debug, Clone)]
+pub struct Subdomain {
+    /// Vertices sorted lexicographically by `(x, y)`.
+    pub x_sorted: Vec<Vertex>,
+    /// Vertices sorted lexicographically by `(y, x)`.
+    pub y_sorted: Vec<Vertex>,
+    /// Ancestor cuts, root-first.
+    pub cuts: Vec<Cut>,
+    /// Recursion depth.
+    pub level: u32,
+}
+
+impl Subdomain {
+    /// Builds the root subdomain from a point set (duplicates merged).
+    pub fn root(points: &[Point2]) -> Self {
+        let mut x_sorted: Vec<Vertex> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Vertex::new(p, i as u32))
+            .collect();
+        x_sorted.sort_by(|a, b| a.pos.lex_cmp(b.pos));
+        x_sorted.dedup_by(|a, b| a.pos == b.pos);
+        let mut y_sorted = x_sorted.clone();
+        y_sorted.sort_by(|a, b| {
+            a.pos
+                .y
+                .total_cmp(&b.pos.y)
+                .then_with(|| a.pos.x.total_cmp(&b.pos.x))
+        });
+        Subdomain {
+            x_sorted,
+            y_sorted,
+            cuts: Vec::new(),
+            level: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.x_sorted.len()
+    }
+
+    /// `true` when the subdomain has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.x_sorted.is_empty()
+    }
+
+    /// Bounding box in O(1) from the sorted extremes. (After
+    /// [`Subdomain::shed_y_order`] the y-range falls back to a linear
+    /// scan; shed subdomains are leaves, so this path is cold.)
+    pub fn bbox(&self) -> Aabb {
+        let xmin = self.x_sorted.first().map_or(0.0, |v| v.pos.x);
+        let xmax = self.x_sorted.last().map_or(0.0, |v| v.pos.x);
+        let (ymin, ymax) = if self.y_sorted.is_empty() {
+            self.x_sorted.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), v| (lo.min(v.pos.y), hi.max(v.pos.y)),
+            )
+        } else {
+            (
+                self.y_sorted.first().map_or(0.0, |v| v.pos.y),
+                self.y_sorted.last().map_or(0.0, |v| v.pos.y),
+            )
+        };
+        Aabb::new(Point2::new(xmin, ymin), Point2::new(xmax, ymax))
+    }
+
+    /// Number of internal (non-path) vertices.
+    pub fn internal_count(&self) -> usize {
+        self.x_sorted.iter().filter(|v| !v.boundary).count()
+    }
+
+    /// Chooses the cut axis: the median line runs parallel to the
+    /// *shortest* bounding-box edge so the long direction is split,
+    /// avoiding long skinny subdomains that are expensive for the
+    /// divide-and-conquer triangulator's merge step (§II.D).
+    pub fn choose_cut_axis(&self) -> CutAxis {
+        let b = self.bbox();
+        if b.width() >= b.height() {
+            CutAxis::Y // vertical median line, split x
+        } else {
+            CutAxis::X
+        }
+    }
+
+    /// Splits the subdomain at the median vertex along `axis`, computing
+    /// the dividing Delaunay path via the flattened-paraboloid lower hull.
+    /// Returns `(low, high, path)` where `path` lists the global ids of
+    /// the dividing-path vertices in hull order.
+    pub fn split(&mut self, axis: CutAxis) -> (Subdomain, Subdomain, Vec<u32>) {
+        let n = self.len();
+        assert!(n >= 2, "cannot split a subdomain with {n} vertices");
+        // Median vertex in O(1) from the primary-axis-sorted order.
+        let (primary, hull_order): (&mut Vec<Vertex>, &mut Vec<Vertex>) = match axis {
+            CutAxis::Y => (&mut self.x_sorted, &mut self.y_sorted),
+            CutAxis::X => (&mut self.y_sorted, &mut self.x_sorted),
+        };
+        let median = primary[n / 2].pos;
+        let cut_at = match axis {
+            CutAxis::Y => median.x,
+            CutAxis::X => median.y,
+        };
+
+        // Project onto the paraboloid centered at the median vertex and
+        // flatten: the lift is stored in the vertices themselves (§III).
+        for v in hull_order.iter_mut() {
+            let d = v.pos - median;
+            v.proj = d.norm_sq();
+        }
+        for v in primary.iter_mut() {
+            let d = v.pos - median;
+            v.proj = d.norm_sq();
+        }
+
+        // Hull input: (along-line coordinate, lift), already sorted by the
+        // along-line coordinate; equal-coordinate runs are ordered by the
+        // secondary axis, not the lift, so fix those runs locally.
+        let mut flat: Vec<Point2> = hull_order
+            .iter()
+            .map(|v| match axis {
+                CutAxis::Y => Point2::new(v.pos.y, v.proj),
+                CutAxis::X => Point2::new(v.pos.x, v.proj),
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && flat[j].x == flat[i].x {
+                j += 1;
+            }
+            if j - i > 1 {
+                order[i..j].sort_by(|&a, &b| flat[a as usize].y.total_cmp(&flat[b as usize].y));
+                let snap: Vec<Point2> = order[i..j].iter().map(|&k| flat[k as usize]).collect();
+                flat[i..j].copy_from_slice(&snap);
+            }
+            i = j;
+        }
+        let hull_idx = lower_hull_indices_sorted(&flat);
+        let path: Vec<u32> = hull_idx
+            .iter()
+            .map(|&k| hull_order[order[k] as usize].id)
+            .collect();
+        let path_set: std::collections::HashSet<u32> = path.iter().copied().collect();
+
+        // Mark path vertices in both orders.
+        for v in primary.iter_mut() {
+            if path_set.contains(&v.id) {
+                v.boundary = true;
+            }
+        }
+        for v in hull_order.iter_mut() {
+            if path_set.contains(&v.id) {
+                v.boundary = true;
+            }
+        }
+
+        // Partition both sorted orders in one pass each; path vertices go
+        // to both children. Equal-to-cut coordinates go High, matching the
+        // primary-axis "split at the median index" rule.
+        let coord = |v: &Vertex| match axis {
+            CutAxis::Y => v.pos.x,
+            CutAxis::X => v.pos.y,
+        };
+        let distribute = |src: &[Vertex]| -> (Vec<Vertex>, Vec<Vertex>) {
+            let mut low = Vec::with_capacity(src.len() / 2 + 8);
+            let mut high = Vec::with_capacity(src.len() / 2 + 8);
+            for v in src {
+                let on_path = path_set.contains(&v.id);
+                if coord(v) < cut_at {
+                    low.push(*v);
+                    if on_path {
+                        high.push(*v);
+                    }
+                } else {
+                    high.push(*v);
+                    if on_path {
+                        low.push(*v);
+                    }
+                }
+            }
+            (low, high)
+        };
+        let (lx, hx) = distribute(&self.x_sorted);
+        let (ly, hy) = distribute(&self.y_sorted);
+
+        let mut lcuts = self.cuts.clone();
+        lcuts.push(Cut {
+            axis,
+            at: cut_at,
+            side: Side::Low,
+        });
+        let mut hcuts = self.cuts.clone();
+        hcuts.push(Cut {
+            axis,
+            at: cut_at,
+            side: Side::High,
+        });
+        let low = Subdomain {
+            x_sorted: lx,
+            y_sorted: ly,
+            cuts: lcuts,
+            level: self.level + 1,
+        };
+        let high = Subdomain {
+            x_sorted: hx,
+            y_sorted: hy,
+            cuts: hcuts,
+            level: self.level + 1,
+        };
+        (low, high, path)
+    }
+
+    /// Estimated triangulation cost (used by the load balancer): the
+    /// expected triangle count `2n`.
+    pub fn cost(&self) -> u64 {
+        2 * self.len() as u64
+    }
+
+    /// Bytes a work transfer of this subdomain moves, reflecting the
+    /// paper's §IV communication optimizations:
+    ///
+    /// * projected coordinates are never sent (they depend on the median
+    ///   vertex, which changes per split) — a `Vertex` travels as
+    ///   position + id + flag, not its in-memory size;
+    /// * a sufficiently decomposed subdomain (after [`Subdomain::shed_y_order`])
+    ///   ships only its x-sorted vertices — exactly what the triangulator
+    ///   needs — halving the payload.
+    pub fn transfer_bytes(&self) -> u64 {
+        // pos (16) + id (4) + boundary flag (1), padded to 24.
+        const WIRE_VERTEX: u64 = 24;
+        let copies = if self.y_sorted.is_empty() { 1 } else { 2 };
+        copies * self.len() as u64 * WIRE_VERTEX + 64
+    }
+
+    /// Drops the y-sorted copy. Called once a subdomain is sufficiently
+    /// decomposed: from then on it only needs the x-sorted vertices (the
+    /// triangulator's input), which halves transfer payloads (paper §IV).
+    pub fn shed_y_order(&mut self) {
+        self.y_sorted = Vec::new();
+        self.y_sorted.shrink_to_fit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn grid(nx: usize, ny: usize) -> Vec<Point2> {
+        let mut v = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push(p(i as f64, j as f64 * 0.5));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn root_sorted_and_deduped() {
+        let pts = vec![p(2.0, 0.0), p(0.0, 1.0), p(2.0, 0.0), p(1.0, -1.0)];
+        let s = Subdomain::root(&pts);
+        assert_eq!(s.len(), 3);
+        assert!(s
+            .x_sorted
+            .windows(2)
+            .all(|w| w[0].pos.lex_cmp(w[1].pos).is_lt()));
+        assert!(s
+            .y_sorted
+            .windows(2)
+            .all(|w| (w[0].pos.y, w[0].pos.x) <= (w[1].pos.y, w[1].pos.x)));
+    }
+
+    #[test]
+    fn bbox_is_constant_time_and_correct() {
+        let s = Subdomain::root(&grid(5, 3));
+        let b = s.bbox();
+        assert_eq!(b.min, p(0.0, 0.0));
+        assert_eq!(b.max, p(4.0, 1.0));
+    }
+
+    #[test]
+    fn cut_axis_follows_shortest_bbox_edge() {
+        // Wide domain: vertical median line.
+        let s = Subdomain::root(&grid(20, 3));
+        assert_eq!(s.choose_cut_axis(), CutAxis::Y);
+        let t = Subdomain::root(&grid(3, 40));
+        assert_eq!(t.choose_cut_axis(), CutAxis::X);
+    }
+
+    #[test]
+    fn split_partitions_and_keeps_orders() {
+        let mut s = Subdomain::root(&grid(10, 4));
+        let n0 = s.len();
+        let (lo, hi, path) = s.split(CutAxis::Y);
+        assert!(!path.is_empty());
+        // Every original vertex appears in exactly one child (path
+        // vertices in both).
+        assert_eq!(lo.len() + hi.len(), n0 + path.len());
+        // Sorted orders preserved in both children.
+        for c in [&lo, &hi] {
+            assert!(c
+                .x_sorted
+                .windows(2)
+                .all(|w| w[0].pos.lex_cmp(w[1].pos).is_le()));
+            assert!(c
+                .y_sorted
+                .windows(2)
+                .all(|w| (w[0].pos.y, w[0].pos.x) <= (w[1].pos.y, w[1].pos.x)));
+            // x/y arrays hold the same vertex sets.
+            let mut a: Vec<u32> = c.x_sorted.iter().map(|v| v.id).collect();
+            let mut b: Vec<u32> = c.y_sorted.iter().map(|v| v.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // Path vertices are marked boundary in both children.
+        for c in [&lo, &hi] {
+            for v in &c.x_sorted {
+                if path.contains(&v.id) {
+                    assert!(v.boundary);
+                }
+            }
+        }
+        // Sides are consistent with the cut.
+        let cut = lo.cuts.last().unwrap();
+        for v in &lo.x_sorted {
+            assert!(v.pos.x < cut.at || path.contains(&v.id));
+        }
+        for v in &hi.x_sorted {
+            assert!(v.pos.x >= cut.at || path.contains(&v.id));
+        }
+    }
+
+    #[test]
+    fn path_endpoints_are_extremes() {
+        // The dividing path must run from the minimum to the maximum of
+        // the along-line coordinate (it separates the two sides fully).
+        let mut s = Subdomain::root(&grid(8, 8));
+        let (_, _, path) = s.split(CutAxis::Y);
+        let pos_of = |id: u32| s.x_sorted.iter().find(|v| v.id == id).map(|v| v.pos);
+        let first = pos_of(path[0]).unwrap();
+        let last = pos_of(*path.last().unwrap()).unwrap();
+        let ys: Vec<f64> = s.x_sorted.iter().map(|v| v.pos.y).collect();
+        let ymin = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ymax = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(first.y, ymin);
+        assert_eq!(last.y, ymax);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let s = Subdomain::root(&grid(10, 10));
+        assert_eq!(s.cost(), 200);
+    }
+
+    #[test]
+    fn shedding_y_order_halves_transfers() {
+        let mut s = Subdomain::root(&grid(10, 10));
+        let full = s.transfer_bytes();
+        let bbox_before = s.bbox();
+        s.shed_y_order();
+        let slim = s.transfer_bytes();
+        assert!(slim < full);
+        assert_eq!(slim - 64, (full - 64) / 2);
+        // The bounding box survives the shed (linear fallback).
+        assert_eq!(s.bbox(), bbox_before);
+        // The triangulator input is untouched.
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn transfer_excludes_projected_coordinates() {
+        // The wire format is 24 bytes/vertex; the in-memory Vertex is
+        // larger because it carries the projection scratch field.
+        let s = Subdomain::root(&grid(5, 5));
+        assert!(std::mem::size_of::<Vertex>() as u64 * 2 * 25 > s.transfer_bytes() - 64);
+    }
+}

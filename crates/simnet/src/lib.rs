@@ -1,0 +1,20 @@
+//! # adm-simnet — discrete-event cluster simulation
+//!
+//! This host has one core, so the paper's 256-rank strong-scaling curves
+//! (Figures 11/12) cannot be *measured* here. They are instead
+//! *reproduced* by simulation: the bench harness runs the real pipeline
+//! sequentially, records each subdomain's actual meshing cost and payload
+//! size, and this crate replays the paper's parallel execution — tree
+//! distribution of subdomains, priority-queue scheduling (largest first),
+//! and the communicator-thread work-request protocol over a modeled 4X
+//! FDR InfiniBand interconnect — as a discrete-event simulation that
+//! yields the makespan for any rank count.
+//!
+//! Only the *schedule and communication* are modeled; every task cost fed
+//! in is measured from the real mesher.
+
+pub mod link;
+pub mod sim;
+
+pub use link::LinkModel;
+pub use sim::{simulate, InitialDist, Schedule, SimConfig, SimResult, Task};

@@ -1,0 +1,353 @@
+//! Potential flow around airfoil meshes (the Figures 14/15 substitute).
+//!
+//! Solves the Laplace equation for the stream function `psi`: far-field
+//! Dirichlet values impose a uniform free stream at angle of attack
+//! `alpha`; the airfoil surface is the `psi = 0` streamline. Velocities
+//! are the rotated gradient `(d psi/dy, -d psi/dx)` per triangle, and the
+//! pressure coefficient follows from Bernoulli: `Cp = 1 - |v|^2 / U^2`.
+//! This yields the same qualitative fields the paper renders with FUN3D —
+//! stagnation points, suction peaks, gap acceleration — on our meshes.
+
+use crate::fem::{assemble, Dirichlet};
+use crate::solve::{cg, CgOptions};
+use adm_delaunay::mesh::{Mesh, NIL};
+use adm_geom::point::{Point2, Vec2};
+use std::io::{self, Write};
+
+/// Potential-flow inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConditions {
+    /// Free-stream speed.
+    pub u_inf: f64,
+    /// Angle of attack in degrees.
+    pub alpha_deg: f64,
+    /// Free-stream Mach number (only used to scale the reported "Mach"
+    /// field: `M = M_inf * |v| / U_inf`).
+    pub mach_inf: f64,
+}
+
+impl Default for FlowConditions {
+    fn default() -> Self {
+        FlowConditions {
+            u_inf: 1.0,
+            alpha_deg: 5.0,
+            mach_inf: 0.3,
+        }
+    }
+}
+
+/// Computed flow solution.
+pub struct FlowSolution {
+    /// Stream function per vertex.
+    pub psi: Vec<f64>,
+    /// Velocity per live triangle (parallel to `triangles` ids).
+    pub velocity: Vec<(u32, Vec2)>,
+    /// Pressure coefficient per live triangle.
+    pub cp: Vec<(u32, f64)>,
+    /// Local Mach number per live triangle.
+    pub mach: Vec<(u32, f64)>,
+    /// Solver residual history.
+    pub residuals: Vec<f64>,
+}
+
+/// Identifies boundary vertices: far-field vs body from the bounding box
+/// (body loops are strictly inside the domain box).
+fn classify_boundaries(mesh: &Mesh) -> (Vec<u32>, Vec<u32>) {
+    let mut bmin = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut bmax = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for v in &mesh.vertices {
+        bmin = bmin.min(*v);
+        bmax = bmax.max(*v);
+    }
+    let eps = 1e-9 * (bmax.x - bmin.x).max(bmax.y - bmin.y);
+    let mut far = Vec::new();
+    let mut body = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for t in mesh.live_triangles() {
+        for i in 0..3u8 {
+            if mesh.neighbors[t as usize][i as usize] == NIL {
+                let (a, b) = mesh.edge_vertices(t, i);
+                for v in [a, b] {
+                    if !seen.insert(v) {
+                        continue;
+                    }
+                    let p = mesh.vertices[v as usize];
+                    let on_box = (p.x - bmin.x).abs() < eps
+                        || (p.x - bmax.x).abs() < eps
+                        || (p.y - bmin.y).abs() < eps
+                        || (p.y - bmax.y).abs() < eps;
+                    if on_box {
+                        far.push(v);
+                    } else {
+                        body.push(v);
+                    }
+                }
+            }
+        }
+    }
+    (far, body)
+}
+
+/// Solves potential flow on `mesh`.
+pub fn solve_potential_flow(mesh: &Mesh, cond: &FlowConditions) -> FlowSolution {
+    let alpha = cond.alpha_deg.to_radians();
+    let (ca, sa) = (alpha.cos(), alpha.sin());
+    // Free-stream stream function: psi = U (y cos a - x sin a).
+    let psi_inf = |p: Point2| cond.u_inf * (p.y * ca - p.x * sa);
+
+    let (far, body) = classify_boundaries(mesh);
+    let mut bc = Dirichlet::default();
+    for v in far {
+        bc.fix(v, psi_inf(mesh.vertices[v as usize]));
+    }
+    // Body streamline: psi = psi_inf at the body reference point keeps
+    // zero net circulation; use the mean free-stream value over the body.
+    if !body.is_empty() {
+        let mean: f64 = body
+            .iter()
+            .map(|&v| psi_inf(mesh.vertices[v as usize]))
+            .sum::<f64>()
+            / body.len() as f64;
+        for v in &body {
+            bc.fix(*v, mean);
+        }
+    }
+
+    let sys = assemble(mesh, Vec2::ZERO, |_| 0.0, &bc);
+    let (u_free, residuals) = cg(
+        &sys.matrix,
+        &sys.rhs,
+        &CgOptions {
+            tol: 1e-10,
+            jacobi_precond: true,
+            ..Default::default()
+        },
+    );
+    let psi = sys.expand(&u_free, &bc, mesh.num_vertices());
+
+    // Per-triangle velocity from the P1 gradient: v = (d psi/dy, -d psi/dx).
+    let mut velocity = Vec::new();
+    let mut cp = Vec::new();
+    let mut mach = Vec::new();
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangles[t as usize];
+        let (a, b, c) = (
+            mesh.vertices[tri[0] as usize],
+            mesh.vertices[tri[1] as usize],
+            mesh.vertices[tri[2] as usize],
+        );
+        let area2 = (b - a).cross(c - a);
+        if area2 <= 0.0 {
+            continue;
+        }
+        let (fa, fb, fc) = (
+            psi[tri[0] as usize],
+            psi[tri[1] as usize],
+            psi[tri[2] as usize],
+        );
+        // grad psi = sum f_i * grad lambda_i.
+        let g = Vec2::new(
+            (fa * (b.y - c.y) + fb * (c.y - a.y) + fc * (a.y - b.y)) / area2,
+            (fa * (c.x - b.x) + fb * (a.x - c.x) + fc * (b.x - a.x)) / area2,
+        );
+        let v = Vec2::new(g.y, -g.x);
+        let speed = v.norm();
+        velocity.push((t, v));
+        cp.push((t, 1.0 - (speed / cond.u_inf).powi(2)));
+        mach.push((t, cond.mach_inf * speed / cond.u_inf));
+    }
+    FlowSolution {
+        psi,
+        velocity,
+        cp,
+        mach,
+        residuals,
+    }
+}
+
+/// Renders a per-triangle scalar field as a colored SVG (blue = low,
+/// red = high), for the Figure 14/15-style pictures.
+pub fn write_field_svg<W: Write>(
+    mesh: &Mesh,
+    field: &[(u32, f64)],
+    w: &mut W,
+    width: f64,
+    clip: Option<(Point2, Point2)>,
+) -> io::Result<()> {
+    let (mut min, mut max) = match clip {
+        Some((a, b)) => (a, b),
+        None => {
+            let mut mn = Point2::new(f64::INFINITY, f64::INFINITY);
+            let mut mx = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for v in &mesh.vertices {
+                mn = mn.min(*v);
+                mx = mx.max(*v);
+            }
+            (mn, mx)
+        }
+    };
+    if min.x >= max.x || min.y >= max.y {
+        std::mem::swap(&mut min, &mut max);
+    }
+    let scale = width / (max.x - min.x);
+    let height = (max.y - min.y) * scale;
+    let (mut fmin, mut fmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, f) in field {
+        fmin = fmin.min(f);
+        fmax = fmax.max(f);
+    }
+    let span = (fmax - fmin).max(1e-300);
+    writeln!(
+        w,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {width:.2} {height:.2}\">"
+    )?;
+    let tx = |p: Point2| ((p.x - min.x) * scale, (max.y - p.y) * scale);
+    for &(t, f) in field {
+        let tri = mesh.triangles[t as usize];
+        let (a, b, c) = (
+            mesh.vertices[tri[0] as usize],
+            mesh.vertices[tri[1] as usize],
+            mesh.vertices[tri[2] as usize],
+        );
+        // Skip triangles fully outside the clip window.
+        let inside = [a, b, c].iter().any(|p| {
+            p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y
+        });
+        if !inside {
+            continue;
+        }
+        let u = ((f - fmin) / span).clamp(0.0, 1.0);
+        let r = (255.0 * u) as u8;
+        let bcol = (255.0 * (1.0 - u)) as u8;
+        let g = (128.0 * (1.0 - (2.0 * u - 1.0).abs())) as u8;
+        let (x0, y0) = tx(a);
+        let (x1, y1) = tx(b);
+        let (x2, y2) = tx(c);
+        writeln!(
+            w,
+            "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2} L{x2:.2} {y2:.2} Z\" fill=\"rgb({r},{g},{bcol})\" stroke=\"none\"/>"
+        )?;
+    }
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adm_delaunay::cdt::{carve, constrained_delaunay};
+    use adm_delaunay::refine::{refine, RefineParams};
+
+    /// Square channel with a square "body" hole in the middle.
+    fn channel_mesh() -> Mesh {
+        let p = |x: f64, y: f64| Point2::new(x, y);
+        let pts = vec![
+            p(-4.0, -4.0),
+            p(4.0, -4.0),
+            p(4.0, 4.0),
+            p(-4.0, 4.0),
+            p(-0.5, -0.2),
+            p(0.5, -0.2),
+            p(0.5, 0.2),
+            p(-0.5, 0.2),
+        ];
+        let segs = [
+            (0u32, 1u32),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+        ];
+        let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();
+        carve(&mut mesh, &[p(0.0, 0.0)]);
+        refine(
+            &mut mesh,
+            None,
+            &RefineParams {
+                max_area: Some(0.05),
+                ..Default::default()
+            },
+        );
+        mesh
+    }
+
+    #[test]
+    fn boundary_classification() {
+        let mesh = channel_mesh();
+        let (far, body) = classify_boundaries(&mesh);
+        assert!(!far.is_empty());
+        assert!(!body.is_empty());
+        for &v in &far {
+            let p = mesh.vertices[v as usize];
+            assert!(p.x.abs() > 3.99 || p.y.abs() > 3.99);
+        }
+        for &v in &body {
+            let p = mesh.vertices[v as usize];
+            assert!(p.x.abs() < 1.0 && p.y.abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_flow_without_body_recovers_free_stream() {
+        // No hole: psi must be exactly the free-stream field and velocity
+        // uniform.
+        let p = |x: f64, y: f64| Point2::new(x, y);
+        let pts = vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 1.0), p(0.0, 1.0)];
+        let segs = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();
+        carve(&mut mesh, &[]);
+        refine(
+            &mut mesh,
+            None,
+            &RefineParams {
+                max_area: Some(0.02),
+                ..Default::default()
+            },
+        );
+        let cond = FlowConditions {
+            u_inf: 2.0,
+            alpha_deg: 0.0,
+            mach_inf: 0.3,
+        };
+        let sol = solve_potential_flow(&mesh, &cond);
+        for &(_, v) in &sol.velocity {
+            assert!((v.x - 2.0).abs() < 1e-6, "vx {}", v.x);
+            assert!(v.y.abs() < 1e-6, "vy {}", v.y);
+        }
+        // Cp of the free stream is 0 everywhere.
+        for &(_, c) in &sol.cp {
+            assert!(c.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn body_creates_stagnation_and_acceleration() {
+        let mesh = channel_mesh();
+        let sol = solve_potential_flow(&mesh, &FlowConditions::default());
+        // Somewhere the flow stagnates (low speed) and somewhere it
+        // accelerates past the free stream.
+        let speeds: Vec<f64> = sol.velocity.iter().map(|&(_, v)| v.norm()).collect();
+        let vmin = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let vmax = speeds.iter().cloned().fold(0.0, f64::max);
+        assert!(vmin < 0.35, "no stagnation region: min speed {vmin}");
+        assert!(vmax > 1.1, "no acceleration: max speed {vmax}");
+        // Cp bounded above by 1 (stagnation).
+        for &(_, c) in &sol.cp {
+            assert!(c <= 1.0 + 1e-9);
+        }
+        assert!(sol.residuals.last().unwrap() < &1e-9);
+    }
+
+    #[test]
+    fn field_svg_renders() {
+        let mesh = channel_mesh();
+        let sol = solve_potential_flow(&mesh, &FlowConditions::default());
+        let mut buf = Vec::new();
+        write_field_svg(&mesh, &sol.cp, &mut buf, 400.0, None).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("rgb("));
+        assert!(s.matches("<path").count() > 100);
+    }
+}

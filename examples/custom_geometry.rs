@@ -1,0 +1,90 @@
+//! Meshing a user-provided geometry (the push-button path for shapes
+//! beyond the built-in airfoils).
+//!
+//! ```sh
+//! cargo run --release --example custom_geometry [loop.txt]
+//! ```
+//!
+//! `loop.txt` holds one `x y` pair per line describing a closed surface
+//! loop (orientation is normalized automatically). Without an argument, a
+//! demonstration shape is used: an ellipse with a notch cut into its aft
+//! end — a cusp plus a concave cove, the features the boundary-layer
+//! machinery exists for.
+
+use adm2d::airfoil::{Pslg, SurfaceLoop};
+use adm2d::core::{generate, MeshConfig};
+use adm2d::delaunay::io::write_svg;
+use adm2d::geom::Point2;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter};
+
+fn demo_shape() -> Vec<Point2> {
+    // Ellipse with a notch (cove) on the right side.
+    let mut pts = Vec::new();
+    let n = 72;
+    for k in 0..n {
+        let th = k as f64 * std::f64::consts::TAU / n as f64;
+        let (x, y) = (0.5 + 0.5 * th.cos(), 0.18 * th.sin());
+        // Carve the notch: pull the aft-lower quadrant inward.
+        let in_notch = th > 5.1 && th < 5.9;
+        let scale = if in_notch { 0.55 } else { 1.0 };
+        pts.push(Point2::new(
+            0.5 + (x - 0.5) * scale,
+            y * scale + if in_notch { -0.02 } else { 0.0 },
+        ));
+    }
+    pts
+}
+
+fn read_loop(path: &str) -> std::io::Result<Vec<Point2>> {
+    let f = BufReader::new(File::open(path)?);
+    let mut pts = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let x: f64 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad x"))?;
+        let y: f64 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad y"))?;
+        pts.push(Point2::new(x, y));
+    }
+    Ok(pts)
+}
+
+fn main() -> std::io::Result<()> {
+    let arg = std::env::args().nth(1);
+    let (name, pts) = match &arg {
+        Some(path) => (path.clone(), read_loop(path)?),
+        None => ("demo notch-ellipse".to_string(), demo_shape()),
+    };
+    println!("meshing '{name}' ({} surface points)", pts.len());
+
+    let pslg = Pslg::with_farfield_margin(vec![SurfaceLoop::new("custom", pts)], 20.0);
+    let mut config = MeshConfig::from_pslg(pslg);
+    config.sizing_max_area = 1.0;
+    config.bl_subdomains = 16;
+    config.inviscid_subdomains = 16;
+
+    let result = generate(&config);
+    println!(
+        "  {} triangles, {} vertices, {} border splits, {:.2}s",
+        result.stats.total_triangles,
+        result.stats.total_vertices,
+        result.stats.border_splits,
+        result.stats.total_s
+    );
+
+    std::fs::create_dir_all("target/examples")?;
+    let mut svg = BufWriter::new(File::create("target/examples/custom_geometry.svg")?);
+    write_svg(&result.mesh, &mut svg, 1400.0)?;
+    println!("wrote target/examples/custom_geometry.svg");
+    Ok(())
+}

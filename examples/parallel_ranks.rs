@@ -1,0 +1,69 @@
+//! The distributed pipeline on mpirt ranks + the scaling simulator.
+//!
+//! ```sh
+//! cargo run --release --example parallel_ranks
+//! ```
+//!
+//! Runs the same configuration sequentially and on 2 and 4 mpirt ranks
+//! (threads with message passing, RMA work-load window, and the paper's
+//! mesher/communicator load balancer), verifies the meshes are identical,
+//! then replays the measured workload through the cluster simulator for
+//! the strong-scaling picture.
+
+use adm_core::{generate, generate_parallel, MeshConfig};
+use adm_simnet::{simulate, InitialDist, SimConfig, Task};
+
+fn main() {
+    let mut config = MeshConfig::naca0012(50);
+    config.sizing_max_area = 1.0;
+    config.bl_subdomains = 16;
+    config.inviscid_subdomains = 16;
+
+    println!("sequential reference ...");
+    let seq = generate(&config);
+    println!(
+        "  {} triangles in {:.2}s",
+        seq.stats.total_triangles, seq.stats.total_s
+    );
+
+    for ranks in [2usize, 4] {
+        println!("parallel run on {ranks} mpirt ranks ...");
+        let par = generate_parallel(&config, ranks);
+        assert_eq!(
+            par.stats.total_triangles, seq.stats.total_triangles,
+            "parallel mesh differs from sequential"
+        );
+        println!(
+            "  identical mesh ({} triangles) in {:.2}s wall",
+            par.stats.total_triangles, par.stats.total_s
+        );
+    }
+
+    // Replay the measured workload at cluster scale.
+    let tasks: Vec<Task> = seq
+        .log
+        .parallel_tasks()
+        .iter()
+        .map(|r| Task {
+            cost_s: r.cost_s.max(1e-7),
+            bytes: r.bytes.max(64),
+        })
+        .collect();
+    let total: f64 = tasks.iter().map(|t| t.cost_s).sum();
+    println!("simulated cluster scaling ({} measured tasks):", tasks.len());
+    for p in [4usize, 16, 64] {
+        let sim = simulate(
+            p,
+            &tasks,
+            InitialDist::Tree {
+                split_cost_s_per_byte: 1e-9,
+            },
+            &SimConfig::default(),
+        );
+        println!(
+            "  p={p:<3} speedup {:.1} ({} steals)",
+            total / sim.makespan_s,
+            sim.steals
+        );
+    }
+}

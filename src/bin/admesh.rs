@@ -1,0 +1,308 @@
+//! `admesh` — the push-button command-line mesh generator.
+//!
+//! The paper's headline interface: "the user only needs to provide the
+//! input configuration and wait for the output without any human
+//! intervention."
+//!
+//! ```sh
+//! admesh --naca 0012 --points 80 --out mesh.txt --svg mesh.svg
+//! admesh --three-element --points 60 --ranks 4 --binary-out mesh.bin
+//! admesh --naca 2412 --height 0.08 --growth 2e-4,1.3 --max-area 0.5
+//! ```
+
+use adm2d::blayer::{Geometric, GrowthSpec};
+use adm2d::core::{generate, generate_parallel, MeshConfig, PipelineResult};
+use adm2d::delaunay::io::{write_ascii, write_binary, write_svg};
+use adm2d::delaunay::quality::mesh_quality;
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+admesh — parallel 2-D anisotropic Delaunay mesh generator (ICPP 2016 reproduction)
+
+USAGE:
+    admesh [OPTIONS]
+
+GEOMETRY (choose one):
+    --naca <DIGITS>        NACA 4-digit airfoil, e.g. --naca 0012 [default]
+    --three-element        synthetic slat/main/flap high-lift configuration
+    --poly <PATH>          Triangle-format .poly PSLG (closed loops)
+
+OPTIONS:
+    --points <N>           surface points per airfoil side        [default: 80]
+    --farfield <CHORDS>    far-field distance in chords           [default: 30]
+    --height <H>           boundary-layer height (chord units)    [default: 0.05]
+    --growth <H0,RATIO>    geometric growth law                   [default: 2e-4,1.25]
+    --growth-law <LAW>     geometric | polynomial | capped        [default: geometric]
+                           (polynomial: RATIO is the exponent;
+                            capped: thickness capped at 20*H0)
+    --max-area <A>         far-field triangle area cap            [default: 1.0]
+    --subdomains <N>       target subdomains per stage            [default: 32]
+    --ranks <N>            run on N parallel ranks (mpirt)        [default: sequential]
+    --out <PATH>           write Triangle-format ASCII mesh
+    --binary-out <PATH>    write compact binary mesh
+    --svg <PATH>           write an SVG rendering
+    --report               print a mesh-quality report (angle histogram)
+    --quiet                suppress statistics
+    --help                 show this help
+";
+
+struct Args {
+    naca: String,
+    three_element: bool,
+    poly: Option<String>,
+    points: usize,
+    farfield: f64,
+    height: f64,
+    growth: (f64, f64),
+    growth_law: String,
+    max_area: f64,
+    subdomains: usize,
+    ranks: Option<usize>,
+    out: Option<String>,
+    binary_out: Option<String>,
+    svg: Option<String>,
+    quiet: bool,
+    report: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        naca: "0012".to_string(),
+        three_element: false,
+        poly: None,
+        points: 80,
+        farfield: 30.0,
+        height: 0.05,
+        growth: (2e-4, 1.25),
+        growth_law: "geometric".to_string(),
+        max_area: 1.0,
+        subdomains: 32,
+        ranks: None,
+        out: None,
+        binary_out: None,
+        svg: None,
+        quiet: false,
+        report: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--naca" => args.naca = value(&argv, &mut i, "--naca")?,
+            "--three-element" => args.three_element = true,
+            "--poly" => args.poly = Some(value(&argv, &mut i, "--poly")?),
+            "--points" => {
+                args.points = value(&argv, &mut i, "--points")?
+                    .parse()
+                    .map_err(|e| format!("--points: {e}"))?
+            }
+            "--farfield" => {
+                args.farfield = value(&argv, &mut i, "--farfield")?
+                    .parse()
+                    .map_err(|e| format!("--farfield: {e}"))?
+            }
+            "--height" => {
+                args.height = value(&argv, &mut i, "--height")?
+                    .parse()
+                    .map_err(|e| format!("--height: {e}"))?
+            }
+            "--growth" => {
+                let v = value(&argv, &mut i, "--growth")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    return Err("--growth expects H0,RATIO".to_string());
+                }
+                args.growth = (
+                    parts[0].parse().map_err(|e| format!("--growth h0: {e}"))?,
+                    parts[1].parse().map_err(|e| format!("--growth ratio: {e}"))?,
+                );
+            }
+            "--growth-law" => args.growth_law = value(&argv, &mut i, "--growth-law")?,
+            "--max-area" => {
+                args.max_area = value(&argv, &mut i, "--max-area")?
+                    .parse()
+                    .map_err(|e| format!("--max-area: {e}"))?
+            }
+            "--subdomains" => {
+                args.subdomains = value(&argv, &mut i, "--subdomains")?
+                    .parse()
+                    .map_err(|e| format!("--subdomains: {e}"))?
+            }
+            "--ranks" => {
+                args.ranks = Some(
+                    value(&argv, &mut i, "--ranks")?
+                        .parse()
+                        .map_err(|e| format!("--ranks: {e}"))?,
+                )
+            }
+            "--out" => args.out = Some(value(&argv, &mut i, "--out")?),
+            "--binary-out" => args.binary_out = Some(value(&argv, &mut i, "--binary-out")?),
+            "--svg" => args.svg = Some(value(&argv, &mut i, "--svg")?),
+            "--quiet" => args.quiet = true,
+            "--report" => args.report = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn build_config(args: &Args) -> Result<MeshConfig, String> {
+    let mut config = if let Some(path) = &args.poly {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let poly = adm2d::delaunay::read_poly(&mut std::io::BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let loops = poly.loops().map_err(|e| format!("{path}: {e}"))?;
+        if loops.is_empty() {
+            return Err(format!("{path}: no closed loops"));
+        }
+        let loops = loops
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| adm2d::airfoil::SurfaceLoop::new(format!("loop{i}"), l))
+            .collect();
+        MeshConfig::from_pslg(adm2d::airfoil::Pslg::with_farfield_margin(
+            loops,
+            args.farfield,
+        ))
+    } else if args.three_element {
+        let pslg = adm2d::airfoil::three_element_highlift(&adm2d::airfoil::HighLiftParams {
+            n_per_side: args.points,
+            farfield_chords: args.farfield,
+        });
+        MeshConfig::from_pslg(pslg)
+    } else {
+        let foil = adm2d::airfoil::Naca4::from_digits(&args.naca)
+            .ok_or_else(|| format!("invalid NACA code: {}", args.naca))?;
+        let surface = foil.surface(args.points);
+        let pslg = adm2d::airfoil::Pslg::with_farfield_margin(
+            vec![adm2d::airfoil::SurfaceLoop::new(
+                format!("naca{}", args.naca),
+                surface,
+            )],
+            args.farfield,
+        );
+        MeshConfig::from_pslg(pslg)
+    };
+    config.growth = match args.growth_law.as_str() {
+        "geometric" => Geometric::new(args.growth.0, args.growth.1).into(),
+        "polynomial" => GrowthSpec::Polynomial {
+            first_height: args.growth.0,
+            exponent: args.growth.1,
+        },
+        "capped" => GrowthSpec::CappedGeometric {
+            first_height: args.growth.0,
+            ratio: args.growth.1,
+            max_thickness: 20.0 * args.growth.0,
+        },
+        other => return Err(format!("unknown growth law: {other}")),
+    };
+    config.bl.height = args.height;
+    config.sizing_max_area = args.max_area;
+    config.bl_subdomains = args.subdomains;
+    config.inviscid_subdomains = args.subdomains;
+    Ok(config)
+}
+
+fn run(args: &Args) -> Result<PipelineResult, String> {
+    let config = build_config(args)?;
+    Ok(match args.ranks {
+        Some(r) if r > 1 => generate_parallel(&config, r),
+        _ => generate(&config),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match run(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        let s = &result.stats;
+        let q = mesh_quality(&result.mesh);
+        eprintln!("triangles        : {}", s.total_triangles);
+        eprintln!("vertices         : {}", s.total_vertices);
+        eprintln!("boundary layer   : {} points, {} triangles", s.bl_points, s.bl_triangles);
+        eprintln!("inviscid region  : {} triangles", s.inviscid_triangles);
+        eprintln!("border splits    : {}", s.border_splits);
+        eprintln!(
+            "angles           : {:.1} .. {:.1} degrees",
+            q.min_angle.to_degrees(),
+            q.max_angle.to_degrees()
+        );
+        eprintln!("wall time        : {:.2}s", s.total_s);
+    }
+    if args.report {
+        let q = mesh_quality(&result.mesh);
+        eprintln!("--- quality report ---");
+        eprintln!("triangles        : {}", q.triangles);
+        eprintln!("total area       : {:.4}", q.total_area);
+        eprintln!("area range       : {:.3e} .. {:.3e}", q.min_area, q.max_area);
+        eprintln!("max R/l ratio    : {:.3}", q.max_ratio);
+        eprintln!("min-angle histogram (boundary-layer slivers are intentional):");
+        let labels = ["0-10", "10-20", "20-30", "30-40", "40-50", "50-60"];
+        let total: usize = q.angle_histogram.iter().sum();
+        for (lab, &count) in labels.iter().zip(&q.angle_histogram) {
+            let pct = 100.0 * count as f64 / total.max(1) as f64;
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            eprintln!("  {lab:>5} deg  {count:>8}  {pct:>5.1}%  {bar}");
+        }
+    }
+    let write = |path: &str, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
+        File::create(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|file| {
+                let mut w = BufWriter::new(file);
+                f(&mut w).map_err(|e| format!("{path}: {e}"))
+            })
+    };
+    let mut status = ExitCode::SUCCESS;
+    if let Some(p) = &args.out {
+        if let Err(e) = write(p, &|w| write_ascii(&result.mesh, w)) {
+            eprintln!("error: {e}");
+            status = ExitCode::FAILURE;
+        } else if !args.quiet {
+            eprintln!("wrote {p}");
+        }
+    }
+    if let Some(p) = &args.binary_out {
+        if let Err(e) = write(p, &|w| write_binary(&result.mesh, w)) {
+            eprintln!("error: {e}");
+            status = ExitCode::FAILURE;
+        } else if !args.quiet {
+            eprintln!("wrote {p}");
+        }
+    }
+    if let Some(p) = &args.svg {
+        if let Err(e) = write(p, &|w| write_svg(&result.mesh, w, 1600.0)) {
+            eprintln!("error: {e}");
+            status = ExitCode::FAILURE;
+        } else if !args.quiet {
+            eprintln!("wrote {p}");
+        }
+    }
+    status
+}

@@ -1,0 +1,46 @@
+//! # adm2d — parallel 2-D unstructured anisotropic Delaunay mesh generation
+//!
+//! A from-scratch Rust reproduction of *"Parallel Two-Dimensional
+//! Unstructured Anisotropic Delaunay Mesh Generation of Complex Domains
+//! for Aerospace Applications"* (Pardue & Chernikov, ICPP 2016).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`geom`] — exact-adaptive predicates, segments, AABB/Cohen–Sutherland,
+//!   alternating digital tree, convex hulls;
+//! * [`delaunay`] — divide-and-conquer Delaunay, constrained DT, Ruppert
+//!   refinement, quality metrics, Triangle-format I/O;
+//! * [`airfoil`] — NACA airfoils, the synthetic three-element high-lift
+//!   configuration, PSLG domains;
+//! * [`blayer`] — anisotropic boundary layers: growth functions, normal
+//!   rays, cusp fans, hierarchical intersection resolution;
+//! * [`partition`] — projection-based parallel domain decomposition;
+//! * [`decouple`] — graded Delaunay decoupling of the inviscid region;
+//! * [`mpirt`] — the MPI-like rank runtime with RMA window and dynamic
+//!   load balancing;
+//! * [`simnet`] — the discrete-event cluster simulator behind the
+//!   strong-scaling study;
+//! * [`solver`] — P1 finite elements and potential flow (the flow-solver
+//!   substitute);
+//! * [`core`] — the push-button pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use adm2d::core::{generate, MeshConfig};
+//!
+//! let config = MeshConfig::naca0012(60);
+//! let result = generate(&config);
+//! println!("{} triangles", result.stats.total_triangles);
+//! ```
+
+pub use adm_airfoil as airfoil;
+pub use adm_blayer as blayer;
+pub use adm_core as core;
+pub use adm_decouple as decouple;
+pub use adm_delaunay as delaunay;
+pub use adm_geom as geom;
+pub use adm_mpirt as mpirt;
+pub use adm_partition as partition;
+pub use adm_simnet as simnet;
+pub use adm_solver as solver;

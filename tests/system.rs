@@ -1,0 +1,89 @@
+//! Workspace-level system tests through the public `adm2d` facade:
+//! mesh -> I/O roundtrip -> flow solve -> scaling simulation, end to end.
+
+use adm2d::core::{generate, MeshConfig};
+use adm2d::delaunay::io::{read_ascii, read_binary, write_ascii, write_binary};
+use adm2d::simnet::{simulate, InitialDist, SimConfig, Task};
+use adm2d::solver::{solve_potential_flow, FlowConditions};
+
+fn test_config() -> MeshConfig {
+    let mut c = MeshConfig::naca0012(40);
+    c.sizing_max_area = 2.0;
+    c.bl_subdomains = 8;
+    c.inviscid_subdomains = 8;
+    c
+}
+
+#[test]
+fn mesh_roundtrips_through_both_formats() {
+    let result = generate(&test_config());
+    let mesh = &result.mesh;
+
+    let mut ascii = Vec::new();
+    write_ascii(mesh, &mut ascii).unwrap();
+    let back = read_ascii(&mut ascii.as_slice()).unwrap();
+    assert_eq!(back.num_vertices(), mesh.num_vertices());
+    assert_eq!(back.num_triangles(), mesh.num_triangles());
+    back.check_consistency();
+
+    let mut bin = Vec::new();
+    write_binary(mesh, &mut bin).unwrap();
+    let back = read_binary(&mut bin.as_slice()).unwrap();
+    assert_eq!(back.num_triangles(), mesh.num_triangles());
+    assert_eq!(back.vertices, mesh.vertices);
+    // The binary format is denser than ASCII (the paper's §IV point about
+    // output costs).
+    assert!(bin.len() < ascii.len() / 2);
+}
+
+#[test]
+fn generated_mesh_supports_flow_solution() {
+    let result = generate(&test_config());
+    let sol = solve_potential_flow(&result.mesh, &FlowConditions::default());
+    assert!(
+        sol.residuals.last().unwrap() < &1e-9,
+        "solver did not converge: {:?}",
+        sol.residuals.last()
+    );
+    // Stagnation and suction both present around a lifting airfoil.
+    let speeds: Vec<f64> = sol.velocity.iter().map(|&(_, v)| v.norm()).collect();
+    assert!(speeds.iter().cloned().fold(f64::INFINITY, f64::min) < 0.5);
+    assert!(speeds.iter().cloned().fold(0.0, f64::max) > 1.05);
+}
+
+#[test]
+fn measured_tasklog_feeds_the_scaling_simulation() {
+    let result = generate(&test_config());
+    let tasks: Vec<Task> = result
+        .log
+        .parallel_tasks()
+        .iter()
+        .map(|r| Task {
+            cost_s: r.cost_s.max(1e-7),
+            bytes: r.bytes.max(64),
+        })
+        .collect();
+    assert!(tasks.len() >= 10);
+    let total: f64 = tasks.iter().map(|t| t.cost_s).sum();
+    let cfg = SimConfig::default();
+    let dist = InitialDist::Tree {
+        split_cost_s_per_byte: 1e-9,
+    };
+    let mut prev = f64::INFINITY;
+    for p in [1usize, 2, 4, 8] {
+        let sim = simulate(p, &tasks, dist, &cfg);
+        assert!(sim.makespan_s <= prev + 1e-12, "makespan rose at p={p}");
+        assert!(total / sim.makespan_s <= p as f64 + 1e-9);
+        prev = sim.makespan_s;
+    }
+}
+
+#[test]
+fn push_button_determinism() {
+    // The pipeline is deterministic: two runs with the same config give
+    // bitwise-identical meshes.
+    let a = generate(&test_config());
+    let b = generate(&test_config());
+    assert_eq!(a.stats.total_triangles, b.stats.total_triangles);
+    assert_eq!(a.mesh.vertices, b.mesh.vertices);
+}
