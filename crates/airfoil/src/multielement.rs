@@ -110,7 +110,10 @@ mod tests {
         assert!(is_simple(&pts));
         assert!(!adm_geom::polygon::is_convex_ccw(&pts));
         // At least a few points were pulled.
-        let pulled = pts.iter().filter(|p| p.y < 0.0 && p.y > -0.02 && p.x > 0.5 && p.x < 0.9).count();
+        let pulled = pts
+            .iter()
+            .filter(|p| p.y < 0.0 && p.y > -0.02 && p.x > 0.5 && p.x < 0.9)
+            .count();
         assert!(pulled > 0);
     }
 
@@ -147,11 +150,7 @@ mod tests {
     #[test]
     fn elements_are_ordered_slat_main_flap_along_x() {
         let pslg = three_element_highlift(&HighLiftParams::default());
-        let cx: Vec<f64> = pslg
-            .loops
-            .iter()
-            .map(|l| l.bbox().center().x)
-            .collect();
+        let cx: Vec<f64> = pslg.loops.iter().map(|l| l.bbox().center().x).collect();
         assert!(cx[0] < cx[1] && cx[1] < cx[2]);
     }
 

@@ -48,7 +48,8 @@ impl Naca4 {
     pub fn half_thickness(&self, x: f64) -> f64 {
         let c = if self.sharp_te { -0.1036 } else { -0.1015 };
         5.0 * self.thickness
-            * (0.2969 * x.sqrt() - 0.1260 * x - 0.3516 * x * x + 0.2843 * x * x * x
+            * (0.2969 * x.sqrt() - 0.1260 * x - 0.3516 * x * x
+                + 0.2843 * x * x * x
                 + c * x * x * x * x)
     }
 
@@ -101,7 +102,11 @@ impl Naca4 {
         }
         // Lower surface: LE -> TE, skipping the shared LE point and (for a
         // sharp TE) the shared TE point.
-        let last = if self.sharp_te { n_per_side } else { n_per_side + 1 };
+        let last = if self.sharp_te {
+            n_per_side
+        } else {
+            n_per_side + 1
+        };
         for k in 1..last {
             let x = station(k.min(n_per_side));
             let (px, py) = self.point_on(x, false);
@@ -134,10 +139,7 @@ pub fn transform(points: &[Point2], scale: f64, rotate_deg: f64, translate: Poin
         .map(|p| {
             let x = p.x * scale;
             let y = p.y * scale;
-            Point2::new(
-                c * x - s * y + translate.x,
-                s * x + c * y + translate.y,
-            )
+            Point2::new(c * x - s * y + translate.x, s * x + c * y + translate.y)
         })
         .collect()
 }

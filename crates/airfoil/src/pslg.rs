@@ -118,10 +118,7 @@ impl Pslg {
 
     /// Reference chord (longest loop chord).
     pub fn reference_chord(&self) -> f64 {
-        self.loops
-            .iter()
-            .map(|l| l.chord())
-            .fold(0.0, f64::max)
+        self.loops.iter().map(|l| l.chord()).fold(0.0, f64::max)
     }
 
     /// Total solid area covered by the components.
@@ -192,8 +189,14 @@ mod tests {
         let pslg = Pslg::with_farfield_margin(vec![l1, l2], 10.0);
         let seeds = pslg.hole_seeds();
         assert_eq!(seeds.len(), 2);
-        assert!(adm_geom::polygon::contains_point(&pslg.loops[0].points, seeds[0]));
-        assert!(adm_geom::polygon::contains_point(&pslg.loops[1].points, seeds[1]));
+        assert!(adm_geom::polygon::contains_point(
+            &pslg.loops[0].points,
+            seeds[0]
+        ));
+        assert!(adm_geom::polygon::contains_point(
+            &pslg.loops[1].points,
+            seeds[1]
+        ));
     }
 
     #[test]

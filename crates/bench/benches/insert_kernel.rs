@@ -1,0 +1,112 @@
+//! Point-insertion kernel throughput.
+//!
+//! Exercises the zero-allocation insertion hot path in isolation:
+//!
+//! * `steady_state_50k`  — raw Bowyer-Watson inserts into a pre-built,
+//!   pre-reserved square (no hull growth, no location cold start): the
+//!   purest measure of the cavity kernel.
+//! * `incremental_50k`   — full incremental triangulation including hull
+//!   growth and scratch warm-up.
+//! * `ruppert_naca0012`  — Ruppert refinement of a fixed NACA 0012
+//!   subdomain: split_edge + circumcenter inserts through the same kernel.
+//!
+//! `bench_results/insert_kernel_baseline.json` holds the pre-optimization
+//! numbers this suite is compared against.
+
+use adm_airfoil::Naca4;
+use adm_delaunay::incremental::triangulate_incremental;
+use adm_delaunay::triangulator::{triangulate, RefineOptions, TriOptions};
+use adm_geom::point::Point2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_cloud(n: usize, seed: u64) -> Vec<Point2> {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(r.gen_range(0.01..0.99), r.gen_range(0.01..0.99)))
+        .collect()
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    const N: usize = 50_000;
+    // Lexicographic order gives the hint chain spatial locality, so the
+    // point-location walk stays short and the cavity kernel dominates.
+    let mut cloud = random_cloud(N, 42);
+    cloud.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+    let square = vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(1.0, 0.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(0.0, 1.0),
+    ];
+    c.bench_function("insert_kernel/steady_state_50k", |b| {
+        b.iter(|| {
+            let mut mesh = triangulate_incremental(&square).unwrap();
+            mesh.reserve(N, 2 * N + 64);
+            let mut hint = mesh.any_triangle().unwrap();
+            for &p in &cloud {
+                let v = mesh.insert_point(p, hint).expect("interior");
+                hint = mesh.triangle_of_vertex(v).unwrap_or(hint);
+            }
+            std::hint::black_box(mesh.num_triangles())
+        })
+    });
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    const N: usize = 50_000;
+    let cloud = random_cloud(N, 7);
+    c.bench_function("insert_kernel/incremental_50k", |b| {
+        b.iter(|| {
+            let mesh = triangulate_incremental(&cloud).unwrap();
+            std::hint::black_box(mesh.num_triangles())
+        })
+    });
+}
+
+fn bench_ruppert_naca(c: &mut Criterion) {
+    // Fixed NACA 0012 subdomain: the airfoil surface inside a tight box,
+    // surface and box fully constrained, interior carved, then refined.
+    let surface = Naca4::naca0012().surface(100);
+    let mut pts = vec![
+        Point2::new(-0.5, -0.6),
+        Point2::new(1.5, -0.6),
+        Point2::new(1.5, 0.6),
+        Point2::new(-0.5, 0.6),
+    ];
+    let mut segments: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+    let s0 = pts.len() as u32;
+    let m = surface.len() as u32;
+    pts.extend(surface);
+    for k in 0..m {
+        segments.push((s0 + k, s0 + (k + 1) % m));
+    }
+    c.bench_function("insert_kernel/ruppert_naca0012", |b| {
+        b.iter(|| {
+            let opts = TriOptions {
+                segments: segments.clone(),
+                holes: vec![Point2::new(0.5, 0.0)],
+                refine: Some(RefineOptions {
+                    max_area: Some(2e-4),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            let out = triangulate(&pts, &opts).unwrap();
+            std::hint::black_box(out.mesh.num_triangles())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_steady_state, bench_incremental, bench_ruppert_naca
+}
+criterion_main!(benches);

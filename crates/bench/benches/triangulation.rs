@@ -101,9 +101,7 @@ fn bench_engines(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(triangulate_dc(&pts, false).triangles().len()))
         });
         g.bench_function(format!("incremental_{n}"), |b| {
-            b.iter(|| {
-                std::hint::black_box(triangulate_incremental(&pts).unwrap().num_triangles())
-            })
+            b.iter(|| std::hint::black_box(triangulate_incremental(&pts).unwrap().num_triangles()))
         });
     }
     g.finish();

@@ -95,7 +95,10 @@ fn main() {
     let min = *costs.iter().min().unwrap();
     let max = *costs.iter().max().unwrap();
     let mean = costs.iter().sum::<u64>() as f64 / costs.len() as f64;
-    println!("subdomain cost: min {min}, mean {mean:.0}, max {max} (imbalance {:.2})", max as f64 / mean);
+    println!(
+        "subdomain cost: min {min}, mean {mean:.0}, max {max} (imbalance {:.2})",
+        max as f64 / mean
+    );
 
     // SVG: each subdomain's triangles in a distinct color.
     let mut svg = String::new();
@@ -113,7 +116,10 @@ fn main() {
     );
     for (li, leaf) in d.leaves.iter().enumerate() {
         let hue = (li * 47) % 360;
-        let _ = writeln!(svg, "<g stroke=\"hsl({hue},70%,40%)\" stroke-width=\"0.3\" fill=\"none\">");
+        let _ = writeln!(
+            svg,
+            "<g stroke=\"hsl({hue},70%,40%)\" stroke-width=\"0.3\" fill=\"none\">"
+        );
         for t in triangulate_leaf(leaf) {
             let tx = |i: u32| {
                 let p = cloud[i as usize];

@@ -29,9 +29,7 @@ struct DecouplingReport {
 fn main() {
     let body = Aabb::new(Point2::new(-0.2, -0.25), Point2::new(1.2, 0.25));
     let far = Aabb::new(Point2::new(-30.0, -30.0), Point2::new(31.0, 30.0));
-    let body_samples: Vec<Point2> = (0..32)
-        .map(|k| Point2::new(k as f64 / 31.0, 0.0))
-        .collect();
+    let body_samples: Vec<Point2> = (0..32).map(|k| Point2::new(k as f64 / 31.0, 0.0)).collect();
     let sizing = GradedSizing::new(&body_samples, 0.04, 0.12, 8.0, 32);
 
     let init = initial_quadrants(&body, &far, &sizing);
@@ -45,7 +43,10 @@ fn main() {
         splits += s;
         counts.push(mesh.num_triangles());
         if i % 16 == 0 {
-            eprintln!("[fig10]   subdomain {i}: {} triangles", mesh.num_triangles());
+            eprintln!(
+                "[fig10]   subdomain {i}: {} triangles",
+                mesh.num_triangles()
+            );
         }
     }
     let min = *counts.iter().min().unwrap();

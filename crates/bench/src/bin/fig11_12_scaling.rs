@@ -42,9 +42,7 @@ fn main() {
     // F, modeling the paper's workload size (172.8M triangles) with this
     // host's measured cost *distribution*.
     let scale = get("--scale-costs", 1) as f64;
-    let schedule = if args.iter().any(|a| a == "--schedule")
-        && args.iter().any(|a| a == "fifo")
-    {
+    let schedule = if args.iter().any(|a| a == "--schedule") && args.iter().any(|a| a == "fifo") {
         Schedule::Fifo
     } else {
         Schedule::LargestFirst
@@ -149,7 +147,11 @@ fn main() {
     let path = write_json(
         &format!(
             "fig11_12_scaling{}{}",
-            if schedule == Schedule::Fifo { "_fifo" } else { "" },
+            if schedule == Schedule::Fifo {
+                "_fifo"
+            } else {
+                ""
+            },
             if scale > 1.0 { "_paperscale" } else { "" }
         ),
         &report,

@@ -65,7 +65,11 @@ fn render(
         for r in &l.rays {
             let a = tx(r.origin);
             let b = tx(r.at(r.max_height));
-            let _ = writeln!(svg, "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>", a.0, a.1, b.0, b.1);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>",
+                a.0, a.1, b.0, b.1
+            );
         }
         let _ = writeln!(svg, "</g>");
         // Outer border in red.
@@ -124,11 +128,7 @@ fn main() {
         }
         eprintln!(
             "[fig13] element {} ({}): {} rays, {} fan rays, {} clamped",
-            i,
-            pslg.loops[i].name,
-            rays_n[i],
-            fans_n[i],
-            clamped_n[i]
+            i, pslg.loops[i].name, rays_n[i], fans_n[i], clamped_n[i]
         );
     }
     let mut multi_ok = true;
@@ -145,7 +145,11 @@ fn main() {
     for l in &layers {
         let n = l.layer.num_rays();
         for i in 0..n {
-            let hi = l.layer.tip(i).map(|p| p.distance(l.rays[i].origin)).unwrap_or(0.0);
+            let hi = l
+                .layer
+                .tip(i)
+                .map(|p| p.distance(l.rays[i].origin))
+                .unwrap_or(0.0);
             let hj = l
                 .layer
                 .tip((i + 1) % n)

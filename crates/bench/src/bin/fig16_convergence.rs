@@ -57,7 +57,12 @@ fn isotropic_mesh(config: &MeshConfig, h0: f64) -> Mesh {
         Point2::new(f.min.x, f.max.y),
     ]);
     segments.extend((0..4).map(|i| (base + i, base + (i + 1) % 4)));
-    let body: Vec<Point2> = config.pslg.loops.iter().flat_map(|l| l.points.clone()).collect();
+    let body: Vec<Point2> = config
+        .pslg
+        .loops
+        .iter()
+        .flat_map(|l| l.points.clone())
+        .collect();
     let sizing = GradedSizing::new(&body, h0, config.sizing_rate, config.sizing_max_area, 64);
     let sz = |p: Point2| sizing.target_area(p);
     let opts = TriOptions {
@@ -70,7 +75,9 @@ fn isotropic_mesh(config: &MeshConfig, h0: f64) -> Mesh {
         }),
         ..Default::default()
     };
-    triangulate(&points, &opts).expect("isotropic meshing failed").mesh
+    triangulate(&points, &opts)
+        .expect("isotropic meshing failed")
+        .mesh
 }
 
 /// Solves the model problem and returns the residual history.

@@ -76,7 +76,8 @@ fn main() {
         speed_ratio: ascii_s / binary_s,
         ascii_extrapolated_min_at_paper_size: ascii_paper_min,
         binary_extrapolated_min_at_paper_size: binary_paper_min,
-        paper_reference: "ASCII write of the 172.8M-triangle mesh took 9 minutes; binary is cheaper",
+        paper_reference:
+            "ASCII write of the 172.8M-triangle mesh took 9 minutes; binary is cheaper",
     };
     let path = write_json("table_output_io", &report).expect("write report");
     eprintln!("[io] wrote {}", path.display());

@@ -63,11 +63,9 @@ fn main() {
     // both with and without it.
     let base_merge = base.log.total_s(TaskKind::Merge);
     let pipe_merge = pipe.log.total_s(TaskKind::Merge);
-    let eff_nomerge =
-        (base.stats.total_s - base_merge) / (pipe.stats.total_s - pipe_merge);
+    let eff_nomerge = (base.stats.total_s - base_merge) / (pipe.stats.total_s - pipe_merge);
     let eff = base.stats.total_s / pipe.stats.total_s;
-    let overhead =
-        pipe.stats.total_triangles as f64 / base.stats.total_triangles as f64 - 1.0;
+    let overhead = pipe.stats.total_triangles as f64 / base.stats.total_triangles as f64 - 1.0;
     println!("method          time(s)   triangles");
     println!(
         "undecomposed  {:>9.3}  {:>10}",

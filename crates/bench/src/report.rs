@@ -34,10 +34,11 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
     let dir = Path::new("bench_results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
     let s = serde_json::to_string_pretty(value)?;
     f.write_all(s.as_bytes())?;
     f.write_all(b"\n")?;
+    f.flush()?;
     Ok(path)
 }
 

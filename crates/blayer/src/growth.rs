@@ -50,7 +50,10 @@ impl Geometric {
     pub fn new(first_height: f64, ratio: f64) -> Self {
         assert!(first_height > 0.0, "first height must be positive");
         assert!(ratio > 0.0, "ratio must be positive");
-        Geometric { first_height, ratio }
+        Geometric {
+            first_height,
+            ratio,
+        }
     }
 }
 
@@ -91,7 +94,10 @@ impl Polynomial {
     pub fn new(first_height: f64, exponent: f64) -> Self {
         assert!(first_height > 0.0);
         assert!(exponent >= 1.0);
-        Polynomial { first_height, exponent }
+        Polynomial {
+            first_height,
+            exponent,
+        }
     }
 }
 
@@ -175,9 +181,10 @@ impl GrowthSpec {
 impl GrowthFn for GrowthSpec {
     fn height(&self, k: usize) -> f64 {
         match *self {
-            GrowthSpec::Geometric { first_height, ratio } => {
-                Geometric::new(first_height, ratio).height(k)
-            }
+            GrowthSpec::Geometric {
+                first_height,
+                ratio,
+            } => Geometric::new(first_height, ratio).height(k),
             GrowthSpec::Polynomial {
                 first_height,
                 exponent,
@@ -196,9 +203,10 @@ impl GrowthFn for GrowthSpec {
 
     fn layer_thickness(&self, k: usize) -> f64 {
         match *self {
-            GrowthSpec::Geometric { first_height, ratio } => {
-                Geometric::new(first_height, ratio).layer_thickness(k)
-            }
+            GrowthSpec::Geometric {
+                first_height,
+                ratio,
+            } => Geometric::new(first_height, ratio).layer_thickness(k),
             GrowthSpec::Polynomial {
                 first_height,
                 exponent,

@@ -230,7 +230,10 @@ mod tests {
 
     #[test]
     fn crossing_pair_is_clamped() {
-        let mut rays = vec![ray(0.0, 0.0, 1.0, 1.0, 10.0), ray(2.0, 0.0, -1.0, 1.0, 10.0)];
+        let mut rays = vec![
+            ray(0.0, 0.0, 1.0, 1.0, 10.0),
+            ray(2.0, 0.0, -1.0, 1.0, 10.0),
+        ];
         let n = resolve_self_intersections(&mut rays);
         assert!(n >= 2);
         assert!(no_proper_intersections(&rays));
@@ -286,7 +289,10 @@ mod tests {
         assert!(adm_geom::polygon::is_ccw(&slot));
         assert!(adm_geom::polygon::is_simple(&slot));
         let mut rays = emit_rays(&slot, 0.8, &CornerThresholds::default());
-        assert!(!no_proper_intersections(&rays), "test needs intersecting input");
+        assert!(
+            !no_proper_intersections(&rays),
+            "test needs intersecting input"
+        );
         resolve_self_intersections(&mut rays);
         assert!(no_proper_intersections(&rays));
         // Rays inside the slot were shortened below the slot width.
@@ -297,22 +303,24 @@ mod tests {
     fn multielement_rays_clamped_at_neighbor_layer() {
         // Element A's rays point toward element B one unit away; B's
         // boundary layer (height 0.2) must stop A's rays.
-        let square_b: Vec<Point2> =
-            vec![p(2.0, -0.5), p(3.0, -0.5), p(3.0, 0.5), p(2.0, 0.5)];
+        let square_b: Vec<Point2> = vec![p(2.0, -0.5), p(3.0, -0.5), p(3.0, 0.5), p(2.0, 0.5)];
         let rays_b = emit_rays(&square_b, 0.2, &CornerThresholds::default());
         let mut rays_a = vec![ray(0.0, 0.0, 1.0, 0.0, 5.0), ray(0.0, 0.3, 1.0, 0.0, 5.0)];
         let n = resolve_against_element(&mut rays_a, &rays_b, &square_b);
         assert!(n >= 1);
         // The horizontal ray at y=0 must stop before B's layer border at
         // x ~= 1.8.
-        assert!(rays_a[0].max_height <= 1.9, "height {}", rays_a[0].max_height);
+        assert!(
+            rays_a[0].max_height <= 1.9,
+            "height {}",
+            rays_a[0].max_height
+        );
         assert!(rays_a[0].max_height > 1.0);
     }
 
     #[test]
     fn faraway_elements_untouched() {
-        let square_b: Vec<Point2> =
-            vec![p(20.0, -0.5), p(21.0, -0.5), p(21.0, 0.5), p(20.0, 0.5)];
+        let square_b: Vec<Point2> = vec![p(20.0, -0.5), p(21.0, -0.5), p(21.0, 0.5), p(20.0, 0.5)];
         let rays_b = emit_rays(&square_b, 0.2, &CornerThresholds::default());
         let mut rays_a = vec![ray(0.0, 0.0, 0.0, 1.0, 2.0)];
         assert_eq!(resolve_against_element(&mut rays_a, &rays_b, &square_b), 0);

@@ -179,7 +179,9 @@ mod tests {
         let c = circle(72, 1.0);
         let rays = emit_rays(&c, 0.1, &CornerThresholds::default());
         assert_eq!(rays.len(), 72);
-        assert!(rays.iter().all(|r| matches!(r.source, RaySource::Vertex(_))));
+        assert!(rays
+            .iter()
+            .all(|r| matches!(r.source, RaySource::Vertex(_))));
         // All rays point radially outward.
         for r in &rays {
             let radial = (r.origin - Point2::ORIGIN).normalized().unwrap();

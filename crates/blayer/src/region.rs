@@ -186,9 +186,7 @@ pub fn layers_disjoint(a: &BoundaryLayer, b: &BoundaryLayer) -> bool {
         return true;
     }
     for &p in &a.layer.points {
-        if adm_geom::polygon::contains_point(&border_b, p)
-            && !on_border(&border_b, p)
-        {
+        if adm_geom::polygon::contains_point(&border_b, p) && !on_border(&border_b, p) {
             return false;
         }
     }

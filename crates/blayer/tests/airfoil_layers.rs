@@ -118,7 +118,14 @@ fn blunt_trailing_edge_gets_rays_on_both_corners() {
     let pslg = three_element_highlift(&HighLiftParams::default());
     let flap = &pslg.loops[2].points;
     let growth = Geometric::new(2e-4, 1.3);
-    let bl = build_boundary_layer(flap, &growth, &BlParams { height: 0.02, ..Default::default() });
+    let bl = build_boundary_layer(
+        flap,
+        &growth,
+        &BlParams {
+            height: 0.02,
+            ..Default::default()
+        },
+    );
     let fan_sources: std::collections::HashSet<u32> = bl
         .rays
         .iter()

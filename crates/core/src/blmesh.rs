@@ -86,7 +86,9 @@ pub fn mesh_boundary_layer(
         // is the id the deduplicating partitioner kept.
         let mut id_of: HashMap<(u64, u64), u32> = HashMap::new();
         for (i, p) in cloud.iter().enumerate() {
-            id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+            id_of
+                .entry((p.x.to_bits(), p.y.to_bits()))
+                .or_insert(i as u32);
         }
         let lookup = |p: Point2| -> u32 {
             *id_of

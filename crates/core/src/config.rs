@@ -84,7 +84,8 @@ impl MeshConfig {
 
     /// The sizing edge length at the body (explicit or derived).
     pub fn effective_sizing_h0(&self) -> f64 {
-        self.sizing_h0.unwrap_or_else(|| 1.5 * self.mean_surface_spacing())
+        self.sizing_h0
+            .unwrap_or_else(|| 1.5 * self.mean_surface_spacing())
     }
 }
 

@@ -142,7 +142,9 @@ pub fn propagate_interface_splits(
     // Coordinate -> BL vertex id.
     let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
     for (i, p) in bl.vertices.iter().enumerate() {
-        id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+        id_of
+            .entry((p.x.to_bits(), p.y.to_bits()))
+            .or_insert(i as u32);
     }
     let mut inserted = 0usize;
     for border in interface_loops {
@@ -168,11 +170,17 @@ pub fn propagate_interface_splits(
                 continue;
             }
             added.sort_by(|x, y| x.0.total_cmp(&y.0));
-            let Some(&ida) = id_of.get(&(a.x.to_bits(), a.y.to_bits())) else { continue };
-            let Some(&idb) = id_of.get(&(b.x.to_bits(), b.y.to_bits())) else { continue };
+            let Some(&ida) = id_of.get(&(a.x.to_bits(), a.y.to_bits())) else {
+                continue;
+            };
+            let Some(&idb) = id_of.get(&(b.x.to_bits(), b.y.to_bits())) else {
+                continue;
+            };
             let mut left = ida;
             for (_, p) in added {
-                let Some((t, e)) = bl.find_edge(left, idb) else { break };
+                let Some((t, e)) = bl.find_edge(left, idb) else {
+                    break;
+                };
                 let v = bl.split_edge(t, e, p);
                 inserted += 1;
                 left = v;
@@ -318,12 +326,7 @@ mod tests {
             }
             b
         };
-        let hole: Vec<Point2> = vec![
-            p(-0.5, -0.5),
-            p(0.5, -0.5),
-            p(0.5, 0.5),
-            p(-0.5, 0.5),
-        ];
+        let hole: Vec<Point2> = vec![p(-0.5, -0.5), p(0.5, -0.5), p(0.5, 0.5), p(-0.5, 0.5)];
         let sizing = UniformSizing(0.05);
         let (mesh, _) = refine_nearbody(&rect, &[hole], &[p(0.0, 0.0)], &sizing);
         mesh.check_consistency();

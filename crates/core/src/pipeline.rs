@@ -65,9 +65,8 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
 
     // 2. Parallel-decomposed boundary-layer triangulation (§II.D).
     let hole_seeds = config.pslg.hole_seeds();
-    let bl: BlMesh =
-        mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &mut log)
-            .expect("boundary-layer meshing failed");
+    let bl: BlMesh = mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &mut log)
+        .expect("boundary-layer meshing failed");
 
     // 3. Graded decoupled inviscid region (§II.E).
     let sizing = build_sizing(
@@ -201,11 +200,8 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
     }
     let nearbody_box = bbox.inflated(config.nearbody_margin * chord);
     let init = initial_quadrants(&nearbody_box, &config.pslg.farfield, &sizing);
-    let threshold = crate::inviscid::decouple_threshold(
-        &init.quadrants,
-        config.inviscid_subdomains,
-        &sizing,
-    );
+    let threshold =
+        crate::inviscid::decouple_threshold(&init.quadrants, config.inviscid_subdomains, &sizing);
     let nearbody_border = init.nearbody_border.clone();
 
     // Seed tasks: the undecomposed BL root, the four quadrants, and the
@@ -279,10 +275,7 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
                     }
                 }
                 Task::NearBody {
-                    rect,
-                    holes,
-                    seeds,
-                    ..
+                    rect, holes, seeds, ..
                 } => {
                     let (mesh, _) = refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
                     TaskOut::SubMesh(Box::new(mesh))
@@ -329,7 +322,9 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
     let mut bl_mesh = Mesh::from_triangles(cloud.clone(), all_tris);
     let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
     for (i, p) in cloud.iter().enumerate() {
-        id_of.entry((p.x.to_bits(), p.y.to_bits())).or_insert(i as u32);
+        id_of
+            .entry((p.x.to_bits(), p.y.to_bits()))
+            .or_insert(i as u32);
     }
     let lookup = |p: Point2| -> u32 { id_of[&(p.x.to_bits(), p.y.to_bits())] };
     for l in &layers {

@@ -53,12 +53,7 @@ pub struct TaskLog {
 
 impl TaskLog {
     /// Times `f` and appends a record with its measured cost.
-    pub fn measure<R>(
-        &mut self,
-        kind: TaskKind,
-        bytes: u64,
-        f: impl FnOnce() -> (R, u64),
-    ) -> R {
+    pub fn measure<R>(&mut self, kind: TaskKind, bytes: u64, f: impl FnOnce() -> (R, u64)) -> R {
         let t0 = Instant::now();
         let (out, triangles) = f();
         self.records.push(TaskRecord {

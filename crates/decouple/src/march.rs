@@ -25,7 +25,8 @@ pub fn march_path(a: Point2, b: Point2, sizing: &dyn SizingField) -> Vec<Point2>
     }
     let dir = (b - a) * (1.0 / total);
     let mut s = 0.0; // arclength position of the current vertex
-    let guard = 4.0 * (total / (2.0 * k_value(min_area_probe(a, b, sizing)) / 3f64.sqrt())).max(16.0);
+    let guard =
+        4.0 * (total / (2.0 * k_value(min_area_probe(a, b, sizing)) / 3f64.sqrt())).max(16.0);
     let mut steps = 0.0;
     loop {
         let cur = a + dir * s;
@@ -70,7 +71,10 @@ pub fn march_path(a: Point2, b: Point2, sizing: &dyn SizingField) -> Vec<Point2>
         s += d;
         out.push(a + dir * s);
         steps += 1.0;
-        assert!(steps <= guard, "marching did not terminate ({a:?} -> {b:?})");
+        assert!(
+            steps <= guard,
+            "marching did not terminate ({a:?} -> {b:?})"
+        );
     }
 }
 

@@ -206,7 +206,10 @@ mod tests {
             total += signed_area(&q.border);
         }
         let expect = f.width() * f.height() - b.width() * b.height();
-        assert!((total - expect).abs() < 1e-6, "total {total} expect {expect}");
+        assert!(
+            (total - expect).abs() < 1e-6,
+            "total {total} expect {expect}"
+        );
     }
 
     #[test]
@@ -226,13 +229,7 @@ mod tests {
         // near-body box (on spokes) or on the near-body border must appear
         // in exactly two of the five subdomains (4 quadrants + near-body).
         let (b, f) = boxes();
-        let s = GradedSizing::new(
-            &[Point2::new(0.5, 0.0)],
-            0.2,
-            0.3,
-            50.0,
-            8,
-        );
+        let s = GradedSizing::new(&[Point2::new(0.5, 0.0)], 0.2, 0.3, 50.0, 8);
         let d = initial_quadrants(&b, &f, &s);
         let mut counts: std::collections::HashMap<(u64, u64), usize> =
             std::collections::HashMap::new();
@@ -254,8 +251,8 @@ mod tests {
             // Near-body corners join two quadrants plus the near-body
             // subdomain; every other interior border point joins exactly
             // two subdomains.
-            let is_b_corner = (pt.x == b.min.x || pt.x == b.max.x)
-                && (pt.y == b.min.y || pt.y == b.max.y);
+            let is_b_corner =
+                (pt.x == b.min.x || pt.x == b.max.x) && (pt.y == b.min.y || pt.y == b.max.y);
             let expect = if is_b_corner { 3 } else { 2 };
             assert_eq!(
                 *c, expect,

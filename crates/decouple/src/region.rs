@@ -93,7 +93,7 @@ impl Region {
         // Connection point per side: existing border point closest to the
         // side midpoint, excluding the side's corner endpoints.
         let mut conn: [usize; 4] = [0; 4];
-        for k in 0..4 {
+        for (k, slot) in conn.iter_mut().enumerate() {
             let idxs = self.side_range(k);
             assert!(
                 idxs.len() >= 3,
@@ -111,12 +111,11 @@ impl Region {
                         .total_cmp(&self.border[j].distance_sq(mid))
                 })
                 .expect("interior point exists");
-            conn[k] = best;
+            *slot = best;
         }
         // Interior paths center -> connection point.
-        let paths: [Vec<Point2>; 4] = std::array::from_fn(|k| {
-            march_path(center, self.border[conn[k]], sizing)
-        });
+        let paths: [Vec<Point2>; 4] =
+            std::array::from_fn(|k| march_path(center, self.border[conn[k]], sizing));
 
         // Child k: parent border from conn[k-1] to conn[k] (through corner
         // k), then rev(paths[k]) from conn[k] to center, then paths[k-1]
@@ -146,7 +145,7 @@ impl Region {
                 border.push(*p);
             }
             corner_pos[3] = border.len() - 1; // center
-            // center -> conn[prev] exclusive of both.
+                                              // center -> conn[prev] exclusive of both.
             let lp = paths[prev].len();
             for p in &paths[prev][1..lp.saturating_sub(1)] {
                 border.push(*p);
@@ -237,15 +236,13 @@ mod tests {
 
     /// A discretized rectangle region.
     fn rect_region(min: Point2, max: Point2, sizing: &dyn SizingField) -> Region {
-        let (sw, se, ne, nw) = (
-            min,
-            p(max.x, min.y),
-            max,
-            p(min.x, max.y),
-        );
+        let (sw, se, ne, nw) = (min, p(max.x, min.y), max, p(min.x, max.y));
         let mut border = Vec::new();
         let mut corners = [0usize; 4];
-        for (k, (a, b)) in [(sw, se), (se, ne), (ne, nw), (nw, sw)].into_iter().enumerate() {
+        for (k, (a, b)) in [(sw, se), (se, ne), (ne, nw), (nw, sw)]
+            .into_iter()
+            .enumerate()
+        {
             corners[k] = border.len();
             let chain = march_path(a, b, sizing);
             border.extend_from_slice(&chain[..chain.len() - 1]);

@@ -37,7 +37,11 @@ fn independent_refinement_never_splits_shared_borders() {
     let body = Aabb::new(Point2::new(-0.5, -0.3), Point2::new(1.5, 0.3));
     let far = Aabb::new(Point2::new(-15.0, -15.0), Point2::new(16.0, 15.0));
     let sizing = GradedSizing::new(
-        &[Point2::new(0.0, 0.0), Point2::new(0.5, 0.0), Point2::new(1.0, 0.0)],
+        &[
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(1.0, 0.0),
+        ],
         0.15,
         0.25,
         40.0,

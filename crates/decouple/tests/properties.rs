@@ -1,8 +1,8 @@
 //! Property-based tests for the decoupling machinery.
 
 use adm_decouple::{
-    chain_respects_bounds, decouple_to_count, initial_quadrants, k_value, march_path,
-    GradedSizing, SizingField, UniformSizing,
+    chain_respects_bounds, decouple_to_count, initial_quadrants, k_value, march_path, GradedSizing,
+    SizingField, UniformSizing,
 };
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;

@@ -111,7 +111,7 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
     let mut lower: Vec<u32> = Vec::new(); // strictly right of a->b
     {
         let (u, v) = mesh.edge_vertices(tcur, ecross);
-        if mesh.is_constrained(u, v) {
+        if mesh.is_constrained_tri(tcur, ecross) {
             return Err(CdtError::CrossesConstraint((a, b), edge_key(u, v)));
         }
         lower.push(u); // u right of a->b
@@ -153,8 +153,8 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
             lower.push(w);
             mesh.vertex_index_in(n, right).expect("right in n")
         };
-        let (x, y) = mesh.edge_vertices(n, next_edge);
-        if mesh.is_constrained(x, y) {
+        if mesh.is_constrained_tri(n, next_edge) {
+            let (x, y) = mesh.edge_vertices(n, next_edge);
             return Err(CdtError::CrossesConstraint((a, b), edge_key(x, y)));
         }
         tcur = n;
@@ -229,24 +229,23 @@ pub fn carve(mesh: &mut Mesh, holes: &[Point2]) {
     // Seeds: every triangle with an unconstrained boundary (NIL) edge.
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == NIL {
-                let (u, v) = mesh.edge_vertices(t, i);
-                if !mesh.is_constrained(u, v) && outside.insert(t) {
-                    stack.push(t);
-                }
+            if mesh.neighbors[t as usize][i as usize] == NIL
+                && !mesh.is_constrained_tri(t, i)
+                && outside.insert(t)
+            {
+                stack.push(t);
             }
         }
     }
     // Hole seeds.
     for &h in holes {
         if let Some(start) = mesh.any_triangle() {
-            match mesh.walk_from(start, h, false) {
-                Location::InTriangle(t) | Location::OnEdge(t, _) => {
-                    if outside.insert(t) {
-                        stack.push(t);
-                    }
+            if let Location::InTriangle(t) | Location::OnEdge(t, _) =
+                mesh.walk_from(start, h, false)
+            {
+                if outside.insert(t) {
+                    stack.push(t);
                 }
-                _ => {}
             }
         }
     }
@@ -256,8 +255,7 @@ pub fn carve(mesh: &mut Mesh, holes: &[Point2]) {
             if n == NIL || outside.contains(&n) {
                 continue;
             }
-            let (u, v) = mesh.edge_vertices(t, i);
-            if mesh.is_constrained(u, v) {
+            if mesh.is_constrained_tri(t, i) {
                 continue;
             }
             outside.insert(n);
@@ -309,11 +307,13 @@ mod tests {
         // Corner-to-corner constraint.
         let (mut mesh, map) = constrained_delaunay(&pts, &[], false).unwrap();
         insert_constraint(&mut mesh, map[0], map[2]).unwrap();
-        assert!(mesh.is_constrained(map[0], map[2]) || {
-            // The segment may have been split by collinear vertices; then
-            // every piece along the diagonal must be constrained.
-            true
-        });
+        assert!(
+            mesh.is_constrained(map[0], map[2]) || {
+                // The segment may have been split by collinear vertices; then
+                // every piece along the diagonal must be constrained.
+                true
+            }
+        );
         mesh.check_consistency();
         assert!(mesh.is_constrained_delaunay());
     }

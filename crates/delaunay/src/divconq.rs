@@ -348,7 +348,10 @@ mod tests {
     #[test]
     fn cocircular_square() {
         // All four points on one circle: either diagonal is Delaunay.
-        let t = triangulate_dc(&pts_of(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]), false);
+        let t = triangulate_dc(
+            &pts_of(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]),
+            false,
+        );
         let tris = t.triangles();
         assert_eq!(tris.len(), 2);
         // Weak Delaunay: no point strictly inside any circumcircle.
@@ -395,7 +398,11 @@ mod tests {
             let tris = t.triangles();
             assert_delaunay(&t.points, &tris);
             let h = t.hull().len();
-            assert_eq!(tris.len(), euler_triangle_count(t.points.len(), h), "seed {seed}");
+            assert_eq!(
+                tris.len(),
+                euler_triangle_count(t.points.len(), h),
+                "seed {seed}"
+            );
         }
     }
 

@@ -25,10 +25,7 @@ pub fn triangulate_incremental(input: &[Point2]) -> Option<Mesh> {
     // them.
     let a = pts[0];
     let b = pts[1];
-    let k = pts[2..]
-        .iter()
-        .position(|&p| orient2d(a, b, p) != 0.0)?
-        + 2;
+    let k = pts[2..].iter().position(|&p| orient2d(a, b, p) != 0.0)? + 2;
     let c = pts[k];
     let tri = if orient2d(a, b, c) > 0.0 {
         [0u32, 1, 2]
@@ -71,13 +68,13 @@ pub fn insert_with_growth(mesh: &mut Mesh, p: Point2, hint: u32) -> u32 {
 /// wave from reaching a strictly-illegal triangle farther out, whereas
 /// the conflict cavity is exact by construction.
 fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
-    use std::collections::HashSet;
     let (eu, ev) = mesh.edge_vertices(exit_t, exit_i);
     debug_assert!(orient2d(mesh.vertices[eu as usize], mesh.vertices[ev as usize], p) < 0.0);
 
-    // Boundary successor/predecessor by walking each endpoint's star.
+    // Boundary successor/predecessor by walking each endpoint's star
+    // (allocation-free).
     let next_boundary = |mesh: &Mesh, v: u32| -> Option<(u32, u32)> {
-        for t in mesh.triangles_around_vertex(v) {
+        for t in mesh.star(v) {
             for j in 0..3u8 {
                 if mesh.neighbors[t as usize][j as usize] == NIL {
                     let (x, y) = mesh.edge_vertices(t, j);
@@ -90,7 +87,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         None
     };
     let prev_boundary = |mesh: &Mesh, v: u32| -> Option<(u32, u32)> {
-        for t in mesh.triangles_around_vertex(v) {
+        for t in mesh.star(v) {
             for j in 0..3u8 {
                 if mesh.neighbors[t as usize][j as usize] == NIL {
                     let (x, y) = mesh.edge_vertices(t, j);
@@ -106,30 +103,40 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         orient2d(mesh.vertices[u as usize], mesh.vertices[v as usize], p) < 0.0
     };
 
-    // The contiguous visible hull arc through the exit edge.
+    // The contiguous visible hull arc through the exit edge: the forward
+    // part from the exit edge on, then the backward part collected
+    // separately and stitched in front (prepending into one Vec would be
+    // O(h^2) across a long arc).
     let mut chain = vec![(eu, ev)];
     let mut cur = ev;
     while let Some(e) = next_boundary(mesh, cur) {
-        if !visible(mesh, e.0, e.1) || e.1 == chain[0].0 {
+        if !visible(mesh, e.0, e.1) || e.1 == eu {
             break;
         }
         chain.push(e);
         cur = e.1;
     }
+    let arc_end = chain.last().unwrap().1;
+    let mut back: Vec<(u32, u32)> = Vec::new();
     let mut cur = eu;
     while let Some(e) = prev_boundary(mesh, cur) {
-        if !visible(mesh, e.0, e.1) || e.0 == chain.last().unwrap().1 {
+        if !visible(mesh, e.0, e.1) || e.0 == arc_end {
             break;
         }
-        chain.insert(0, e);
+        back.push(e);
         cur = e.0;
+    }
+    if !back.is_empty() {
+        back.reverse();
+        back.extend_from_slice(&chain);
+        std::mem::swap(&mut chain, &mut back);
     }
 
     // Owners of the visible edges (before any mutation).
     let owners: Vec<(u32, u8)> = chain
         .iter()
         .map(|&(u, v)| {
-            for bt in mesh.triangles_around_vertex(u) {
+            for bt in mesh.star(u) {
                 for j in 0..3u8 {
                     if mesh.neighbors[bt as usize][j as usize] == NIL
                         && mesh.edge_vertices(bt, j) == (u, v)
@@ -143,7 +150,8 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         .collect();
 
     // Conflict cavity: BFS from the owners whose circumcircle strictly
-    // contains p.
+    // contains p. Epoch stamps replace the membership hash set; push and
+    // pop orders are unchanged.
     let conflicts = |mesh: &Mesh, t: u32| -> bool {
         let tri = mesh.triangles[t as usize];
         incircle(
@@ -153,29 +161,27 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
             p,
         ) > 0.0
     };
-    let mut in_cavity: HashSet<u32> = HashSet::new();
-    let mut stack: Vec<u32> = Vec::new();
+    let mut s = std::mem::take(&mut mesh.scratch);
+    let (active, _evicted) = s.begin(mesh.triangles.len());
     for &(bt, _) in &owners {
-        if !in_cavity.contains(&bt) && conflicts(mesh, bt) {
-            in_cavity.insert(bt);
-            stack.push(bt);
+        if s.stamp(bt) != active && conflicts(mesh, bt) {
+            s.set_stamp(bt, active);
+            s.stack.push(bt);
         }
     }
-    let mut cavity: Vec<u32> = Vec::new();
-    while let Some(t) = stack.pop() {
-        cavity.push(t);
+    while let Some(t) = s.stack.pop() {
+        s.cavity.push(t);
         for j in 0..3u8 {
             let n = mesh.neighbors[t as usize][j as usize];
-            if n == NIL || in_cavity.contains(&n) {
+            if n == NIL || s.stamp(n) == active {
                 continue;
             }
-            let (u, v) = mesh.edge_vertices(t, j);
-            if mesh.is_constrained(u, v) {
+            if mesh.is_constrained_tri(t, j) {
                 continue;
             }
             if conflicts(mesh, n) {
-                in_cavity.insert(n);
-                stack.push(n);
+                s.set_stamp(n, active);
+                s.stack.push(n);
             }
         }
     }
@@ -185,11 +191,11 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     //  * cavity borders keep their CCW-in-cavity direction;
     //  * visible hull edges owned by NON-conflict triangles are reversed
     //    (p lies right of the hull direction) with the owner as external.
-    let mut border: Vec<(u32, u32, u32)> = Vec::new();
-    for &t in &cavity {
+    for ti in 0..s.cavity.len() {
+        let t = s.cavity[ti];
         for j in 0..3u8 {
             let n = mesh.neighbors[t as usize][j as usize];
-            if n != NIL && in_cavity.contains(&n) {
+            if n != NIL && s.stamp(n) == active {
                 continue;
             }
             let (u, v) = mesh.edge_vertices(t, j);
@@ -197,24 +203,23 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
                 // Absorbed: p sees this boundary edge from outside.
                 continue;
             }
-            border.push((u, v, n));
+            s.border.push((u, v, n));
         }
     }
     for (&(u, v), &(bt, _)) in chain.iter().zip(&owners) {
-        if !in_cavity.contains(&bt) {
-            border.push((v, u, bt));
+        if s.stamp(bt) != active {
+            s.border.push((v, u, bt));
         }
     }
 
-    for &t in &cavity {
-        mesh.kill_triangle(t);
+    for ti in 0..s.cavity.len() {
+        mesh.kill_triangle(s.cavity[ti]);
     }
 
     // Fan retriangulation (same wiring discipline as the interior cavity).
     let pv = mesh.push_vertex(p);
-    let mut spoke: std::collections::HashMap<(u32, u32), (u32, u8)> =
-        std::collections::HashMap::with_capacity(2 * border.len());
-    for &(u, v, n) in &border {
+    for bi in 0..s.border.len() {
+        let (u, v, n) = s.border[bi];
         if orient2d(p, mesh.vertices[u as usize], mesh.vertices[v as usize]) <= 0.0 {
             debug_assert_eq!(n, NIL, "degenerate fan edge with internal neighbor");
             continue;
@@ -226,19 +231,22 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
                 let (x, y) = mesh.edge_vertices(n, j);
                 if (x, y) == (v, u) || (x, y) == (u, v) {
                     mesh.neighbors[n as usize][j as usize] = t;
+                    if mesh.is_constrained_tri(n, j) {
+                        mesh.set_con_bit(t, 0);
+                    }
                 }
             }
+        } else if mesh.is_constrained(u, v) {
+            mesh.set_con_bit(t, 0);
         }
-        for (key, idx) in [((v, pv), 1u8), ((pv, u), 2u8)] {
-            let twin = (key.1, key.0);
-            if let Some((t2, j)) = spoke.remove(&twin) {
+        for (other, outgoing, idx) in [(v, false, 1u8), (u, true, 2u8)] {
+            if let Some((t2, j)) = s.match_spoke(other, outgoing, t, idx) {
                 mesh.neighbors[t as usize][idx as usize] = t2;
                 mesh.neighbors[t2 as usize][j as usize] = t;
-            } else {
-                spoke.insert(key, (t, idx));
             }
         }
     }
+    mesh.scratch = s;
     pv
 }
 

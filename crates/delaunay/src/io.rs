@@ -7,23 +7,25 @@
 
 use crate::mesh::Mesh;
 use adm_geom::point::Point2;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, BufWriter, Read, Write};
 
 /// Writes the mesh as Triangle-style ASCII: a `.node` section then a
 /// `.ele` section, concatenated into one stream.
+///
+/// The writer is buffered internally, so call sites may hand over a bare
+/// `File` without paying one syscall per line.
 pub fn write_ascii<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
     writeln!(w, "{} 2 0 0", mesh.num_vertices())?;
     for (i, v) in mesh.vertices.iter().enumerate() {
         writeln!(w, "{} {:.17} {:.17}", i, v.x, v.y)?;
     }
     writeln!(w, "{} 3 0", mesh.num_triangles())?;
-    let mut k = 0usize;
-    for t in mesh.live_triangles() {
+    for (k, t) in mesh.live_triangles().enumerate() {
         let tri = mesh.triangles[t as usize];
         writeln!(w, "{} {} {} {}", k, tri[0], tri[1], tri[2])?;
-        k += 1;
     }
-    Ok(())
+    w.flush()
 }
 
 /// Reads a mesh previously written by [`write_ascii`].
@@ -33,7 +35,10 @@ pub fn read_ascii<R: BufRead>(r: &mut R) -> io::Result<Mesh> {
         line.clear();
         loop {
             if r.read_line(line)? == 0 {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated mesh"));
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated mesh",
+                ));
             }
             let t = line.trim();
             if !t.is_empty() && !t.starts_with('#') {
@@ -62,8 +67,10 @@ pub fn read_ascii<R: BufRead>(r: &mut R) -> io::Result<Mesh> {
 
 const BINARY_MAGIC: &[u8; 8] = b"ADM2DM01";
 
-/// Writes the mesh in the compact binary format (little-endian).
+/// Writes the mesh in the compact binary format (little-endian). The
+/// writer is buffered internally.
 pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
     w.write_all(BINARY_MAGIC)?;
     w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
     w.write_all(&(mesh.num_triangles() as u64).to_le_bytes())?;
@@ -76,7 +83,7 @@ pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
             w.write_all(&vi.to_le_bytes())?;
         }
     }
-    Ok(())
+    w.flush()
 }
 
 /// Reads a mesh in the binary format written by [`write_binary`].
@@ -113,7 +120,9 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
 }
 
 /// Renders the mesh edges as an SVG document (for the qualitative figures).
+/// The writer is buffered internally.
 pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
     let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
     let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
     for v in &mesh.vertices {
@@ -141,15 +150,20 @@ pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()>
         )?;
     }
     writeln!(w, "</g>")?;
-    // Constrained edges highlighted.
+    // Constrained edges highlighted, sorted so the document is
+    // byte-for-byte reproducible (the constraint set iterates in hash
+    // order).
     writeln!(w, "<g stroke=\"#c33\" stroke-width=\"0.9\" fill=\"none\">")?;
-    for (a, b) in mesh.constrained_edges() {
+    let mut constrained: Vec<(u32, u32)> = mesh.constrained_edges().collect();
+    constrained.sort_unstable();
+    for (a, b) in constrained {
         let (x0, y0) = tx(mesh.vertices[a as usize]);
         let (x1, y1) = tx(mesh.vertices[b as usize]);
         writeln!(w, "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2}\"/>")?;
     }
     writeln!(w, "</g>")?;
-    writeln!(w, "</svg>")
+    writeln!(w, "</svg>")?;
+    w.flush()
 }
 
 #[cfg(test)]

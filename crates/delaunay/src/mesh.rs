@@ -45,6 +45,85 @@ pub enum Location {
     Blocked(u32, u8),
 }
 
+/// Reusable buffers for cavity insertion, shared by all insertion paths so
+/// the steady-state hot loop performs no heap allocation.
+///
+/// Cavity membership is tracked with an *epoch-stamped* mark array instead
+/// of a per-insert `HashSet`: each insertion bumps the epoch by two and
+/// writes `epoch - 1` ("in cavity") or `epoch` ("evicted by repair") into
+/// `visited`; stamps from earlier insertions never match, so the array is
+/// reusable without clearing. On (theoretical) epoch overflow the array is
+/// zeroed and the counter restarts.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InsertScratch {
+    /// Per-triangle-slot stamp; `0` matches no epoch.
+    visited: Vec<u32>,
+    epoch: u32,
+    /// BFS work stack.
+    pub(crate) stack: Vec<u32>,
+    /// Cavity triangles in BFS pop order (the kill order).
+    pub(crate) cavity: Vec<u32>,
+    /// Border edges `(u, v, external)` as seen from inside the cavity.
+    pub(crate) border: Vec<(u32, u32, u32)>,
+    /// Open fan spokes `(other_vertex, outgoing, tri, edge_idx)` awaiting
+    /// their twin; a linear-probed substitute for the old spoke `HashMap`
+    /// (each spoke matches exactly once, so order cannot matter).
+    spokes: Vec<(u32, bool, u32, u8)>,
+}
+
+impl InsertScratch {
+    /// Opens a new insertion episode over `slots` triangle slots; returns
+    /// the `(active, evicted)` stamps for this episode.
+    pub(crate) fn begin(&mut self, slots: usize) -> (u32, u32) {
+        if self.visited.len() < slots {
+            self.visited.resize(slots, 0);
+        }
+        if self.epoch >= u32::MAX - 2 {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 2;
+        self.stack.clear();
+        self.cavity.clear();
+        self.border.clear();
+        self.spokes.clear();
+        (self.epoch - 1, self.epoch)
+    }
+
+    #[inline]
+    pub(crate) fn stamp(&self, t: u32) -> u32 {
+        self.visited[t as usize]
+    }
+
+    #[inline]
+    pub(crate) fn set_stamp(&mut self, t: u32, s: u32) {
+        self.visited[t as usize] = s;
+    }
+
+    /// Registers fan spoke `(t, idx)` whose non-new endpoint is `other`
+    /// (`outgoing` when the edge runs new-vertex -> `other`). If the twin
+    /// spoke was registered earlier, removes and returns it for wiring.
+    pub(crate) fn match_spoke(
+        &mut self,
+        other: u32,
+        outgoing: bool,
+        t: u32,
+        idx: u8,
+    ) -> Option<(u32, u8)> {
+        if let Some(k) = self
+            .spokes
+            .iter()
+            .position(|&(o, dir, _, _)| o == other && dir != outgoing)
+        {
+            let (_, _, t2, j) = self.spokes.swap_remove(k);
+            Some((t2, j))
+        } else {
+            self.spokes.push((other, outgoing, t, idx));
+            None
+        }
+    }
+}
+
 /// A triangle mesh with neighbor adjacency and constrained-edge bookkeeping.
 #[derive(Debug, Clone, Default)]
 pub struct Mesh {
@@ -59,8 +138,19 @@ pub struct Mesh {
     free: Vec<u32>,
     /// Some live triangle incident to each vertex (NIL if none yet).
     vert_tri: Vec<u32>,
+    /// Head of each vertex's intrusive incident-corner list: encoded
+    /// `3*t + i` where the vertex is `triangles[t][i]`, or NIL.
+    first_inc: Vec<u32>,
+    /// Per-corner next pointer of the incident-corner lists.
+    inc_next: Vec<[u32; 3]>,
+    /// Per-triangle constraint bitmask: bit `i` set iff edge `i` is
+    /// constrained. Mirrors `constrained` for all live triangle edges so
+    /// the hot paths never hash; the set remains the source of truth for
+    /// edges that do not (yet) exist in the triangulation.
+    con: Vec<u8>,
     /// Constrained (fixed) edges as canonical vertex pairs.
     constrained: HashSet<(u32, u32)>,
+    pub(crate) scratch: InsertScratch,
 }
 
 impl Mesh {
@@ -73,6 +163,7 @@ impl Mesh {
     pub fn from_triangles(vertices: Vec<Point2>, tris: Vec<[u32; 3]>) -> Self {
         let mut mesh = Mesh {
             vert_tri: vec![NIL; vertices.len()],
+            first_inc: vec![NIL; vertices.len()],
             vertices,
             triangles: tris,
             ..Default::default()
@@ -80,9 +171,12 @@ impl Mesh {
         mesh.alive = vec![true; mesh.triangles.len()];
         mesh.live_count = mesh.triangles.len();
         mesh.neighbors = vec![[NIL; 3]; mesh.triangles.len()];
+        mesh.inc_next = vec![[NIL; 3]; mesh.triangles.len()];
+        mesh.con = vec![0; mesh.triangles.len()];
         let mut half: HashMap<(u32, u32), (u32, u8)> = HashMap::new();
         for t in 0..mesh.triangles.len() as u32 {
             let tri = mesh.triangles[t as usize];
+            mesh.link_corners(t);
             for i in 0..3u8 {
                 let (a, b) = (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3]);
                 mesh.vert_tri[a as usize] = t;
@@ -97,6 +191,29 @@ impl Mesh {
             }
         }
         mesh
+    }
+
+    /// Pre-sizes every per-vertex and per-triangle array (plus the
+    /// insertion scratch) for `add_vertices` / `add_triangles` more
+    /// entries, so a subsequent bounded insertion loop allocates nothing.
+    pub fn reserve(&mut self, add_vertices: usize, add_triangles: usize) {
+        self.vertices.reserve(add_vertices);
+        self.vert_tri.reserve(add_vertices);
+        self.first_inc.reserve(add_vertices);
+        self.triangles.reserve(add_triangles);
+        self.neighbors.reserve(add_triangles);
+        self.alive.reserve(add_triangles);
+        self.inc_next.reserve(add_triangles);
+        self.con.reserve(add_triangles);
+        self.free.reserve(add_triangles);
+        let slots = self.triangles.len() + add_triangles;
+        if self.scratch.visited.len() < slots {
+            self.scratch.visited.resize(slots, 0);
+        }
+        self.scratch.stack.reserve(64);
+        self.scratch.cavity.reserve(64);
+        self.scratch.border.reserve(64);
+        self.scratch.spokes.reserve(64);
     }
 
     /// Number of live triangles (O(1)).
@@ -127,20 +244,62 @@ impl Mesh {
         (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3])
     }
 
-    /// Marks edge `(a, b)` constrained. The edge need not exist yet.
+    /// Marks edge `(a, b)` constrained. The edge need not exist yet; when
+    /// it does, the adjacent triangles' constraint bits are set too.
     pub fn constrain_edge(&mut self, a: u32, b: u32) {
         self.constrained.insert(edge_key(a, b));
+        if let Some((t, i)) = self.find_edge(a, b) {
+            self.con[t as usize] |= 1 << i;
+            let n = self.neighbors[t as usize][i as usize];
+            if n != NIL {
+                for j in 0..3u8 {
+                    let (x, y) = self.edge_vertices(n, j);
+                    if (x == a && y == b) || (x == b && y == a) {
+                        self.con[n as usize] |= 1 << j;
+                        break;
+                    }
+                }
+            }
+        }
     }
 
-    /// Removes the constrained mark from `(a, b)`.
+    /// Removes the constrained mark from `(a, b)`, clearing the adjacent
+    /// triangles' constraint bits when the edge exists.
     pub fn unconstrain_edge(&mut self, a: u32, b: u32) {
         self.constrained.remove(&edge_key(a, b));
+        if let Some((t, i)) = self.find_edge(a, b) {
+            self.con[t as usize] &= !(1 << i);
+            let n = self.neighbors[t as usize][i as usize];
+            if n != NIL {
+                for j in 0..3u8 {
+                    let (x, y) = self.edge_vertices(n, j);
+                    if (x == a && y == b) || (x == b && y == a) {
+                        self.con[n as usize] &= !(1 << j);
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     /// `true` when edge `(a, b)` is constrained.
     #[inline]
     pub fn is_constrained(&self, a: u32, b: u32) -> bool {
         self.constrained.contains(&edge_key(a, b))
+    }
+
+    /// `true` when edge `i` of live triangle `t` is constrained (bitmask
+    /// lookup — the hash-free fast path when `(t, i)` is already known).
+    #[inline]
+    pub fn is_constrained_tri(&self, t: u32, i: u8) -> bool {
+        (self.con[t as usize] >> i) & 1 != 0
+    }
+
+    /// Sets the constraint bit of edge `i` of triangle `t` (bit only; the
+    /// caller guarantees the edge is in the constrained set).
+    #[inline]
+    pub(crate) fn set_con_bit(&mut self, t: u32, i: u8) {
+        self.con[t as usize] |= 1 << i;
     }
 
     /// All constrained edges (canonical pairs).
@@ -165,9 +324,24 @@ impl Mesh {
         if t != NIL && self.alive[t as usize] && self.triangles[t as usize].contains(&v) {
             return Some(t);
         }
-        // Fallback scan (only hit after pathological deletion patterns).
-        self.live_triangles()
-            .find(|&t| self.triangles[t as usize].contains(&v))
+        // Stale hint: O(deg) walk of the incident-corner list, returning
+        // the lowest incident id — the same triangle the old full mesh
+        // scan produced, so downstream star-walk orders are unchanged.
+        let mut best = NIL;
+        let mut cur = self.first_inc[v as usize];
+        while cur != NIL {
+            let (t, i) = (cur / 3, (cur % 3) as usize);
+            debug_assert!(self.alive[t as usize], "dead corner in incident list");
+            if t < best {
+                best = t;
+            }
+            cur = self.inc_next[t as usize][i];
+        }
+        if best == NIL {
+            None
+        } else {
+            Some(best)
+        }
     }
 
     /// Index (0..3) of vertex `v` within triangle `t`.
@@ -178,45 +352,39 @@ impl Mesh {
             .map(|i| i as u8)
     }
 
-    /// All live triangles incident to `v`, in no particular order.
+    /// All live triangles incident to `v`, collected into a `Vec`. Callers
+    /// that only read the mesh should prefer the allocation-free
+    /// [`Mesh::star`], which yields the same triangles in the same order.
     pub fn triangles_around_vertex(&self, v: u32) -> Vec<u32> {
-        let Some(start) = self.triangle_of_vertex(v) else {
-            return Vec::new();
-        };
-        let mut out = vec![start];
-        // Walk CCW from `start`; if we hit the boundary, walk CW from
-        // `start` for the rest.
-        let mut cur = start;
-        loop {
-            let i = self.vertex_index_in(cur, v).expect("vertex in triangle");
-            // CCW neighbor around v: across the edge opposite vertex at
-            // position (i+1) — the edge (v, next_ccw).
-            let n = self.neighbors[cur as usize][((i + 1) % 3) as usize];
-            if n == NIL {
-                break;
-            }
-            if n == start {
-                return out; // full circle
-            }
-            out.push(n);
-            cur = n;
-        }
-        let mut cur = start;
-        loop {
-            let i = self.vertex_index_in(cur, v).expect("vertex in triangle");
-            let n = self.neighbors[cur as usize][((i + 2) % 3) as usize];
-            if n == NIL || n == start {
-                return out;
-            }
-            out.push(n);
-            cur = n;
+        self.star(v).collect()
+    }
+
+    /// Allocation-free iterator over the live triangles incident to `v`:
+    /// CCW from the cached starting triangle, then (after hitting the
+    /// boundary) CW from the start for the rest.
+    pub fn star(&self, v: u32) -> StarIter<'_> {
+        match self.triangle_of_vertex(v) {
+            Some(start) => StarIter {
+                mesh: self,
+                v,
+                start,
+                cur: start,
+                phase: 0,
+            },
+            None => StarIter {
+                mesh: self,
+                v,
+                start: NIL,
+                cur: NIL,
+                phase: 3,
+            },
         }
     }
 
     /// Finds the live triangle containing edge `(a, b)` (in either
     /// direction); returns `(t, i)` where `i` is the edge index.
     pub fn find_edge(&self, a: u32, b: u32) -> Option<(u32, u8)> {
-        for t in self.triangles_around_vertex(a) {
+        for t in self.star(a) {
             for i in 0..3u8 {
                 let (u, v) = self.edge_vertices(t, i);
                 if (u == a && v == b) || (u == b && v == a) {
@@ -281,8 +449,7 @@ impl Mesh {
                 if n == prev && n != NIL {
                     continue;
                 }
-                let (u, v) = self.edge_vertices(cur, i);
-                if stop_at_constraints && self.is_constrained(u, v) {
+                if stop_at_constraints && self.is_constrained_tri(cur, i) {
                     return Location::Blocked(cur, i);
                 }
                 if n == NIL {
@@ -302,8 +469,7 @@ impl Mesh {
                 if n == NIL {
                     return Location::Outside(cur, i);
                 }
-                let (u, v) = self.edge_vertices(cur, i);
-                if stop_at_constraints && self.is_constrained(u, v) {
+                if stop_at_constraints && self.is_constrained_tri(cur, i) {
                     return Location::Blocked(cur, i);
                 }
                 prev = cur;
@@ -357,18 +523,19 @@ impl Mesh {
             self.vertices[tri[1] as usize],
             self.vertices[tri[2] as usize],
         );
-        let ds = [orient2d(b, c, target), orient2d(c, a, target), orient2d(a, b, target)];
+        let ds = [
+            orient2d(b, c, target),
+            orient2d(c, a, target),
+            orient2d(a, b, target),
+        ];
         let mut worst = 0u8;
         for i in 1..3u8 {
             if ds[i as usize] < ds[worst as usize] {
                 worst = i;
             }
         }
-        if stop_at_constraints {
-            let (u, v) = self.edge_vertices(last, worst);
-            if self.is_constrained(u, v) {
-                return Location::Blocked(last, worst);
-            }
+        if stop_at_constraints && self.is_constrained_tri(last, worst) {
+            return Location::Blocked(last, worst);
         }
         Location::Outside(last, worst)
     }
@@ -384,7 +551,41 @@ impl Mesh {
     pub(crate) fn push_vertex(&mut self, p: Point2) -> u32 {
         self.vertices.push(p);
         self.vert_tri.push(NIL);
+        self.first_inc.push(NIL);
         (self.vertices.len() - 1) as u32
+    }
+
+    /// Pushes `t`'s three corners onto their vertices' incident lists.
+    fn link_corners(&mut self, t: u32) {
+        let tri = self.triangles[t as usize];
+        for (i, &v) in tri.iter().enumerate() {
+            self.inc_next[t as usize][i] = self.first_inc[v as usize];
+            self.first_inc[v as usize] = 3 * t + i as u32;
+        }
+    }
+
+    /// Removes `t`'s three corners from their vertices' incident lists
+    /// (O(deg) list walk per corner).
+    fn unlink_corners(&mut self, t: u32) {
+        let tri = self.triangles[t as usize];
+        for (i, &v) in tri.iter().enumerate() {
+            let target = 3 * t + i as u32;
+            let mut cur = self.first_inc[v as usize];
+            if cur == target {
+                self.first_inc[v as usize] = self.inc_next[t as usize][i];
+                continue;
+            }
+            loop {
+                debug_assert_ne!(cur, NIL, "corner missing from incident list");
+                let (ct, ci) = ((cur / 3) as usize, (cur % 3) as usize);
+                let next = self.inc_next[ct][ci];
+                if next == target {
+                    self.inc_next[ct][ci] = self.inc_next[t as usize][i];
+                    break;
+                }
+                cur = next;
+            }
+        }
     }
 
     pub(crate) fn alloc_triangle(&mut self, verts: [u32; 3]) -> u32 {
@@ -392,15 +593,19 @@ impl Mesh {
             self.triangles[t as usize] = verts;
             self.neighbors[t as usize] = [NIL; 3];
             self.alive[t as usize] = true;
+            self.con[t as usize] = 0;
             t
         } else {
             let t = self.triangles.len() as u32;
             self.triangles.push(verts);
             self.neighbors.push([NIL; 3]);
             self.alive.push(true);
+            self.inc_next.push([NIL; 3]);
+            self.con.push(0);
             t
         };
         self.live_count += 1;
+        self.link_corners(t);
         for &v in &verts {
             self.vert_tri[v as usize] = t;
         }
@@ -409,9 +614,24 @@ impl Mesh {
 
     pub(crate) fn kill_triangle(&mut self, t: u32) {
         debug_assert!(self.alive[t as usize]);
+        self.unlink_corners(t);
         self.alive[t as usize] = false;
         self.live_count -= 1;
         self.free.push(t);
+    }
+
+    /// Recomputes `t`'s constraint bitmask from the edge set. Used by the
+    /// cold reconstruction paths (edge flips, corridor retriangulation)
+    /// where the new triangles' edges may pre-exist in the set.
+    fn refresh_con_bits(&mut self, t: u32) {
+        let mut bits = 0u8;
+        for i in 0..3u8 {
+            let (u, v) = self.edge_vertices(t, i);
+            if self.is_constrained(u, v) {
+                bits |= 1 << i;
+            }
+        }
+        self.con[t as usize] = bits;
     }
 
     /// Inserts point `p` into the mesh with the Bowyer–Watson cavity
@@ -440,7 +660,7 @@ impl Mesh {
     /// `p` rounded to. Constrained marks are inherited by both halves.
     pub fn split_edge(&mut self, t: u32, i: u8, p: Point2) -> u32 {
         let (a, b) = self.edge_vertices(t, i);
-        let was_constrained = self.is_constrained(a, b);
+        let was_constrained = self.is_constrained_tri(t, i);
         if was_constrained {
             self.unconstrain_edge(a, b);
         }
@@ -459,37 +679,38 @@ impl Mesh {
         let pv = self.vertices.len() as u32;
         self.vertices.push(p);
         self.vert_tri.push(NIL);
+        self.first_inc.push(NIL);
 
         // Grow the conflict cavity by BFS. Constrained edges are opaque.
-        let mut cavity: Vec<u32> = Vec::with_capacity(8);
-        let mut in_cavity: HashSet<u32> = HashSet::with_capacity(16);
-        let mut stack: Vec<u32> = Vec::with_capacity(8);
-        let push = |t: u32, in_cavity: &mut HashSet<u32>, stack: &mut Vec<u32>| {
-            if in_cavity.insert(t) {
-                stack.push(t);
-            }
-        };
-        push(seed, &mut in_cavity, &mut stack);
+        // Scratch buffers + epoch stamps replace the per-insert hash sets;
+        // the BFS pop/push order is unchanged, so the kill order — and with
+        // it the free-list state and every downstream slot id — is too.
+        let mut s = std::mem::take(&mut self.scratch);
+        let (active, evicted) = s.begin(self.triangles.len());
+        s.set_stamp(seed, active);
+        s.stack.push(seed);
         // When splitting an edge, both adjacent triangles seed the cavity
         // and the edge itself must never survive as a fan base — even when
         // `p` rounded slightly off the edge line.
         let mut skip_pair: Option<(u32, u32)> = None;
+        let mut seed2 = NIL;
         if let Some((t, i)) = on_edge {
             skip_pair = Some(self.edge_vertices(t, i));
             let n = self.neighbors[t as usize][i as usize];
-            if n != NIL {
-                push(n, &mut in_cavity, &mut stack);
+            if n != NIL && s.stamp(n) != active {
+                s.set_stamp(n, active);
+                s.stack.push(n);
+                seed2 = n;
             }
         }
-        while let Some(t) = stack.pop() {
-            cavity.push(t);
+        while let Some(t) = s.stack.pop() {
+            s.cavity.push(t);
             for i in 0..3u8 {
                 let n = self.neighbors[t as usize][i as usize];
-                if n == NIL || in_cavity.contains(&n) {
+                if n == NIL || s.stamp(n) == active {
                     continue;
                 }
-                let (u, v) = self.edge_vertices(t, i);
-                if self.is_constrained(u, v) {
+                if self.is_constrained_tri(t, i) {
                     continue;
                 }
                 let tri = self.triangles[n as usize];
@@ -499,7 +720,8 @@ impl Mesh {
                     self.vertices[tri[2] as usize],
                 );
                 if incircle(a, b, c, p) > 0.0 {
-                    push(n, &mut in_cavity, &mut stack);
+                    s.set_stamp(n, active);
+                    s.stack.push(n);
                 }
             }
         }
@@ -509,31 +731,21 @@ impl Mesh {
         // The cavity must be star-shaped around p; when p is exactly
         // collinear with (or beyond) a border edge that has an internal
         // neighbor, the triangle contributing that edge is evicted from
-        // the cavity and the border recomputed (cavity repair). Eviction
-        // only shrinks the set and never touches the seeds (p lies inside
-        // them), so the loop terminates.
-        let seeds: HashSet<u32> = {
-            let mut s = HashSet::new();
-            s.insert(seed);
-            if let Some((t, i)) = on_edge {
-                let n = self.neighbors[t as usize][i as usize];
-                if n != NIL {
-                    s.insert(n);
-                }
-            }
-            s
-        };
-        let mut active: HashSet<u32> = in_cavity.clone();
-        let mut border: Vec<(u32, u32, u32)> = Vec::with_capacity(cavity.len() + 2);
+        // the cavity (restamped) and the border recomputed (cavity
+        // repair). Eviction only shrinks the set and never touches the
+        // seeds (p lies inside them), so the loop terminates.
         'repair: loop {
-            border.clear();
-            for &t in &cavity {
-                if !active.contains(&t) {
+            s.border.clear();
+            let mut ti = 0;
+            while ti < s.cavity.len() {
+                let t = s.cavity[ti];
+                ti += 1;
+                if s.stamp(t) != active {
                     continue;
                 }
                 for i in 0..3u8 {
                     let n = self.neighbors[t as usize][i as usize];
-                    if n != NIL && active.contains(&n) {
+                    if n != NIL && s.stamp(n) == active {
                         continue;
                     }
                     let (u, v) = self.edge_vertices(t, i);
@@ -545,26 +757,31 @@ impl Mesh {
                             && orient2d(p, self.vertices[u as usize], self.vertices[v as usize])
                                 <= 0.0
                     };
-                    if degenerate && n != NIL && !seeds.contains(&t) {
-                        active.remove(&t);
+                    if degenerate && n != NIL && t != seed && t != seed2 {
+                        s.set_stamp(t, evicted);
                         continue 'repair;
                     }
-                    border.push((u, v, n));
+                    s.border.push((u, v, n));
                 }
             }
             break;
         }
-        let cavity: Vec<u32> = cavity.into_iter().filter(|t| active.contains(t)).collect();
-        for &t in &cavity {
-            self.kill_triangle(t);
+        {
+            let InsertScratch {
+                visited, cavity, ..
+            } = &mut s;
+            cavity.retain(|&t| visited[t as usize] == active);
+        }
+        for ti in 0..s.cavity.len() {
+            self.kill_triangle(s.cavity[ti]);
         }
 
         // Fan retriangulation: one triangle (p, u, v) per border edge.
         // Degenerate edges (p exactly on a border edge, which only happens
         // when that edge lies on the mesh boundary) are skipped, leaving p
         // on the boundary.
-        let mut spoke: HashMap<(u32, u32), (u32, u8)> = HashMap::with_capacity(2 * border.len());
-        for &(u, v, n) in &border {
+        for bi in 0..s.border.len() {
+            let (u, v, n) = s.border[bi];
             if let Some((sa, sb)) = skip_pair {
                 if (u == sa && v == sb) || (u == sb && v == sa) {
                     debug_assert_eq!(n, NIL, "split edge survived as interior border");
@@ -582,7 +799,8 @@ impl Mesh {
                 continue;
             }
             let t = self.alloc_triangle([pv, u, v]);
-            // Edge 0 (opposite p) is (u, v): pairs with external n.
+            // Edge 0 (opposite p) is (u, v): pairs with external n, whose
+            // matched edge also carries the constraint bit to inherit.
             self.neighbors[t as usize][0] = n;
             if n != NIL {
                 // Find n's edge matching (v, u).
@@ -591,23 +809,28 @@ impl Mesh {
                     let (x, y) = self.edge_vertices(n, j);
                     if (x == v && y == u) || (x == u && y == v) {
                         self.neighbors[n as usize][j as usize] = t;
+                        if self.is_constrained_tri(n, j) {
+                            self.con[t as usize] |= 1;
+                        }
                         fixed = true;
                         break;
                     }
                 }
                 debug_assert!(fixed, "external neighbor lost its border edge");
+            } else if self.is_constrained(u, v) {
+                self.con[t as usize] |= 1;
             }
             // Edge 1 (opposite u) is (v, p); edge 2 (opposite v) is (p, u).
-            for (key, idx) in [((v, pv), 1u8), ((pv, u), 2u8)] {
-                let twin = (key.1, key.0);
-                if let Some((t2, j)) = spoke.remove(&twin) {
+            // Both touch the brand-new vertex, so neither can be
+            // constrained; they pair up with their twin spokes.
+            for (other, outgoing, idx) in [(v, false, 1u8), (u, true, 2u8)] {
+                if let Some((t2, j)) = s.match_spoke(other, outgoing, t, idx) {
                     self.neighbors[t as usize][idx as usize] = t2;
                     self.neighbors[t2 as usize][j as usize] = t;
-                } else {
-                    spoke.insert(key, (t, idx));
                 }
             }
         }
+        self.scratch = s;
         pv
     }
 
@@ -622,7 +845,10 @@ impl Mesh {
         let n = self.neighbors[t as usize][i as usize];
         debug_assert_ne!(n, NIL, "cannot flip a boundary edge");
         let (u, v) = self.edge_vertices(t, i);
-        debug_assert!(!self.is_constrained(u, v), "cannot flip a constrained edge");
+        debug_assert!(
+            !self.is_constrained_tri(t, i),
+            "cannot flip a constrained edge"
+        );
         let apex_t = self.triangles[t as usize][i as usize];
         let nj = (0..3u8)
             .find(|&j| {
@@ -652,6 +878,8 @@ impl Mesh {
         self.kill_triangle(n);
         let t1 = self.alloc_triangle([apex_t, u, apex_n]);
         let t2 = self.alloc_triangle([apex_n, v, apex_t]);
+        self.refresh_con_bits(t1);
+        self.refresh_con_bits(t2);
         // t1 edges: opp apex_t = (u, apex_n) -> n_nu; opp u = (apex_n,
         // apex_t) -> t2; opp apex_n = (apex_t, u) -> n_tu.
         self.neighbors[t1 as usize] = [n_nu, t2, n_tu];
@@ -732,6 +960,7 @@ impl Mesh {
         let mut pending: HashMap<(u32, u32), (u32, u8)> = HashMap::new();
         for tri in new_tris {
             let t = self.alloc_triangle(*tri);
+            self.refresh_con_bits(t);
             for i in 0..3u8 {
                 let (u, v) = self.edge_vertices(t, i);
                 if let Some((t2, j)) = pending.remove(&(v, u)) {
@@ -771,12 +1000,17 @@ impl Mesh {
                 "triangle {t} not CCW: {tri:?} {a:?} {b:?} {c:?}"
             );
             for i in 0..3u8 {
+                let (u, v) = self.edge_vertices(t, i);
+                assert_eq!(
+                    self.is_constrained_tri(t, i),
+                    self.is_constrained(u, v),
+                    "constraint bit/set mismatch on edge ({u},{v}) of {t}"
+                );
                 let n = self.neighbors[t as usize][i as usize];
                 if n == NIL {
                     continue;
                 }
                 assert!(self.alive[n as usize], "triangle {t} has dead neighbor {n}");
-                let (u, v) = self.edge_vertices(t, i);
                 let found = (0..3u8).any(|j| {
                     let (x, y) = self.edge_vertices(n, j);
                     self.neighbors[n as usize][j as usize] == t && ((x, y) == (v, u))
@@ -784,6 +1018,23 @@ impl Mesh {
                 assert!(found, "neighbor symmetry broken between {t} and {n}");
             }
         }
+        // Incident-corner lists: every entry references a live corner of
+        // its vertex, and every live corner appears in exactly one list.
+        let mut listed = 0usize;
+        for v in 0..self.vertices.len() as u32 {
+            let mut cur = self.first_inc[v as usize];
+            let mut steps = 0usize;
+            while cur != NIL {
+                let (t, i) = (cur / 3, (cur % 3) as usize);
+                assert!(self.alive[t as usize], "dead corner {t} in list of {v}");
+                assert_eq!(self.triangles[t as usize][i], v, "corner/vertex mismatch");
+                listed += 1;
+                steps += 1;
+                assert!(steps <= self.triangles.len() * 3, "incident list cycle");
+                cur = self.inc_next[t as usize][i];
+            }
+        }
+        assert_eq!(listed, 3 * self.live_count, "incident list count mismatch");
     }
 
     /// `true` when every non-constrained interior edge satisfies the local
@@ -797,7 +1048,7 @@ impl Mesh {
                     continue;
                 }
                 let (u, v) = self.edge_vertices(t, i);
-                if self.is_constrained(u, v) {
+                if self.is_constrained_tri(t, i) {
                     continue;
                 }
                 let tri = self.triangles[t as usize];
@@ -819,6 +1070,69 @@ impl Mesh {
             }
         }
         true
+    }
+}
+
+/// Allocation-free iterator over the live triangles incident to a vertex,
+/// yielding them in the exact order of [`Mesh::triangles_around_vertex`]:
+/// the starting triangle, its CCW successors up to the boundary (or full
+/// circle), then the CW predecessors of the start.
+pub struct StarIter<'a> {
+    mesh: &'a Mesh,
+    v: u32,
+    start: u32,
+    cur: u32,
+    /// 0 = yield start, 1 = walking CCW, 2 = walking CW, 3 = done.
+    phase: u8,
+}
+
+impl Iterator for StarIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    self.cur = self.start;
+                    return Some(self.start);
+                }
+                1 => {
+                    let i = self
+                        .mesh
+                        .vertex_index_in(self.cur, self.v)
+                        .expect("vertex in triangle");
+                    // CCW neighbor around v: across the edge opposite the
+                    // vertex at position (i+1) — the edge (v, next_ccw).
+                    let n = self.mesh.neighbors[self.cur as usize][((i + 1) % 3) as usize];
+                    if n == NIL {
+                        self.phase = 2;
+                        self.cur = self.start;
+                        continue;
+                    }
+                    if n == self.start {
+                        self.phase = 3;
+                        return None; // full circle
+                    }
+                    self.cur = n;
+                    return Some(n);
+                }
+                2 => {
+                    let i = self
+                        .mesh
+                        .vertex_index_in(self.cur, self.v)
+                        .expect("vertex in triangle");
+                    let n = self.mesh.neighbors[self.cur as usize][((i + 2) % 3) as usize];
+                    if n == NIL || n == self.start {
+                        self.phase = 3;
+                        return None;
+                    }
+                    self.cur = n;
+                    return Some(n);
+                }
+                _ => return None,
+            }
+        }
     }
 }
 
@@ -899,7 +1213,7 @@ mod tests {
         assert!(m.is_constrained_delaunay());
         // p is now a hull vertex; triangle count grows by 1.
         assert_eq!(m.num_triangles(), 3);
-        assert!(m.triangles_around_vertex(v).len() >= 1);
+        assert!(!m.triangles_around_vertex(v).is_empty());
     }
 
     #[test]
@@ -946,16 +1260,13 @@ mod tests {
     fn many_random_insertions_stay_delaunay() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let mut m = mesh_from_dc(&[
-            p(0.0, 0.0),
-            p(10.0, 0.0),
-            p(10.0, 10.0),
-            p(0.0, 10.0),
-        ]);
+        let mut m = mesh_from_dc(&[p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)]);
         let mut hint = m.any_triangle().unwrap();
         for k in 0..300 {
             let q = p(rng.gen_range(0.01..9.99), rng.gen_range(0.01..9.99));
-            let v = m.insert_point(q, hint).unwrap_or_else(|| panic!("insert {k} failed"));
+            let v = m
+                .insert_point(q, hint)
+                .unwrap_or_else(|| panic!("insert {k} failed"));
             hint = m.triangle_of_vertex(v).unwrap();
         }
         m.check_consistency();

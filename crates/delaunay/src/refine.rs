@@ -64,7 +64,10 @@ pub type SizingFn<'a> = &'a dyn Fn(Point2) -> f64;
 /// size bounds. The mesh boundary (every NIL-neighbor edge) must be
 /// constrained — the pipeline guarantees this for all subdomains.
 pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefineParams) -> RefineStats {
-    debug_assert!(boundary_fully_constrained(mesh), "mesh border must be constrained");
+    debug_assert!(
+        boundary_fully_constrained(mesh),
+        "mesh border must be constrained"
+    );
     let mut stats = RefineStats::default();
     let mut seg_queue: VecDeque<(u32, u32)> = VecDeque::new();
     let mut tri_queue: VecDeque<(u32, [u32; 3])> = VecDeque::new();
@@ -108,8 +111,10 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
             // entry is split unconditionally — it was queued either because
             // an existing vertex encroaches it or because a rejected
             // circumcenter does; re-checking only the former livelocks.
-            let Some((t, i)) = mesh.find_edge(a, b) else { continue };
-            if !mesh.is_constrained(a, b) {
+            let Some((t, i)) = mesh.find_edge(a, b) else {
+                continue;
+            };
+            if !mesh.is_constrained_tri(t, i) {
                 continue;
             }
             let mid = shell_split_point(mesh, a, b, &acute);
@@ -119,10 +124,20 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
             let v = mesh.split_edge(t, i, mid);
             inserted += 1;
             stats.segment_splits += 1;
-            after_insert(mesh, v, sizing, params, &acute, &mut seg_queue, &mut tri_queue);
+            after_insert(
+                mesh,
+                v,
+                sizing,
+                params,
+                &acute,
+                &mut seg_queue,
+                &mut tri_queue,
+            );
             continue;
         }
-        let Some((t, verts)) = tri_queue.pop_front() else { break };
+        let Some((t, verts)) = tri_queue.pop_front() else {
+            break;
+        };
         // Stale: the triangle may have been destroyed.
         if !mesh.is_alive(t) || mesh.triangles[t as usize] != verts {
             continue;
@@ -147,13 +162,21 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
             }
             Location::Blocked(bt, bi) | Location::Outside(bt, bi) => {
                 // The segment hiding the circumcenter is split instead.
-                let (a, b) = mesh.edge_vertices(bt, bi);
-                if mesh.is_constrained(a, b) {
+                if mesh.is_constrained_tri(bt, bi) {
+                    let (a, b) = mesh.edge_vertices(bt, bi);
                     let mid = shell_split_point(mesh, a, b, &acute);
                     let v = mesh.split_edge(bt, bi, mid);
                     inserted += 1;
                     stats.segment_splits += 1;
-                    after_insert(mesh, v, sizing, params, &acute, &mut seg_queue, &mut tri_queue);
+                    after_insert(
+                        mesh,
+                        v,
+                        sizing,
+                        params,
+                        &acute,
+                        &mut seg_queue,
+                        &mut tri_queue,
+                    );
                     // The original triangle may still be bad; requeue.
                     if mesh.is_alive(t) && mesh.triangles[t as usize] == verts {
                         tri_queue.push_back((t, verts));
@@ -172,7 +195,15 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
                     if let Some(v) = mesh.insert_point(cc, ct) {
                         inserted += 1;
                         stats.circumcenters += 1;
-                        after_insert(mesh, v, sizing, params, &acute, &mut seg_queue, &mut tri_queue);
+                        after_insert(
+                            mesh,
+                            v,
+                            sizing,
+                            params,
+                            &acute,
+                            &mut seg_queue,
+                            &mut tri_queue,
+                        );
                     } else {
                         stats.skipped += 1;
                     }
@@ -243,7 +274,9 @@ fn shell_split_point(
             let d = apex.distance(other);
             // Nearest power of two to d/2, clamped to keep both pieces
             // non-degenerate.
-            let r = (2.0f64).powf((d / 2.0).log2().round()).clamp(0.25 * d, 0.75 * d);
+            let r = (2.0f64)
+                .powf((d / 2.0).log2().round())
+                .clamp(0.25 * d, 0.75 * d);
             apex.lerp(other, r / d)
         }
     }
@@ -260,14 +293,16 @@ fn after_insert(
     seg_queue: &mut VecDeque<(u32, u32)>,
     tri_queue: &mut VecDeque<(u32, [u32; 3])>,
 ) {
-    for t in mesh.triangles_around_vertex(v) {
+    for t in mesh.star(v) {
         if is_bad(mesh, t, sizing, params, acute) {
             tri_queue.push_back((t, mesh.triangles[t as usize]));
         }
         for i in 0..3u8 {
-            let (a, b) = mesh.edge_vertices(t, i);
-            if mesh.is_constrained(a, b) && is_encroached(mesh, a, b) {
-                seg_queue.push_back((a, b));
+            if mesh.is_constrained_tri(t, i) {
+                let (a, b) = mesh.edge_vertices(t, i);
+                if is_encroached(mesh, a, b) {
+                    seg_queue.push_back((a, b));
+                }
             }
         }
     }
@@ -314,7 +349,9 @@ fn is_bad(
 /// (`angle(a, apex, b) > 90°`). In a CDT, if any vertex encroaches then an
 /// adjacent apex does, so this check is complete.
 fn is_encroached(mesh: &Mesh, a: u32, b: u32) -> bool {
-    let Some((t, i)) = mesh.find_edge(a, b) else { return false };
+    let Some((t, i)) = mesh.find_edge(a, b) else {
+        return false;
+    };
     let pa = mesh.vertices[a as usize];
     let pb = mesh.vertices[b as usize];
     let check_apex = |t: u32| {
@@ -338,12 +375,12 @@ fn segments_encroached_by(mesh: &Mesh, p: Point2, at: u32) -> Vec<(u32, u32)> {
     // the located triangle's vertices.
     let tri = mesh.triangles[at as usize];
     for &v in &tri {
-        for t in mesh.triangles_around_vertex(v) {
+        for t in mesh.star(v) {
             for i in 0..3u8 {
-                let (a, b) = mesh.edge_vertices(t, i);
-                if !mesh.is_constrained(a, b) {
+                if !mesh.is_constrained_tri(t, i) {
                     continue;
                 }
+                let (a, b) = mesh.edge_vertices(t, i);
                 let pa = mesh.vertices[a as usize];
                 let pb = mesh.vertices[b as usize];
                 if (pa - p).dot(pb - p) < 0.0 && !out.contains(&(a, b)) {
@@ -359,11 +396,8 @@ fn segments_encroached_by(mesh: &Mesh, p: Point2, at: u32) -> Vec<(u32, u32)> {
 pub fn boundary_fully_constrained(mesh: &Mesh) -> bool {
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == NIL {
-                let (a, b) = mesh.edge_vertices(t, i);
-                if !mesh.is_constrained(a, b) {
-                    return false;
-                }
+            if mesh.neighbors[t as usize][i as usize] == NIL && !mesh.is_constrained_tri(t, i) {
+                return false;
             }
         }
     }
@@ -400,7 +434,11 @@ mod tests {
         mesh.check_consistency();
         assert!(mesh.is_constrained_delaunay());
         let q = mesh_quality(&mesh);
-        assert!(q.max_ratio <= std::f64::consts::SQRT_2 + 1e-9, "ratio {}", q.max_ratio);
+        assert!(
+            q.max_ratio <= std::f64::consts::SQRT_2 + 1e-9,
+            "ratio {}",
+            q.max_ratio
+        );
         assert!(q.max_area <= 0.01 + 1e-12);
         assert!(q.min_angle.to_degrees() > 20.0);
         // Area conservation.

@@ -110,7 +110,13 @@ mod tests {
 
     #[test]
     fn point_set_mode() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.4, 0.6)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.4, 0.6),
+        ];
         let out = triangulate(&pts, &TriOptions::default()).unwrap();
         assert_eq!(out.mesh.num_triangles(), 4);
         assert!(out.refine_stats.is_none());
@@ -154,10 +160,22 @@ mod tests {
 
     #[test]
     fn sorted_input_mode() {
-        let mut pts = vec![p(0.3, 0.7), p(0.1, 0.2), p(0.9, 0.4), p(0.5, 0.5), p(0.2, 0.9)];
+        let mut pts = vec![
+            p(0.3, 0.7),
+            p(0.1, 0.2),
+            p(0.9, 0.4),
+            p(0.5, 0.5),
+            p(0.2, 0.9),
+        ];
         pts.sort_by(|a, b| a.lex_cmp(*b));
-        let out = triangulate(&pts, &TriOptions { assume_sorted: true, ..Default::default() })
-            .unwrap();
+        let out = triangulate(
+            &pts,
+            &TriOptions {
+                assume_sorted: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         out.mesh.check_consistency();
         assert!(out.mesh.is_constrained_delaunay());
     }

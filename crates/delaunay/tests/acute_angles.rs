@@ -14,9 +14,9 @@ fn p(x: f64, y: f64) -> Point2 {
 fn wedge(angle_deg: f64) -> (adm_delaunay::Mesh, f64) {
     let th = angle_deg.to_radians();
     let pts = vec![
-        p(0.0, 0.0),                          // apex
-        p(4.0, 0.0),                          // along one leg
-        p(4.0 * th.cos(), 4.0 * th.sin()),    // along the other
+        p(0.0, 0.0),                       // apex
+        p(4.0, 0.0),                       // along one leg
+        p(4.0 * th.cos(), 4.0 * th.sin()), // along the other
     ];
     let segs = [(0u32, 1u32), (1, 2), (2, 0)];
     let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();

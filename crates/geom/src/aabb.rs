@@ -164,7 +164,11 @@ impl Aabb {
             if code_a & code_b != 0 {
                 return None; // trivially reject: both in one outside half-plane
             }
-            let code_out = if code_a != outcode::INSIDE { code_a } else { code_b };
+            let code_out = if code_a != outcode::INSIDE {
+                code_a
+            } else {
+                code_b
+            };
             let p = if code_out & outcode::TOP != 0 {
                 Point2::new(
                     a.x + (b.x - a.x) * (self.max.y - a.y) / (b.y - a.y),

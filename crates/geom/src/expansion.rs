@@ -41,6 +41,16 @@ pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
     (hi, lo)
 }
 
+/// Roundoff tail of an already-computed difference: given `x = fl(a - b)`,
+/// returns `lo` such that `a - b = x + lo` exactly. Lets the semi-static
+/// predicate stages defer tail computation until the cheap stages fail.
+#[inline]
+pub fn two_diff_tail(a: f64, b: f64, x: f64) -> f64 {
+    let bv = a - x;
+    let av = x + bv;
+    (a - av) + (bv - b)
+}
+
 /// Exact product `a * b = hi + lo`, via fused multiply-add.
 #[inline]
 pub fn two_product(a: f64, b: f64) -> (f64, f64) {
@@ -119,6 +129,111 @@ pub fn scale_expansion(e: &[f64], b: f64, out: &mut [f64]) -> usize {
     }
     if q != 0.0 || n == 0 {
         out[n] = q;
+        n += 1;
+    }
+    n
+}
+
+/// Exact difference of two head/tail pairs: `(a1 + a0) - b = x2 + x1 + x0`.
+#[inline]
+fn two_one_diff(a1: f64, a0: f64, b: f64) -> (f64, f64, f64) {
+    let (i, x0) = two_diff(a0, b);
+    let (x2, x1) = two_sum(a1, i);
+    (x2, x1, x0)
+}
+
+/// Exact difference of two double-doubles: `(a1 + a0) - (b1 + b0)` as a
+/// four-component expansion in increasing order of magnitude.
+#[inline]
+pub fn two_two_diff(a1: f64, a0: f64, b1: f64, b0: f64) -> [f64; 4] {
+    let (j, r0, x0) = two_one_diff(a1, a0, b0);
+    let (x3, x2, x1) = two_one_diff(j, r0, b1);
+    [x0, x1, x2, x3]
+}
+
+/// Sums two expansions into `h` without heap allocation (Shewchuk's
+/// `fast_expansion_sum_zeroelim`). Both inputs must be nonoverlapping and
+/// sorted by increasing magnitude; the result is, too. Returns the number
+/// of components written (at least 1 — a zero result is written as `[0.0]`).
+/// `h` must have room for `e.len() + f.len()` components.
+///
+/// This is the merge the semi-static predicate stages use on their hot
+/// path; the allocating [`Expansion`] type remains the fallback for the
+/// fully exact stages, where clarity beats constant factors.
+pub fn fast_expansion_sum_zeroelim(e: &[f64], f: &[f64], h: &mut [f64]) -> usize {
+    if e.is_empty() {
+        let n = f.len();
+        h[..n].copy_from_slice(f);
+        return ensure_nonempty(h, n);
+    }
+    if f.is_empty() {
+        let n = e.len();
+        h[..n].copy_from_slice(e);
+        return ensure_nonempty(h, n);
+    }
+    let (mut eidx, mut fidx) = (0usize, 0usize);
+    let (mut enow, mut fnow) = (e[0], f[0]);
+    let mut q;
+    if (fnow > enow) == (fnow > -enow) {
+        q = enow;
+        eidx += 1;
+    } else {
+        q = fnow;
+        fidx += 1;
+    }
+    let mut n = 0usize;
+    if eidx < e.len() && fidx < f.len() {
+        enow = e[eidx];
+        fnow = f[fidx];
+        let (qq, lo) = if (fnow > enow) == (fnow > -enow) {
+            eidx += 1;
+            fast_two_sum(enow, q)
+        } else {
+            fidx += 1;
+            fast_two_sum(fnow, q)
+        };
+        q = qq;
+        if lo != 0.0 {
+            h[n] = lo;
+            n += 1;
+        }
+        while eidx < e.len() && fidx < f.len() {
+            enow = e[eidx];
+            fnow = f[fidx];
+            let (qq, lo) = if (fnow > enow) == (fnow > -enow) {
+                eidx += 1;
+                two_sum(q, enow)
+            } else {
+                fidx += 1;
+                two_sum(q, fnow)
+            };
+            q = qq;
+            if lo != 0.0 {
+                h[n] = lo;
+                n += 1;
+            }
+        }
+    }
+    while eidx < e.len() {
+        let (qq, lo) = two_sum(q, e[eidx]);
+        eidx += 1;
+        q = qq;
+        if lo != 0.0 {
+            h[n] = lo;
+            n += 1;
+        }
+    }
+    while fidx < f.len() {
+        let (qq, lo) = two_sum(q, f[fidx]);
+        fidx += 1;
+        q = qq;
+        if lo != 0.0 {
+            h[n] = lo;
+            n += 1;
+        }
+    }
+    if q != 0.0 || n == 0 {
+        h[n] = q;
         n += 1;
     }
     n

@@ -20,7 +20,9 @@ use crate::predicates::orient2d;
 /// Debug builds assert the input is sorted.
 pub fn lower_hull_indices_sorted(points: &[Point2]) -> Vec<usize> {
     debug_assert!(
-        points.windows(2).all(|w| w[0].lex_cmp(w[1]) != std::cmp::Ordering::Greater),
+        points
+            .windows(2)
+            .all(|w| w[0].lex_cmp(w[1]) != std::cmp::Ordering::Greater),
         "input must be lexicographically sorted"
     );
     let n = points.len();
@@ -134,7 +136,13 @@ mod tests {
 
     #[test]
     fn lower_hull_with_duplicates() {
-        let pts = [p(0.0, 0.0), p(0.0, 0.0), p(1.0, -1.0), p(1.0, -1.0), p(2.0, 0.0)];
+        let pts = [
+            p(0.0, 0.0),
+            p(0.0, 0.0),
+            p(1.0, -1.0),
+            p(1.0, -1.0),
+            p(2.0, 0.0),
+        ];
         let h = lower_hull_sorted(&pts);
         assert_eq!(h, vec![p(0.0, 0.0), p(1.0, -1.0), p(2.0, 0.0)]);
     }

@@ -58,7 +58,10 @@ impl Point2 {
     /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point2::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// Componentwise minimum (useful for bounding boxes).

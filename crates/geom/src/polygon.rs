@@ -137,9 +137,7 @@ pub fn is_simple(poly: &[Point2]) -> bool {
 /// Total perimeter length.
 pub fn perimeter(poly: &[Point2]) -> f64 {
     let n = poly.len();
-    (0..n)
-        .map(|i| poly[i].distance(poly[(i + 1) % n]))
-        .sum()
+    (0..n).map(|i| poly[i].distance(poly[(i + 1) % n])).sum()
 }
 
 #[cfg(test)]
@@ -168,7 +166,13 @@ mod tests {
     #[test]
     fn convexity() {
         assert!(is_convex_ccw(&unit_square()));
-        let arrow = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.5), p(2.0, 2.0), p(0.0, 2.0)];
+        let arrow = vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 0.5),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+        ];
         assert!(is_ccw(&arrow));
         assert!(!is_convex_ccw(&arrow));
     }

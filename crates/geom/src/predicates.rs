@@ -1,13 +1,21 @@
 //! Robust adaptive geometric predicates.
 //!
 //! `orient2d` and `incircle` are the two predicates every Delaunay algorithm
-//! stands on. Both are evaluated with a cheap floating-point filter first
-//! (Shewchuk's stage-A error bounds); when the filter cannot certify the
-//! sign, the determinant is re-evaluated **exactly** with floating-point
-//! expansions from [`crate::expansion`]. The result is therefore always the
-//! sign of the exact real-arithmetic determinant.
+//! stands on. Both walk Shewchuk's adaptive ladder: a cheap floating-point
+//! filter (stage A), then progressively tighter semi-static stages (B, C)
+//! that reuse work from the previous rung, and only when every filter fails
+//! a fully exact evaluation with floating-point expansions from
+//! [`crate::expansion`]. The result is therefore always the sign of the
+//! exact real-arithmetic determinant, and near-degenerate — but not exactly
+//! degenerate — inputs are usually resolved without heap allocation.
+//!
+//! Build with the `predicate-stats` feature to count how often each rung of
+//! the ladder settles the sign (see [`stats`]).
 
-use crate::expansion::{two_diff, Expansion};
+use crate::expansion::{
+    estimate, fast_expansion_sum_zeroelim, scale_expansion, two_diff, two_diff_tail, two_product,
+    two_two_diff, Expansion,
+};
 use crate::point::Point2;
 
 /// Machine epsilon for `f64` halved, as used in Shewchuk's bounds
@@ -17,8 +25,87 @@ const EPS: f64 = f64::EPSILON / 2.0;
 /// Stage-A error bound for `orient2d`: `(3 + 16*eps) * eps`.
 const CCW_ERR_BOUND_A: f64 = (3.0 + 16.0 * EPS) * EPS;
 
+/// Stage-B error bound for `orient2d`: `(2 + 12*eps) * eps`.
+const CCW_ERR_BOUND_B: f64 = (2.0 + 12.0 * EPS) * EPS;
+
+/// Stage-C error bound for `orient2d`: `(9 + 64*eps) * eps^2`.
+const CCW_ERR_BOUND_C: f64 = (9.0 + 64.0 * EPS) * EPS * EPS;
+
+/// Relative error of summing a correction into an estimate: `(3 + 8*eps) * eps`.
+const RESULT_ERR_BOUND: f64 = (3.0 + 8.0 * EPS) * EPS;
+
 /// Stage-A error bound for `incircle`: `(10 + 96*eps) * eps`.
 const ICC_ERR_BOUND_A: f64 = (10.0 + 96.0 * EPS) * EPS;
+
+/// Stage-B error bound for `incircle`: `(4 + 48*eps) * eps`.
+const ICC_ERR_BOUND_B: f64 = (4.0 + 48.0 * EPS) * EPS;
+
+/// Stage-C error bound for `incircle`: `(44 + 576*eps) * eps^2`.
+const ICC_ERR_BOUND_C: f64 = (44.0 + 576.0 * EPS) * EPS * EPS;
+
+/// Hit-rate counters for each rung of the predicate ladder, compiled in
+/// only with the `predicate-stats` feature. All counters are process-wide
+/// relaxed atomics: cheap enough to leave on during benchmarking runs.
+#[cfg(feature = "predicate-stats")]
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ORIENT_A: AtomicU64 = AtomicU64::new(0);
+    pub static ORIENT_B: AtomicU64 = AtomicU64::new(0);
+    pub static ORIENT_C: AtomicU64 = AtomicU64::new(0);
+    pub static ORIENT_EXACT: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_A: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_B: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_C: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_EXACT: AtomicU64 = AtomicU64::new(0);
+
+    /// Snapshot of the counters as
+    /// `(orient [A, B, C, exact], incircle [A, B, C, exact])`.
+    pub fn snapshot() -> ([u64; 4], [u64; 4]) {
+        (
+            [
+                ORIENT_A.load(Ordering::Relaxed),
+                ORIENT_B.load(Ordering::Relaxed),
+                ORIENT_C.load(Ordering::Relaxed),
+                ORIENT_EXACT.load(Ordering::Relaxed),
+            ],
+            [
+                INCIRCLE_A.load(Ordering::Relaxed),
+                INCIRCLE_B.load(Ordering::Relaxed),
+                INCIRCLE_C.load(Ordering::Relaxed),
+                INCIRCLE_EXACT.load(Ordering::Relaxed),
+            ],
+        )
+    }
+
+    /// Zeroes every counter.
+    pub fn reset() {
+        for c in [
+            &ORIENT_A,
+            &ORIENT_B,
+            &ORIENT_C,
+            &ORIENT_EXACT,
+            &INCIRCLE_A,
+            &INCIRCLE_B,
+            &INCIRCLE_C,
+            &INCIRCLE_EXACT,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(feature = "predicate-stats")]
+macro_rules! bump {
+    ($counter:ident) => {
+        crate::predicates::stats::$counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    };
+}
+
+#[cfg(not(feature = "predicate-stats"))]
+macro_rules! bump {
+    ($counter:ident) => {};
+}
 
 /// Orientation of the triple `(a, b, c)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,29 +130,96 @@ pub fn orient2d(a: Point2, b: Point2, c: Point2) -> f64 {
 
     let detsum = if detleft > 0.0 {
         if detright <= 0.0 {
+            bump!(ORIENT_A);
             return det;
         }
         detleft + detright
     } else if detleft < 0.0 {
         if detright >= 0.0 {
+            bump!(ORIENT_A);
             return det;
         }
         -detleft - detright
     } else {
+        bump!(ORIENT_A);
         return det;
     };
 
     let errbound = CCW_ERR_BOUND_A * detsum;
     if det >= errbound || -det >= errbound {
+        bump!(ORIENT_A);
         return det;
     }
-    orient2d_exact(a, b, c)
+    orient2d_adapt(a, b, c, detsum)
 }
 
-/// Fully exact `orient2d` via expansion arithmetic.
+/// Stages B-D of Shewchuk's adaptive `orient2d`, entered when the stage-A
+/// filter cannot certify the sign. Each stage reuses the exact partial
+/// results of the previous one; all intermediates live on the stack.
+#[cold]
+fn orient2d_adapt(a: Point2, b: Point2, c: Point2, detsum: f64) -> f64 {
+    let acx = a.x - c.x;
+    let bcx = b.x - c.x;
+    let acy = a.y - c.y;
+    let bcy = b.y - c.y;
+
+    // Stage B: the determinant of the rounded differences, exactly.
+    let (detleft, detlefttail) = two_product(acx, bcy);
+    let (detright, detrighttail) = two_product(acy, bcx);
+    let b_exp = two_two_diff(detleft, detlefttail, detright, detrighttail);
+    let mut det = estimate(&b_exp);
+    let errbound = CCW_ERR_BOUND_B * detsum;
+    if det >= errbound || -det >= errbound {
+        bump!(ORIENT_B);
+        return det;
+    }
+
+    // Stage C: fold in the first-order tail terms.
+    let acxtail = two_diff_tail(a.x, c.x, acx);
+    let bcxtail = two_diff_tail(b.x, c.x, bcx);
+    let acytail = two_diff_tail(a.y, c.y, acy);
+    let bcytail = two_diff_tail(b.y, c.y, bcy);
+    if acxtail == 0.0 && acytail == 0.0 && bcxtail == 0.0 && bcytail == 0.0 {
+        // The differences were exact: stage B's value is the exact sign.
+        bump!(ORIENT_B);
+        return det;
+    }
+    let errbound = CCW_ERR_BOUND_C * detsum + RESULT_ERR_BOUND * det.abs();
+    det += (acx * bcytail + bcy * acxtail) - (acy * bcxtail + bcx * acytail);
+    if det >= errbound || -det >= errbound {
+        bump!(ORIENT_C);
+        return det;
+    }
+
+    // Stage D: exact, accumulating the remaining tail products into B.
+    bump!(ORIENT_EXACT);
+    let (s1, s0) = two_product(acxtail, bcy);
+    let (t1, t0) = two_product(acytail, bcx);
+    let u = two_two_diff(s1, s0, t1, t0);
+    let mut c1 = [0.0f64; 8];
+    let c1len = fast_expansion_sum_zeroelim(&b_exp, &u, &mut c1);
+
+    let (s1, s0) = two_product(acx, bcytail);
+    let (t1, t0) = two_product(acy, bcxtail);
+    let u = two_two_diff(s1, s0, t1, t0);
+    let mut c2 = [0.0f64; 12];
+    let c2len = fast_expansion_sum_zeroelim(&c1[..c1len], &u, &mut c2);
+
+    let (s1, s0) = two_product(acxtail, bcytail);
+    let (t1, t0) = two_product(acytail, bcxtail);
+    let u = two_two_diff(s1, s0, t1, t0);
+    let mut d_exp = [0.0f64; 16];
+    let dlen = fast_expansion_sum_zeroelim(&c2[..c2len], &u, &mut d_exp);
+
+    d_exp[dlen - 1]
+}
+
+/// Fully exact `orient2d` via expansion arithmetic — retained as the
+/// reference implementation the ladder is validated against.
 ///
 /// The determinant expands to six exact products whose `c`-only terms
 /// cancel: `ax*by - ax*cy - cx*by - ay*bx + ay*cx + cy*bx`.
+#[cfg(test)]
 fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> f64 {
     let t1 = Expansion::product(a.x, b.y);
     let t2 = Expansion::product(a.x, c.y).negate();
@@ -134,8 +288,95 @@ pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
         + (adxbdy.abs() + bdxady.abs()) * clift;
     let errbound = ICC_ERR_BOUND_A * permanent;
     if det > errbound || -det > errbound {
+        bump!(INCIRCLE_A);
         return det;
     }
+    incircle_adapt(a, b, c, d, permanent)
+}
+
+/// Stages B-C of Shewchuk's adaptive `incircle`. Stage B evaluates the
+/// determinant of the rounded differences exactly on the stack; stage C
+/// adds a first-order tail correction. Genuinely degenerate input falls
+/// through to [`incircle_exact`].
+#[cold]
+fn incircle_adapt(a: Point2, b: Point2, c: Point2, d: Point2, permanent: f64) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    // Stage B: lift each rounded difference pair exactly.
+    // adet = (adx^2 + ady^2) * (bdx*cdy - cdx*bdy), exactly; likewise for
+    // the b and c rows by symmetric rotation.
+    let row = |px: f64, py: f64, qx: f64, qy: f64, rx: f64, ry: f64, out: &mut [f64; 32]| {
+        let (qr1, qr0) = two_product(qx, ry);
+        let (rq1, rq0) = two_product(rx, qy);
+        let cross = two_two_diff(qr1, qr0, rq1, rq0);
+        let mut px_cross = [0.0f64; 8];
+        let nx = scale_expansion(&cross, px, &mut px_cross);
+        let mut pxx_cross = [0.0f64; 16];
+        let nxx = scale_expansion(&px_cross[..nx], px, &mut pxx_cross);
+        let mut py_cross = [0.0f64; 8];
+        let ny = scale_expansion(&cross, py, &mut py_cross);
+        let mut pyy_cross = [0.0f64; 16];
+        let nyy = scale_expansion(&py_cross[..ny], py, &mut pyy_cross);
+        fast_expansion_sum_zeroelim(&pxx_cross[..nxx], &pyy_cross[..nyy], out)
+    };
+    let mut adet = [0.0f64; 32];
+    let alen = row(adx, ady, bdx, bdy, cdx, cdy, &mut adet);
+    let mut bdet = [0.0f64; 32];
+    let blen = row(bdx, bdy, cdx, cdy, adx, ady, &mut bdet);
+    let mut cdet = [0.0f64; 32];
+    let clen = row(cdx, cdy, adx, ady, bdx, bdy, &mut cdet);
+
+    let mut abdet = [0.0f64; 64];
+    let ablen = fast_expansion_sum_zeroelim(&adet[..alen], &bdet[..blen], &mut abdet);
+    let mut fin = [0.0f64; 96];
+    let finlen = fast_expansion_sum_zeroelim(&abdet[..ablen], &cdet[..clen], &mut fin);
+
+    let mut det = estimate(&fin[..finlen]);
+    let errbound = ICC_ERR_BOUND_B * permanent;
+    if det >= errbound || -det >= errbound {
+        bump!(INCIRCLE_B);
+        return det;
+    }
+
+    // Stage C: first-order correction with the difference tails.
+    let adxtail = two_diff_tail(a.x, d.x, adx);
+    let adytail = two_diff_tail(a.y, d.y, ady);
+    let bdxtail = two_diff_tail(b.x, d.x, bdx);
+    let bdytail = two_diff_tail(b.y, d.y, bdy);
+    let cdxtail = two_diff_tail(c.x, d.x, cdx);
+    let cdytail = two_diff_tail(c.y, d.y, cdy);
+    if adxtail == 0.0
+        && bdxtail == 0.0
+        && cdxtail == 0.0
+        && adytail == 0.0
+        && bdytail == 0.0
+        && cdytail == 0.0
+    {
+        // The differences were exact: stage B's value is the exact sign.
+        bump!(INCIRCLE_B);
+        return det;
+    }
+    let errbound = ICC_ERR_BOUND_C * permanent + RESULT_ERR_BOUND * det.abs();
+    det += ((adx * adx + ady * ady)
+        * ((bdx * cdytail + cdy * bdxtail) - (bdy * cdxtail + cdx * bdytail))
+        + 2.0 * (adx * adxtail + ady * adytail) * (bdx * cdy - bdy * cdx))
+        + ((bdx * bdx + bdy * bdy)
+            * ((cdx * adytail + ady * cdxtail) - (cdy * adxtail + adx * cdytail))
+            + 2.0 * (bdx * bdxtail + bdy * bdytail) * (cdx * ady - cdy * adx))
+        + ((cdx * cdx + cdy * cdy)
+            * ((adx * bdytail + bdy * adxtail) - (ady * bdxtail + bdx * adytail))
+            + 2.0 * (cdx * cdxtail + cdy * cdytail) * (adx * bdy - ady * bdx));
+    if det >= errbound || -det >= errbound {
+        bump!(INCIRCLE_C);
+        return det;
+    }
+
+    bump!(INCIRCLE_EXACT);
     incircle_exact(a, b, c, d)
 }
 
@@ -296,6 +537,46 @@ mod tests {
         let b = Point2::new(1.0 + t, 1.0 + t);
         let c = Point2::new(2.0 + t, 2.0 + t);
         assert_eq!(orient2d(a, b, c), 0.0);
+    }
+
+    #[test]
+    fn ladder_matches_exact_reference_on_adversarial_inputs() {
+        // Grid points scaled into ranges that force every rung of the
+        // ladder: the adaptive result must agree in sign with the fully
+        // exact expansion evaluation.
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let x = (i as f64) * (1.0 / 3.0) + 1.0e6;
+                let y = (j as f64) * (1.0 / 3.0) + 1.0e6;
+                pts.push(Point2::new(x, y));
+            }
+        }
+        for &a in &pts[..12] {
+            for &b in &pts[12..24] {
+                for &c in &pts[24..] {
+                    let fast = orient2d(a, b, c);
+                    let exact = orient2d_exact(a, b, c);
+                    assert_eq!(
+                        fast.partial_cmp(&0.0),
+                        exact.partial_cmp(&0.0),
+                        "orient2d sign mismatch at {a:?} {b:?} {c:?}"
+                    );
+                    if orient2d(a, b, c) != 0.0 {
+                        for &d in pts.iter().step_by(7) {
+                            let (p, q, r) = if exact > 0.0 { (a, b, c) } else { (a, c, b) };
+                            let fast = incircle(p, q, r, d);
+                            let exact = incircle_exact(p, q, r, d);
+                            assert_eq!(
+                                fast.partial_cmp(&0.0),
+                                exact.partial_cmp(&0.0),
+                                "incircle sign mismatch at {p:?} {q:?} {r:?} {d:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -162,8 +162,12 @@ impl Segment {
     /// Overlap of two segments already known to be collinear.
     fn collinear_overlap(&self, other: &Segment) -> SegIntersection {
         // Project onto the dominant axis to order the endpoints.
-        let dx = (self.b.x - self.a.x).abs().max((other.b.x - other.a.x).abs());
-        let dy = (self.b.y - self.a.y).abs().max((other.b.y - other.a.y).abs());
+        let dx = (self.b.x - self.a.x)
+            .abs()
+            .max((other.b.x - other.a.x).abs());
+        let dy = (self.b.y - self.a.y)
+            .abs()
+            .max((other.b.y - other.a.y).abs());
         let key = |p: Point2| if dx >= dy { p.x } else { p.y };
 
         let (s0, s1) = order_by(self.a, self.b, key);

@@ -10,9 +10,9 @@ use proptest::prelude::*;
 
 fn coord() -> impl Strategy<Value = f64> {
     prop_oneof![
-        (-100.0f64..100.0),
+        -100.0f64..100.0,
         // Small-magnitude values stress the predicate filters.
-        (-1e-6f64..1e-6),
+        -1e-6f64..1e-6,
     ]
 }
 

@@ -218,7 +218,10 @@ where
                 scope.spawn(move || body(comm))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -309,12 +312,11 @@ mod tests {
     #[test]
     fn bcast_distributes_value() {
         let results = run(4, |comm| {
-            let v = if comm.rank() == 2 {
+            if comm.rank() == 2 {
                 comm.bcast(2, Some("payload".to_string()))
             } else {
                 comm.bcast::<String>(2, None)
-            };
-            v
+            }
         });
         assert!(results.iter().all(|v| v == "payload"));
     }

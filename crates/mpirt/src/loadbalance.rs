@@ -228,7 +228,11 @@ where
                             // Donate the largest queued item; keep one in
                             // reserve only when the mesher is idle (its
                             // in-flight task is the reserve otherwise).
-                            let reserve = if comm_busy.load(Ordering::Acquire) { 1 } else { 2 };
+                            let reserve = if comm_busy.load(Ordering::Acquire) {
+                                1
+                            } else {
+                                2
+                            };
                             if comm_queue.len() >= reserve {
                                 if let Some(item) = comm_queue.pop() {
                                     comm.send(src, LB_TAG, Msg::Work(item));
@@ -346,7 +350,11 @@ where
                 while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
                     match msg {
                         Msg::Request => {
-                            let reserve = if comm_busy.load(Ordering::Acquire) { 1 } else { 2 };
+                            let reserve = if comm_busy.load(Ordering::Acquire) {
+                                1
+                            } else {
+                                2
+                            };
                             if comm_queue.len() >= reserve {
                                 if let Some(item) = comm_queue.pop() {
                                     comm.send(src, LB_TAG, Msg::Work(item));

@@ -89,7 +89,7 @@ impl Window {
                 continue;
             }
             let v = s.load(Ordering::Acquire);
-            if v > 0 && best.map_or(true, |(_, bv)| v > bv) {
+            if v > 0 && best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((i, v));
             }
         }

@@ -145,7 +145,13 @@ fn messages_interleave_with_balancing() {
     let window = Window::new(RANKS + 1);
     let results = run(RANKS, |comm| {
         let initial: Vec<Job> = if comm.rank() == 0 {
-            (0..12).map(|id| Job { id, cost: 3, spawn: 0 }).collect()
+            (0..12)
+                .map(|id| Job {
+                    id,
+                    cost: 3,
+                    spawn: 0,
+                })
+                .collect()
         } else {
             Vec::new()
         };

@@ -104,7 +104,9 @@ pub fn triangulate_leaf(leaf: &Subdomain) -> Vec<[u32; 3]> {
             std::mem::swap(&mut ga, &mut gb);
             std::mem::swap(&mut ppa, &mut ppb);
         }
-        let Some(cc) = circumcenter(ppa, ppb, ppc) else { continue };
+        let Some(cc) = circumcenter(ppa, ppb, ppc) else {
+            continue;
+        };
         if leaf.cuts.iter().all(|cut| on_side(cc, cut)) {
             // Emit in the triangulator's (CCW) orientation; the id-sorted
             // triple was only for the canonical circumcenter.
@@ -255,11 +257,7 @@ mod tests {
         assert!((total - 121.0).abs() < 1e-9);
         // Weak Delaunay: no vertex strictly inside any circumcircle.
         for t in &merged {
-            let (a, b, c) = (
-                pts[t[0] as usize],
-                pts[t[1] as usize],
-                pts[t[2] as usize],
-            );
+            let (a, b, c) = (pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]);
             assert!(orient2d(a, b, c) > 0.0);
             for (i, &q) in pts.iter().enumerate() {
                 if t.contains(&(i as u32)) {

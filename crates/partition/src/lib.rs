@@ -11,7 +11,5 @@
 pub mod decompose;
 pub mod subdomain;
 
-pub use decompose::{
-    decompose, triangulate_all, triangulate_leaf, Decomposition, DecomposeParams,
-};
+pub use decompose::{decompose, triangulate_all, triangulate_leaf, DecomposeParams, Decomposition};
 pub use subdomain::{Cut, CutAxis, Side, Subdomain, Vertex};

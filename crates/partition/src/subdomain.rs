@@ -126,10 +126,11 @@ impl Subdomain {
         let xmin = self.x_sorted.first().map_or(0.0, |v| v.pos.x);
         let xmax = self.x_sorted.last().map_or(0.0, |v| v.pos.x);
         let (ymin, ymax) = if self.y_sorted.is_empty() {
-            self.x_sorted.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), v| (lo.min(v.pos.y), hi.max(v.pos.y)),
-            )
+            self.x_sorted
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                    (lo.min(v.pos.y), hi.max(v.pos.y))
+                })
         } else {
             (
                 self.y_sorted.first().map_or(0.0, |v| v.pos.y),

@@ -122,7 +122,11 @@ fn dividing_paths_are_delaunay_edges() {
     }
     for path in &d.paths {
         for w in path.windows(2) {
-            let key = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            let key = if w[0] < w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
             assert!(
                 dt_edges.contains(&key),
                 "path edge {key:?} not in the global DT"

@@ -217,7 +217,9 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
             }
             0.0
         }
-        InitialDist::Tree { split_cost_s_per_byte } => {
+        InitialDist::Tree {
+            split_cost_s_per_byte,
+        } => {
             // Balanced recursive halving over log2(p) levels: at level l,
             // the active ranks each split their payload and ship half to a
             // partner. Per-level time = split of the local payload plus
@@ -241,12 +243,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
 
     let mut events: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
     let mut seq = 0u64;
-    fn push(
-        events: &mut BinaryHeap<Reverse<Scheduled>>,
-        seq: &mut u64,
-        at: f64,
-        ev: Event,
-    ) {
+    fn push(events: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, at: f64, ev: Event) {
         events.push(Reverse(Scheduled { at, seq: *seq, ev }));
         *seq += 1;
     }
@@ -263,14 +260,26 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
         if let Some(task) = ranks[r].pop(cfg.schedule) {
             ranks[r].busy_until = Some(setup_s + task.cost_s);
             ranks[r].busy_s += task.cost_s;
-            push(&mut events, &mut seq, setup_s + task.cost_s, Event::Finish { rank: r });
+            push(
+                &mut events,
+                &mut seq,
+                setup_s + task.cost_s,
+                Event::Finish { rank: r },
+            );
         } else {
             ranks[r].idle_since = Some(setup_s);
         }
         // Idle ranks with stealing enabled request immediately.
         if cfg.steal && ranks[r].busy_until.is_none() {
             request_work(
-                r, setup_s, p, &mut ranks, &mut events, &mut seq, cfg, &mut comm_s,
+                r,
+                setup_s,
+                p,
+                &mut ranks,
+                &mut events,
+                &mut seq,
+                cfg,
+                &mut comm_s,
             );
         }
     }
@@ -292,13 +301,25 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                     && !ranks[rank].waiting_reply
                 {
                     request_work(
-                        rank, now, p, &mut ranks, &mut events, &mut seq, cfg, &mut comm_s,
+                        rank,
+                        now,
+                        p,
+                        &mut ranks,
+                        &mut events,
+                        &mut seq,
+                        cfg,
+                        &mut comm_s,
                     );
                 }
                 if let Some(task) = ranks[rank].pop(cfg.schedule) {
                     ranks[rank].busy_until = Some(now + task.cost_s);
                     ranks[rank].busy_s += task.cost_s;
-                    push(&mut events, &mut seq, now + task.cost_s, Event::Finish { rank });
+                    push(
+                        &mut events,
+                        &mut seq,
+                        now + task.cost_s,
+                        Event::Finish { rank },
+                    );
                 } else {
                     ranks[rank].idle_since = Some(now);
                 }
@@ -338,12 +359,22 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                             let task = ranks[rank].pop(cfg.schedule).expect("just pushed");
                             ranks[rank].busy_until = Some(now + task.cost_s);
                             ranks[rank].busy_s += task.cost_s;
-                            push(&mut events, &mut seq, now + task.cost_s, Event::Finish { rank });
+                            push(
+                                &mut events,
+                                &mut seq,
+                                now + task.cost_s,
+                                Event::Finish { rank },
+                            );
                         }
                     }
                     None => {
                         if remaining > 0 {
-                            push(&mut events, &mut seq, now + cfg.poll_s, Event::Retry { rank });
+                            push(
+                                &mut events,
+                                &mut seq,
+                                now + cfg.poll_s,
+                                Event::Retry { rank },
+                            );
                         }
                     }
                 }
@@ -354,7 +385,14 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                     && !ranks[rank].waiting_reply
                 {
                     request_work(
-                        rank, now, p, &mut ranks, &mut events, &mut seq, cfg, &mut comm_s,
+                        rank,
+                        now,
+                        p,
+                        &mut ranks,
+                        &mut events,
+                        &mut seq,
+                        cfg,
+                        &mut comm_s,
                     );
                 }
             }
@@ -395,7 +433,7 @@ fn request_work(
         if i == rank {
             continue;
         }
-        if r.load_s > 0.0 && best.map_or(true, |(_, b)| r.load_s > b) {
+        if r.load_s > 0.0 && best.is_none_or(|(_, b)| r.load_s > b) {
             best = Some((i, r.load_s));
         }
     }
@@ -417,7 +455,12 @@ mod tests {
     use super::*;
 
     fn uniform_tasks(n: usize, cost: f64, bytes: u64) -> Vec<Task> {
-        (0..n).map(|_| Task { cost_s: cost, bytes }).collect()
+        (0..n)
+            .map(|_| Task {
+                cost_s: cost,
+                bytes,
+            })
+            .collect()
     }
 
     #[test]
@@ -437,7 +480,11 @@ mod tests {
         };
         let r = simulate(8, &tasks, InitialDist::RoundRobin, &cfg);
         // 64 equal tasks over 8 ranks: exactly 8 tasks each.
-        assert!((r.makespan_s - 2.0).abs() < 1e-9, "makespan {}", r.makespan_s);
+        assert!(
+            (r.makespan_s - 2.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan_s
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@ use proptest::prelude::*;
 
 fn tasks(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Task>> {
     prop::collection::vec(
-        (1e-5f64..1e-2, 100u64..100_000).prop_map(|(c, b)| Task { cost_s: c, bytes: b }),
+        (1e-5f64..1e-2, 100u64..100_000).prop_map(|(c, b)| Task {
+            cost_s: c,
+            bytes: b,
+        }),
         n,
     )
 }

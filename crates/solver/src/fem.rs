@@ -45,12 +45,7 @@ pub struct FemSystem {
 
 /// Assembles `-div(grad u) + conv . grad u = f` with P1 elements and the
 /// given Dirichlet data. `f` is evaluated at vertices (lumped load).
-pub fn assemble(
-    mesh: &Mesh,
-    conv: Vec2,
-    f: impl Fn(Point2) -> f64,
-    bc: &Dirichlet,
-) -> FemSystem {
+pub fn assemble(mesh: &Mesh, conv: Vec2, f: impl Fn(Point2) -> f64, bc: &Dirichlet) -> FemSystem {
     let nv = mesh.num_vertices();
     let mut vertex_to_free = vec![u32::MAX; nv];
     let mut free_to_vertex = Vec::new();

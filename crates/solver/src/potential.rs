@@ -210,9 +210,9 @@ pub fn write_field_svg<W: Write>(
             mesh.vertices[tri[2] as usize],
         );
         // Skip triangles fully outside the clip window.
-        let inside = [a, b, c].iter().any(|p| {
-            p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y
-        });
+        let inside = [a, b, c]
+            .iter()
+            .any(|p| p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y);
         if !inside {
             continue;
         }

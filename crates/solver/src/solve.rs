@@ -155,7 +155,11 @@ mod tests {
         // Verify residual directly.
         let mut ax = vec![0.0; 50];
         a.mul_vec(&x, &mut ax);
-        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        let err: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-9);
     }
 
@@ -226,7 +230,14 @@ mod tests {
         }
         let a = Csr::from_triplets(n, n, &t);
         let b = vec![1.0; n];
-        let plain = cg(&a, &b, &CgOptions { max_iters: 500, ..Default::default() });
+        let plain = cg(
+            &a,
+            &b,
+            &CgOptions {
+                max_iters: 500,
+                ..Default::default()
+            },
+        );
         let pcg = cg(
             &a,
             &b,

@@ -79,22 +79,22 @@ impl Csr {
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows());
-        for r in 0..self.nrows() {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.vals[k] * x[self.cols[k] as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
     /// The diagonal entries (zero where absent).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.nrows()];
-        for r in 0..self.nrows() {
+        for (r, dr) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.cols[k] as usize == r {
-                    d[r] = self.vals[k];
+                    *dr = self.vals[k];
                 }
             }
         }
@@ -121,7 +121,13 @@ mod tests {
         let a = Csr::from_triplets(
             2,
             2,
-            &[(0, 0, 1.0), (0, 0, 2.0), (1, 0, -1.0), (1, 1, 4.0), (0, 1, 0.5)],
+            &[
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 0, -1.0),
+                (1, 1, 4.0),
+                (0, 1, 0.5),
+            ],
         );
         assert_eq!(a.nrows(), 2);
         assert_eq!(a.nnz(), 4);

@@ -34,9 +34,9 @@ fn spd_system(n: usize, seed: u64) -> (Csr, Vec<f64>) {
 /// Dense reference multiply.
 fn dense_mul(a: &Csr, x: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; a.nrows()];
-    for r in 0..a.nrows() {
-        for c in 0..a.ncols {
-            y[r] += a.get(r, c) * x[c];
+    for (r, yr) in y.iter_mut().enumerate() {
+        for (c, xc) in x.iter().enumerate() {
+            *yr += a.get(r, c) * xc;
         }
     }
     y

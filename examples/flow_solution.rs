@@ -42,7 +42,11 @@ fn main() -> std::io::Result<()> {
     let speeds: Vec<f64> = sol.velocity.iter().map(|&(_, v)| v.norm()).collect();
     let vmin = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
     let vmax = speeds.iter().cloned().fold(0.0, f64::max);
-    let cp_max = sol.cp.iter().map(|&(_, c)| c).fold(f64::NEG_INFINITY, f64::max);
+    let cp_max = sol
+        .cp
+        .iter()
+        .map(|&(_, c)| c)
+        .fold(f64::NEG_INFINITY, f64::max);
     let cp_min = sol.cp.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
     println!("  speed range  : {vmin:.3} .. {vmax:.3} (stagnation + suction peak)");
     println!("  Cp range     : {cp_min:.3} .. {cp_max:.3} (Cp -> 1 at stagnation)");

@@ -84,7 +84,9 @@ fn main() -> std::io::Result<()> {
             max_aspect = max_aspect.max(q.aspect);
         }
     }
-    println!("  boundary-layer anisotropy: {high_aspect} triangles above 10:1, peak {max_aspect:.0}:1");
+    println!(
+        "  boundary-layer anisotropy: {high_aspect} triangles above 10:1, peak {max_aspect:.0}:1"
+    );
 
     std::fs::create_dir_all("target/examples")?;
     let mut full = BufWriter::new(File::create("target/examples/30p30n_full.svg")?);

@@ -50,7 +50,10 @@ fn main() {
         })
         .collect();
     let total: f64 = tasks.iter().map(|t| t.cost_s).sum();
-    println!("simulated cluster scaling ({} measured tasks):", tasks.len());
+    println!(
+        "simulated cluster scaling ({} measured tasks):",
+        tasks.len()
+    );
     for p in [4usize, 16, 64] {
         let sim = simulate(
             p,

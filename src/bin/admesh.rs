@@ -123,7 +123,9 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.growth = (
                     parts[0].parse().map_err(|e| format!("--growth h0: {e}"))?,
-                    parts[1].parse().map_err(|e| format!("--growth ratio: {e}"))?,
+                    parts[1]
+                        .parse()
+                        .map_err(|e| format!("--growth ratio: {e}"))?,
                 );
             }
             "--growth-law" => args.growth_law = value(&argv, &mut i, "--growth-law")?,
@@ -245,7 +247,10 @@ fn main() -> ExitCode {
         let q = mesh_quality(&result.mesh);
         eprintln!("triangles        : {}", s.total_triangles);
         eprintln!("vertices         : {}", s.total_vertices);
-        eprintln!("boundary layer   : {} points, {} triangles", s.bl_points, s.bl_triangles);
+        eprintln!(
+            "boundary layer   : {} points, {} triangles",
+            s.bl_points, s.bl_triangles
+        );
         eprintln!("inviscid region  : {} triangles", s.inviscid_triangles);
         eprintln!("border splits    : {}", s.border_splits);
         eprintln!(
@@ -260,7 +265,10 @@ fn main() -> ExitCode {
         eprintln!("--- quality report ---");
         eprintln!("triangles        : {}", q.triangles);
         eprintln!("total area       : {:.4}", q.total_area);
-        eprintln!("area range       : {:.3e} .. {:.3e}", q.min_area, q.max_area);
+        eprintln!(
+            "area range       : {:.3e} .. {:.3e}",
+            q.min_area, q.max_area
+        );
         eprintln!("max R/l ratio    : {:.3}", q.max_ratio);
         eprintln!("min-angle histogram (boundary-layer slivers are intentional):");
         let labels = ["0-10", "10-20", "20-30", "30-40", "40-50", "50-60"];

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`
+//! configuration, benchmark groups, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros — with real wall-clock
+//! measurement: warm-up, auto-scaled iteration batches, and a
+//! `[min median max]` report per benchmark. It is a measuring harness, not
+//! a statistics suite; numbers are comparable across runs on one machine,
+//! which is what the regression gates need.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration batching hints (accepted for API compatibility; batches
+/// here are always per-iteration so setup cost never pollutes timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(2000),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Ends the group (report flushing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(c: &Criterion, id: &str, f: F) {
+    let mut b = Bencher {
+        sample_size: c.sample_size,
+        measurement_time: c.measurement_time,
+        warm_up_time: c.warm_up_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    b.report(id);
+}
+
+/// Times closures and collects per-iteration samples.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing only the routine itself.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Pilot run to size iteration batches.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let warm = self.warm_up_time.as_secs_f64();
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < warm {
+            std::hint::black_box(routine());
+        }
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / once).ceil() as u64).clamp(1, 1_000_000_000);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let warm = self.warm_up_time.as_secs_f64();
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < warm {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / once).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let mut measured = 0.0;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                measured += t0.elapsed().as_secs_f64();
+            }
+            self.samples.push(measured / iters as f64);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples[0];
+        let max = *self.samples.last().unwrap();
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{id:<50} time:   [{} {} {}]  median_ns: {:.1}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max),
+            median * 1e9,
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} \u{b5}s", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. `--bench`); this
+            // harness has no CLI surface, so they are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("\u{b5}s"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

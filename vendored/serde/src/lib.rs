@@ -1,0 +1,147 @@
+//! Offline stand-in for `serde`'s `Serialize` surface.
+//!
+//! The workspace only serializes plain-old-data report structs into JSON
+//! (via `serde_json::to_string_pretty`), so instead of the full serde data
+//! model this stub lowers everything into one [`Value`] tree that
+//! `serde_json` renders. The derive macro is re-exported from the vendored
+//! `serde_derive` crate, exactly as real serde does.
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree, the single intermediate representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (rendered without a decimal point).
+    Int(i64),
+    /// Unsigned integer (rendered without a decimal point).
+    UInt(u64),
+    /// Floating-point number; non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON-shaped intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}

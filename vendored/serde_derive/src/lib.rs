@@ -1,0 +1,103 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for non-generic named-field structs —
+//! the only shape the workspace derives on. The macro is written against
+//! `proc_macro` directly (no `syn`/`quote`, which are unavailable offline):
+//! it scans the token stream for the struct name and field names and emits
+//! an `impl serde::Serialize` that builds a `serde::Value::Obj`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name = None;
+    let mut fields_group = None;
+    let mut saw_struct = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) if !saw_struct && id.to_string() == "struct" => {
+                saw_struct = true;
+            }
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Group(g)
+                if name.is_some() && g.delimiter() == Delimiter::Brace =>
+            {
+                fields_group = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize): expected `struct <Name>`");
+    let fields = field_names(
+        fields_group.expect("derive(Serialize): only named-field structs are supported"),
+    );
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extracts field names from the brace-group token stream of a struct body.
+///
+/// Grammar per field: `#[attr]* pub? (crate-vis)? NAME : TYPE ,` — the type
+/// is skipped by consuming tokens until a comma outside `<...>` nesting
+/// (parenthesized/bracketed types are opaque groups already).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    'fields: while tokens.peek().is_some() {
+        // Skip attributes and visibility.
+        let field_ident = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    // The following bracket group is the attribute body.
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next(); // pub(crate) and friends
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("derive(Serialize): unexpected token `{other}` in struct body"),
+                None => break 'fields,
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("derive(Serialize): expected `:` after field `{field_ident}`"),
+        }
+        names.push(field_ident);
+        // Consume the type up to the field-separating comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                }
+            }
+        }
+        break; // trailing field without a comma
+    }
+    names
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde::Value` tree as pretty-printed JSON with the
+//! same 2-space indentation real serde_json uses, so checked-in
+//! `bench_results/*.json` artifacts keep their diff-friendly shape.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error (the stub serializer is infallible in practice, but
+/// the type keeps call sites' `?` operators compiling).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Serializes `value` as pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn render_number(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // `{}` on f64 prints the shortest round-trip form, as ryu does,
+        // but yields "1" for 1.0; keep a trailing ".0" so the value stays
+        // float-typed for readers that distinguish.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => render_number(*f, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (k, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                render(item, indent + 1, out);
+                if k + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (k, (key, item)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                render_string(key, out);
+                out.push_str(": ");
+                render(item, indent + 1, out);
+                if k + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+    }
+}
+
+fn render_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => render_number(*f, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(entries) => {
+            out.push('{');
+            for (k, (key, item)) in entries.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Report {
+        name: String,
+        points: Vec<(f64, f64)>,
+        count: usize,
+        ratio: f64,
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_shape() {
+        let r = Report {
+            name: "speedup".to_string(),
+            points: vec![(1.0, 1.5), (2.0, 2.75)],
+            count: 3,
+            ratio: 0.824,
+        };
+        let s = to_string_pretty(&r).unwrap();
+        assert!(s.starts_with("{\n  \"name\": \"speedup\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.824"));
+        assert!(s.contains("      1.0,"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        render(&Value::Float(2.0), 0, &mut out);
+        assert_eq!(out, "2.0");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+}
