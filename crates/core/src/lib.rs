@@ -10,6 +10,7 @@
 pub mod blmesh;
 pub mod config;
 pub mod distio;
+pub mod hash;
 pub mod inviscid;
 pub mod merge;
 pub mod pipeline;
@@ -18,9 +19,11 @@ pub mod tasklog;
 pub use blmesh::{mesh_boundary_layer, BlMesh};
 pub use config::MeshConfig;
 pub use distio::{read_distributed_merged, read_distributed_parts, write_distributed};
+pub use hash::{sha256_hex, Sha256};
 pub use inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region, InviscidMesh};
 pub use merge::{check_conformity, Conformity, MeshMerger};
 pub use pipeline::{
-    generate, generate_parallel, generate_undecomposed, PipelineResult, PipelineStats,
+    generate, generate_parallel, generate_parallel_with, generate_undecomposed, PipelineResult,
+    PipelineStats,
 };
 pub use tasklog::{TaskKind, TaskLog, TaskRecord};

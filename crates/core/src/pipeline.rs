@@ -15,7 +15,9 @@ use adm_decouple::{initial_quadrants, Region};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
-use adm_mpirt::{run_rank_dynamic, BalancerConfig, Comm, Src, Window, WorkItem, WorkQueue};
+use adm_mpirt::{
+    run_rank_dynamic, BalancerConfig, Comm, Src, ThreadedTransport, Transport, WorkItem, WorkQueue,
+};
 use adm_partition::{triangulate_leaf, DecomposeParams, Subdomain};
 use std::sync::Arc;
 
@@ -136,7 +138,11 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
 /// into the queue, from where the balancer may ship them to other ranks —
 /// the paper's "repeatedly decoupled and sent to other processes until
 /// all processes have sufficient work".
-enum Task {
+///
+/// Tasks are `Clone` because the hardened balancer retransmits unacked
+/// transfers; dedup on the receiver keeps processing exactly-once.
+#[derive(Clone)]
+enum TaskBody {
     /// Decompose-or-triangulate one boundary-layer subdomain.
     Bl(Box<Subdomain>),
     /// Decouple-or-refine one inviscid region.
@@ -150,18 +156,36 @@ enum Task {
     },
 }
 
+/// A task plus its position in the task tree. `path` is the sequence of
+/// child indices from the seed task ([3] = fourth seed, [3, 1] = its
+/// second child, ...). Paths are schedule-independent — a task's children
+/// are determined by the task alone — so sorting results by path makes
+/// the merged mesh identical no matter which rank ran what, in which
+/// order, under which fault schedule.
+#[derive(Clone)]
+struct Task {
+    path: Vec<u8>,
+    body: TaskBody,
+}
+
 impl WorkItem for Task {
     fn cost(&self) -> u64 {
-        match self {
-            Task::Bl(s) => s.cost(),
-            Task::Region { est, .. } => *est,
-            Task::NearBody { est, .. } => *est,
+        match &self.body {
+            TaskBody::Bl(s) => s.cost(),
+            TaskBody::Region { est, .. } => *est,
+            TaskBody::NearBody { est, .. } => *est,
         }
     }
 }
 
-/// A task's result shipped back to the root.
-enum TaskOut {
+/// A task's result shipped back to the root, keyed by the task path so
+/// the root can restore a canonical order before merging.
+struct TaskOut {
+    path: Vec<u8>,
+    kind: TaskOutKind,
+}
+
+enum TaskOutKind {
     BlTris(Vec<[u32; 3]>),
     SubMesh(Box<Mesh>),
     /// A split task produced only child tasks.
@@ -175,6 +199,23 @@ enum TaskOut {
 /// independent of which rank executes it.
 pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
     assert!(ranks >= 1);
+    generate_parallel_with(
+        config,
+        Arc::new(ThreadedTransport::new(ranks)),
+        BalancerConfig::default(),
+    )
+}
+
+/// [`generate_parallel`] over an explicit transport — the entry point for
+/// fault-injected chaos runs on [`adm_mpirt::SimTransport`]. The mesh is
+/// schedule-independent: results are reassembled in task-tree order, so
+/// any transport schedule (and any rank count) yields identical bytes.
+pub fn generate_parallel_with(
+    config: &MeshConfig,
+    transport: Arc<dyn Transport>,
+    balancer: BalancerConfig,
+) -> PipelineResult {
+    let ranks = transport.size();
     let t0 = std::time::Instant::now();
 
     // Root-side geometry setup (the boundary layer build is per-surface
@@ -207,26 +248,34 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
     // Seed tasks: the undecomposed BL root, the four quadrants, and the
     // near-body region. Everything else is created dynamically.
     let bl_params = DecomposeParams::for_subdomain_count(config.bl_subdomains);
-    let mut seed_tasks: Vec<Task> = Vec::new();
-    seed_tasks.push(Task::Bl(Box::new(Subdomain::root(&cloud))));
+    let mut seed_bodies: Vec<TaskBody> = Vec::new();
+    seed_bodies.push(TaskBody::Bl(Box::new(Subdomain::root(&cloud))));
     for q in init.quadrants.iter() {
-        seed_tasks.push(Task::Region {
+        seed_bodies.push(TaskBody::Region {
             est: q.estimated_triangles(&sizing) as u64,
             region: Box::new(q.clone()),
         });
     }
-    seed_tasks.push(Task::NearBody {
+    seed_bodies.push(TaskBody::NearBody {
         rect: nearbody_border,
         holes: outer_borders.clone(),
         seeds: hole_seeds.clone(),
         est: 4096,
     });
+    let seed_tasks: Vec<Task> = seed_bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| Task {
+            path: vec![i as u8],
+            body,
+        })
+        .collect();
 
-    let window = Window::new(ranks + 2);
+    let window = transport.window(ranks + 2);
     let seed_tasks = std::sync::Mutex::new(Some(seed_tasks));
     let sizing = Arc::new(sizing);
 
-    let mut rank_outputs = adm_mpirt::run(ranks, |comm: Comm| {
+    let mut rank_outputs = adm_mpirt::run_with(transport.clone(), |comm: Comm| {
         let initial = if comm.rank() == 0 {
             seed_tasks.lock().unwrap().take().unwrap()
         } else {
@@ -238,48 +287,71 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
             comm.size() + 1,
         ));
         let sizing = sizing.clone();
+        let comm_ref = &comm;
         let (outs, _stats) = run_rank_dynamic(
             &comm,
             queue,
             window.clone(),
-            BalancerConfig::default(),
-            move |task, q| match task {
-                Task::Bl(mut leaf) => {
-                    let stop = leaf.level >= bl_params.max_level
-                        || leaf.len() < bl_params.min_vertices.max(4)
-                        || leaf.internal_count() == 0;
-                    if stop {
-                        TaskOut::BlTris(triangulate_leaf(&leaf))
-                    } else {
-                        let axis = leaf.choose_cut_axis();
-                        let (lo, hi, _path) = leaf.split(axis);
-                        q.push(Task::Bl(Box::new(lo)));
-                        q.push(Task::Bl(Box::new(hi)));
-                        TaskOut::Nothing
-                    }
-                }
-                Task::Region { region, .. } => {
-                    if region.estimated_triangles(sizing.as_ref()) > threshold
-                        && adm_decouple::splittable(&region)
-                    {
-                        for child in region.plus_split(sizing.as_ref()) {
-                            q.push(Task::Region {
-                                est: child.estimated_triangles(sizing.as_ref()) as u64,
-                                region: Box::new(child),
-                            });
+            balancer,
+            move |task: Task, q| {
+                // Charge the task's cost estimate as virtual compute so
+                // simulated schedules exhibit realistic load imbalance
+                // (free in production — the refinement took real time).
+                comm_ref.advance(std::time::Duration::from_micros(
+                    10 + task.cost().min(50_000),
+                ));
+                let Task { path, body } = task;
+                let child = |k: usize, body: TaskBody| Task {
+                    path: {
+                        let mut p = path.clone();
+                        p.push(u8::try_from(k).expect("more than 255 children in one split"));
+                        p
+                    },
+                    body,
+                };
+                let kind = match body {
+                    TaskBody::Bl(mut leaf) => {
+                        let stop = leaf.level >= bl_params.max_level
+                            || leaf.len() < bl_params.min_vertices.max(4)
+                            || leaf.internal_count() == 0;
+                        if stop {
+                            TaskOutKind::BlTris(triangulate_leaf(&leaf))
+                        } else {
+                            let axis = leaf.choose_cut_axis();
+                            let (lo, hi, _path) = leaf.split(axis);
+                            q.push(child(0, TaskBody::Bl(Box::new(lo))));
+                            q.push(child(1, TaskBody::Bl(Box::new(hi))));
+                            TaskOutKind::Nothing
                         }
-                        TaskOut::Nothing
-                    } else {
-                        let (mesh, _) = refine_region(&region.border, sizing.as_ref());
-                        TaskOut::SubMesh(Box::new(mesh))
                     }
-                }
-                Task::NearBody {
-                    rect, holes, seeds, ..
-                } => {
-                    let (mesh, _) = refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
-                    TaskOut::SubMesh(Box::new(mesh))
-                }
+                    TaskBody::Region { region, .. } => {
+                        if region.estimated_triangles(sizing.as_ref()) > threshold
+                            && adm_decouple::splittable(&region)
+                        {
+                            for (k, c) in region.plus_split(sizing.as_ref()).into_iter().enumerate()
+                            {
+                                q.push(child(
+                                    k,
+                                    TaskBody::Region {
+                                        est: c.estimated_triangles(sizing.as_ref()) as u64,
+                                        region: Box::new(c),
+                                    },
+                                ));
+                            }
+                            TaskOutKind::Nothing
+                        } else {
+                            let (mesh, _) = refine_region(&region.border, sizing.as_ref());
+                            TaskOutKind::SubMesh(Box::new(mesh))
+                        }
+                    }
+                    TaskBody::NearBody {
+                        rect, holes, seeds, ..
+                    } => {
+                        let (mesh, _) = refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
+                        TaskOutKind::SubMesh(Box::new(mesh))
+                    }
+                };
+                TaskOut { path, kind }
             },
         );
         // Ship results to the root.
@@ -295,9 +367,14 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
             None
         }
     });
-    let all_outs = rank_outputs
+    let mut all_outs = rank_outputs
         .remove(0)
         .expect("root rank produces the gathered output");
+
+    // Results arrive in whatever order ranks finished; restore task-tree
+    // order so the merge below — and therefore the output bytes — do not
+    // depend on the schedule.
+    all_outs.sort_by(|a, b| a.path.cmp(&b.path));
 
     // Root-side merge: boundary-layer triangles first (constrain + carve),
     // then the sub-meshes.
@@ -305,8 +382,8 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
     let mut seen = std::collections::HashSet::new();
     let mut sub_meshes: Vec<Mesh> = Vec::new();
     for out in all_outs {
-        match out {
-            TaskOut::BlTris(tris) => {
+        match out.kind {
+            TaskOutKind::BlTris(tris) => {
                 for t in tris {
                     let mut key = t;
                     key.sort_unstable();
@@ -315,8 +392,8 @@ pub fn generate_parallel(config: &MeshConfig, ranks: usize) -> PipelineResult {
                     }
                 }
             }
-            TaskOut::SubMesh(m) => sub_meshes.push(*m),
-            TaskOut::Nothing => {}
+            TaskOutKind::SubMesh(m) => sub_meshes.push(*m),
+            TaskOutKind::Nothing => {}
         }
     }
     let mut bl_mesh = Mesh::from_triangles(cloud.clone(), all_tris);

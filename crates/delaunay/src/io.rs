@@ -28,6 +28,55 @@ pub fn write_ascii<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     w.flush()
 }
 
+/// Writes the mesh as Triangle-style ASCII in a *canonical* form:
+/// vertices sorted by coordinate, triangles renumbered, rotated so their
+/// smallest vertex leads (orientation preserved), and sorted. Two meshes
+/// describing the same triangulation produce byte-identical output no
+/// matter what internal ordering their construction history left behind —
+/// which is what lets the chaos tests compare parallel output against the
+/// sequential baseline by digest.
+pub fn write_ascii_canonical<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
+    // Only vertices referenced by live triangles participate; dead
+    // entries (carved/super-triangle leftovers) differ by history.
+    let mut used: Vec<u32> = mesh
+        .live_triangles()
+        .flat_map(|t| mesh.triangles[t as usize])
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let mut order: Vec<u32> = used.clone();
+    order.sort_unstable_by(|&a, &b| {
+        let (pa, pb) = (mesh.vertices[a as usize], mesh.vertices[b as usize]);
+        pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
+    });
+    let mut new_id = vec![u32::MAX; mesh.num_vertices()];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as u32;
+    }
+    let mut tris: Vec<[u32; 3]> = mesh
+        .live_triangles()
+        .map(|t| {
+            let tri = mesh.triangles[t as usize].map(|v| new_id[v as usize]);
+            // Rotate the cycle (a,b,c) so the smallest index leads; this
+            // keeps winding, unlike sorting the corners.
+            let lead = (0..3).min_by_key(|&i| tri[i]).expect("3 corners");
+            [tri[lead], tri[(lead + 1) % 3], tri[(lead + 2) % 3]]
+        })
+        .collect();
+    tris.sort_unstable();
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} 2 0 0", order.len())?;
+    for (i, &old) in order.iter().enumerate() {
+        let v = mesh.vertices[old as usize];
+        writeln!(w, "{} {:.17} {:.17}", i, v.x, v.y)?;
+    }
+    writeln!(w, "{} 3 0", tris.len())?;
+    for (k, t) in tris.iter().enumerate() {
+        writeln!(w, "{} {} {} {}", k, t[0], t[1], t[2])?;
+    }
+    w.flush()
+}
+
 /// Reads a mesh previously written by [`write_ascii`].
 pub fn read_ascii<R: BufRead>(r: &mut R) -> io::Result<Mesh> {
     let mut line = String::new();
@@ -207,6 +256,24 @@ mod tests {
         assert_eq!(back.num_triangles(), mesh.num_triangles());
         assert_eq!(back.vertices, mesh.vertices);
         back.check_consistency();
+    }
+
+    #[test]
+    fn canonical_ascii_is_permutation_invariant() {
+        let mesh = sample_mesh();
+        let mut canon = Vec::new();
+        write_ascii_canonical(&mesh, &mut canon).unwrap();
+        // Round-tripping through plain ASCII renumbers vertices and
+        // reorders triangles; the canonical form must not care.
+        let mut plain = Vec::new();
+        write_ascii(&mesh, &mut plain).unwrap();
+        let back = read_ascii(&mut plain.as_slice()).unwrap();
+        let mut canon2 = Vec::new();
+        write_ascii_canonical(&back, &mut canon2).unwrap();
+        assert_eq!(canon, canon2);
+        // And it parses as a valid mesh of the same size.
+        let reread = read_ascii(&mut canon.as_slice()).unwrap();
+        assert_eq!(reread.num_triangles(), mesh.num_triangles());
     }
 
     #[test]

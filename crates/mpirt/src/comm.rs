@@ -5,63 +5,41 @@
 //! through explicit messages (or the RMA window in [`crate::window`]) —
 //! no shared mutable state leaks between ranks, preserving the
 //! distributed-memory programming model of the original implementation
-//! (MPICH v3.0, paper §III).
+//! (MPICH v3.0, paper §III). The wire itself is a pluggable
+//! [`Transport`]: real threads in production, a seeded discrete-event
+//! simulation under test.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::any::Any;
+use crate::transport::{Lane, Payload, RawMsg, ThreadedTransport, Transport};
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// A typed message envelope.
-struct Envelope {
-    src: usize,
-    tag: u64,
-    payload: Box<dyn Any + Send>,
-}
-
-/// Shared communication fabric.
-pub struct Fabric {
-    senders: Vec<Sender<Envelope>>,
-    barrier: Arc<std::sync::Barrier>,
-}
+use std::time::Duration;
 
 /// Per-rank communicator handle (the `MPI_COMM_WORLD` view of one rank).
 pub struct Comm {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Envelope>>,
-    inbox: Receiver<Envelope>,
+    transport: Arc<dyn Transport>,
     /// Messages received but not yet matched by a `recv` call.
     /// A `Mutex` (uncontended: only this rank touches it) keeps `Comm`
     /// `Sync`, so the mesher and communicator threads can share one handle.
-    pending: std::sync::Mutex<VecDeque<Envelope>>,
-    barrier: Arc<std::sync::Barrier>,
+    pending: std::sync::Mutex<VecDeque<RawMsg>>,
 }
 
-/// Creates a fabric and the per-rank communicators for `size` ranks.
+/// Creates a production (threaded) fabric and the per-rank communicators
+/// for `size` ranks.
 pub fn fabric(size: usize) -> Vec<Comm> {
-    assert!(size >= 1);
-    let mut senders = Vec::with_capacity(size);
-    let mut receivers = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let fabric = Fabric {
-        senders,
-        barrier: Arc::new(std::sync::Barrier::new(size)),
-    };
-    receivers
-        .into_iter()
-        .enumerate()
-        .map(|(rank, inbox)| Comm {
+    comms_for(Arc::new(ThreadedTransport::new(size)))
+}
+
+/// Builds the per-rank communicator handles over any transport.
+pub fn comms_for(transport: Arc<dyn Transport>) -> Vec<Comm> {
+    let size = transport.size();
+    (0..size)
+        .map(|rank| Comm {
             rank,
             size,
-            senders: fabric.senders.clone(),
-            inbox,
+            transport: transport.clone(),
             pending: std::sync::Mutex::new(VecDeque::new()),
-            barrier: fabric.barrier.clone(),
         })
         .collect()
 }
@@ -86,15 +64,29 @@ impl Comm {
         self.size
     }
 
+    /// The underlying transport.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Transport clock (wall time in production, virtual time under
+    /// simulation). Protocol timeouts must use this, never `Instant`.
+    pub fn now(&self) -> Duration {
+        self.transport.now()
+    }
+
     /// Sends `value` to `dest` with `tag` (non-blocking, buffered).
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
-        self.senders[dest]
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                payload: Box::new(value),
-            })
-            .expect("destination rank hung up");
+        self.transport
+            .send(self.rank, dest, tag, Payload::opaque(value));
+    }
+
+    /// Like [`Comm::send`], for payloads the fault-injecting transport is
+    /// allowed to duplicate in flight. Protocols that dedup on receipt
+    /// (the load balancer) send through this.
+    pub fn send_cloneable<T: Clone + Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        self.transport
+            .send(self.rank, dest, tag, Payload::cloneable(value));
     }
 
     /// Blocking receive matching `(src, tag)` and payload type `T`.
@@ -113,7 +105,7 @@ impl Comm {
             }
         }
         loop {
-            let e = self.inbox.recv().expect("fabric closed");
+            let e = self.transport.recv_next(self.rank);
             if e.tag == tag && src_matches(src, e.src) {
                 return unwrap_payload(e);
             }
@@ -134,7 +126,7 @@ impl Comm {
                 return Some(unwrap_payload(e));
             }
         }
-        while let Ok(e) = self.inbox.try_recv() {
+        while let Some(e) = self.transport.try_poll(self.rank) {
             if e.tag == tag && src_matches(src, e.src) {
                 return Some(unwrap_payload(e));
             }
@@ -143,9 +135,30 @@ impl Comm {
         None
     }
 
+    /// Idles for up to `dur`; wakes early on incoming traffic or
+    /// [`Comm::wake`]. The sanctioned replacement for sleep-polling.
+    pub fn pause(&self, dur: Duration) {
+        self.transport.pause(self.rank, dur);
+    }
+
+    /// Wakes this rank's paused threads (e.g. the mesher waiting for the
+    /// communicator to queue transferred work).
+    pub fn wake(&self) {
+        self.transport.notify(self.rank);
+    }
+
+    /// Accounts `dur` of local compute against the transport clock: free
+    /// in production (the work itself already took the time), but
+    /// advances virtual time under simulation so load metrics and
+    /// protocol timeouts see realistic task durations. `dur` must be a
+    /// deterministic function of the work, never a measured elapsed time.
+    pub fn advance(&self, dur: Duration) {
+        self.transport.advance(self.rank, dur);
+    }
+
     /// Synchronizes all ranks.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.transport.barrier(self.rank);
     }
 
     /// Gathers one value per rank at `root` (returns `Some(values)` only
@@ -191,7 +204,7 @@ fn src_matches(sel: Src, actual: usize) -> bool {
     }
 }
 
-fn unwrap_payload<T: 'static>(e: Envelope) -> (usize, T) {
+fn unwrap_payload<T: 'static>(e: RawMsg) -> (usize, T) {
     let src = e.src;
     match e.payload.downcast::<T>() {
         Ok(v) => (src, *v),
@@ -209,13 +222,40 @@ where
     R: Send,
     F: Fn(Comm) -> R + Sync,
 {
-    let comms = fabric(size);
+    run_with(Arc::new(ThreadedTransport::new(size)), body)
+}
+
+/// [`run`] over an explicit transport (the entry point for fault-injected
+/// simulation runs).
+pub fn run_with<R, F>(transport: Arc<dyn Transport>, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Comm) -> R + Sync,
+{
+    let comms = comms_for(transport.clone());
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| {
+            .enumerate()
+            .map(|(rank, comm)| {
                 let body = &body;
-                scope.spawn(move || body(comm))
+                let transport = transport.clone();
+                scope.spawn(move || {
+                    transport.thread_start(rank, Lane::Main);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));
+                    match out {
+                        Ok(v) => {
+                            transport.thread_exit(rank, Lane::Main);
+                            v
+                        }
+                        Err(p) => {
+                            // Poison the transport so peers blocked on this
+                            // rank unwind instead of hanging the test run.
+                            transport.abort();
+                            std::panic::resume_unwind(p);
+                        }
+                    }
+                })
             })
             .collect();
         handles

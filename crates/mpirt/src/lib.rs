@@ -8,10 +8,23 @@
 //! priority-queue scheduling and threshold-triggered work requests
 //! (§II.F).
 
+//!
+//! Everything that can block or order events goes through a pluggable
+//! [`transport::Transport`]: real threads in production
+//! ([`transport::ThreadedTransport`]), or the seeded fault-injecting
+//! discrete-event simulator ([`simfault::SimTransport`]) used by the
+//! chaos tests to explore adversarial schedules deterministically.
+
 pub mod comm;
 pub mod loadbalance;
+pub mod simfault;
+pub mod transport;
 pub mod window;
 
-pub use comm::{fabric, run, Comm, Src};
-pub use loadbalance::{run_rank, run_rank_dynamic, BalancerConfig, RankStats, WorkItem, WorkQueue};
-pub use window::Window;
+pub use comm::{comms_for, fabric, run, run_with, Comm, Src};
+pub use loadbalance::{
+    run_rank, run_rank_dynamic, BalancerConfig, Protocol, RankStats, WorkItem, WorkQueue,
+};
+pub use simfault::{FaultPlan, SimTransport, StallPlan};
+pub use transport::{Lane, Payload, RawMsg, ThreadedTransport, Transport};
+pub use window::{Window, WindowHook};

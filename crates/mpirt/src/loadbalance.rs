@@ -8,16 +8,49 @@
 //! local estimate falls below a threshold, and (c) serves incoming work
 //! requests from its own queue. Termination is detected through a global
 //! completed-items counter accumulated on the window.
+//!
+//! ## Fault tolerance
+//!
+//! The default [`Protocol::Hardened`] wire protocol survives the full
+//! fault model of [`crate::simfault::SimTransport`] — delayed, reordered,
+//! duplicated, and (fair-lossy) dropped messages, stalled communicators,
+//! stale RMA estimates — without losing or double-processing work:
+//!
+//! - every request carries a **`req_id`**; donors remember their answer
+//!   per id, so a retried or duplicated request elicits the *same* reply
+//!   instead of a second donation;
+//! - every donation carries a **`transfer_id`**; receivers track seen ids
+//!   and discard (but re-acknowledge) duplicates, making transfer delivery
+//!   idempotent;
+//! - donors keep each donated item **in flight** (a clone) and resend it
+//!   with capped exponential backoff until acknowledged — a dropped
+//!   transfer is retried, never lost;
+//! - requesters time out and retry with backoff, eventually re-targeting
+//!   a different victim; all timeouts are measured on the transport clock
+//!   ([`crate::comm::Comm::now`]), so the same logic runs under virtual
+//!   time.
+//!
+//! [`Protocol::Naive`] preserves the original fire-and-forget protocol
+//! (no ids, no acks, no retries). It is kept for the regression tests
+//! that demonstrate seeds under which the naive balancer loses work or
+//! processes it twice, while the hardened one completes bit-identically.
+//!
+//! Idle threads never busy-sleep: both loops park in
+//! [`crate::comm::Comm::pause`], which wakes early on incoming traffic or
+//! an explicit [`crate::comm::Comm::wake`].
 
 use crate::comm::{Comm, Src};
+use crate::transport::Lane;
 use crate::window::Window;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// A transferable unit of meshing work.
-pub trait WorkItem: Send + 'static {
+/// A transferable unit of meshing work. `Clone` is required so donors can
+/// keep an in-flight copy for retransmission (and so the fault injector
+/// may duplicate protocol messages in tests).
+pub trait WorkItem: Send + Clone + 'static {
     /// Estimated processing cost (e.g. expected triangle count).
     fn cost(&self) -> u64;
 }
@@ -137,6 +170,19 @@ impl<W: WorkItem> WorkQueue<W> {
     }
 }
 
+/// Which wire protocol the communicators speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Idempotent requests, acknowledged deduplicated transfers, bounded
+    /// retry with backoff. Survives the simulated fault model.
+    #[default]
+    Hardened,
+    /// The original fire-and-forget protocol (kept for regression tests
+    /// demonstrating fault sensitivity). Loses work on drops and may
+    /// double-process on duplication.
+    Naive,
+}
+
 /// Balancer tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct BalancerConfig {
@@ -144,6 +190,16 @@ pub struct BalancerConfig {
     pub threshold: u64,
     /// Communicator polling interval.
     pub poll: Duration,
+    /// Wire protocol (see [`Protocol`]).
+    pub protocol: Protocol,
+    /// Base timeout before a work request is retried (doubles per retry).
+    pub request_timeout: Duration,
+    /// Retries before an unanswered request is abandoned (a later pass may
+    /// target a different victim).
+    pub max_request_retries: u32,
+    /// Base timeout before an unacknowledged donation is resent (doubles
+    /// per resend, capped; resends continue until acknowledged).
+    pub resend_timeout: Duration,
 }
 
 impl Default for BalancerConfig {
@@ -151,6 +207,10 @@ impl Default for BalancerConfig {
         BalancerConfig {
             threshold: 64,
             poll: Duration::from_micros(200),
+            protocol: Protocol::Hardened,
+            request_timeout: Duration::from_millis(5),
+            max_request_retries: 8,
+            resend_timeout: Duration::from_millis(5),
         }
     }
 }
@@ -160,38 +220,374 @@ impl Default for BalancerConfig {
 pub struct RankStats {
     /// Items this rank processed.
     pub processed: usize,
-    /// Work requests sent.
+    /// Work requests sent (excluding retries).
     pub requests_sent: usize,
-    /// Items received from other ranks.
+    /// Items received from other ranks (first deliveries only).
     pub items_received: usize,
-    /// Items donated to other ranks.
+    /// Items donated to other ranks (first sends only).
     pub items_donated: usize,
     /// Requests denied by this rank (insufficient work to share).
     pub denies: usize,
+    /// Timed-out work requests that were retransmitted.
+    pub request_retries: usize,
+    /// Unacknowledged donations that were retransmitted.
+    pub work_resends: usize,
+    /// Duplicate transfers discarded by the dedup filter.
+    pub dup_transfers_discarded: usize,
+    /// Duplicate requests answered idempotently from the answer cache.
+    pub dup_requests_served: usize,
 }
 
-/// Communicator-to-communicator protocol.
+/// Communicator-to-communicator protocol. All variants travel as
+/// *cloneable* payloads, opting in to drop/duplication fault injection —
+/// the hardened protocol is what makes that safe.
+#[derive(Clone)]
 enum Msg<W> {
-    /// Please send me work.
-    Request,
-    /// Here is a work item.
-    Work(W),
-    /// I have nothing to spare.
-    Deny,
+    /// Please send me work. `req_id` makes donor answers idempotent
+    /// (naive mode sends 0 and ignores it).
+    Request { req_id: u64 },
+    /// Here is a work item (the answer to `req_id`). `transfer_id` keys
+    /// receiver-side dedup and the donor's retransmission table.
+    Work {
+        transfer_id: u64,
+        req_id: u64,
+        item: W,
+    },
+    /// I have nothing to spare (the answer to `req_id`).
+    Deny { req_id: u64 },
+    /// Transfer received; the donor may drop its in-flight copy.
+    Ack { transfer_id: u64 },
 }
 
 const LB_TAG: u64 = 0x4C42; // "LB"
 
-/// Runs the two-thread balanced processing loop on one rank. `process` is
-/// the mesher body; it may push follow-up work into the queue it is given.
-/// `total_window` must have `size + 1` slots: one load estimate per rank
-/// plus the completed-items counter in the last slot. `total_items` is the
-/// global number of items that will ever exist.
-pub fn run_rank<W, F, R>(
+/// How the communicators decide all work in the system is finished.
+enum Termination {
+    /// `done >= total` for a statically known item count.
+    Static { total: u64 },
+    /// `created > 0 && done >= created`, with the created-items counter at
+    /// `created_slot` (items may spawn more items on any rank).
+    Dynamic { created_slot: usize },
+}
+
+impl Termination {
+    fn reached(&self, window: &Window, done_slot: usize) -> bool {
+        match self {
+            Termination::Static { total } => window.get(done_slot) >= *total,
+            Termination::Dynamic { created_slot } => {
+                // Read `created` first: a stale-low `created` with a
+                // fresh-high `done` could otherwise fake completion.
+                let created = window.get(*created_slot);
+                let done = window.get(done_slot);
+                created > 0 && done >= created
+            }
+        }
+    }
+}
+
+/// An unanswered outbound work request.
+struct PendingRequest {
+    req_id: u64,
+    victim: usize,
+    sent_at: Duration,
+    attempts: u32,
+}
+
+/// A donated item awaiting acknowledgment.
+struct InFlight<W> {
+    dest: usize,
+    req_id: u64,
+    item: W,
+    last_sent: Duration,
+    attempts: u32,
+}
+
+/// What this donor answered a given `req_id` with.
+enum Answer {
+    Work(u64),
+    Deny,
+}
+
+fn backoff(base: Duration, attempts: u32) -> Duration {
+    base * (1u32 << attempts.min(6))
+}
+
+/// The communicator-thread body (both protocols).
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn communicator_loop<W: WorkItem>(
+    comm: &Comm,
+    queue: &WorkQueue<W>,
+    window: &Window,
+    termination: &Termination,
+    cfg: &BalancerConfig,
+    busy: &AtomicBool,
+    shutdown: &AtomicBool,
+    stats: &Mutex<RankStats>,
+) {
+    let rank = comm.rank();
+    let size = comm.size();
+    let done_slot = size;
+    let hardened = cfg.protocol == Protocol::Hardened;
+
+    let mut outstanding: Option<PendingRequest> = None;
+    let mut next_req_seq: u64 = 0;
+    let mut next_tid_seq: u64 = 0;
+    // Donor-side state (hardened): answer cache for idempotent requests
+    // and the retransmission table of unacknowledged donations. Bounded by
+    // the number of requests a run generates.
+    let mut answered: BTreeMap<u64, Answer> = BTreeMap::new();
+    let mut in_flight: BTreeMap<u64, InFlight<W>> = BTreeMap::new();
+    // Requester-side dedup of received transfers.
+    let mut seen_transfers: BTreeSet<u64> = BTreeSet::new();
+
+    let donate = |src: usize,
+                  req_id: u64,
+                  in_flight: &mut BTreeMap<u64, InFlight<W>>,
+                  answered: &mut BTreeMap<u64, Answer>,
+                  next_tid_seq: &mut u64| {
+        // Donate the largest queued item; keep one in reserve only when
+        // the mesher is idle (its in-flight task is the reserve otherwise).
+        let reserve = if busy.load(Ordering::Acquire) { 1 } else { 2 };
+        let item = if queue.len() >= reserve {
+            queue.pop()
+        } else {
+            None
+        };
+        match item {
+            Some(item) => {
+                if hardened {
+                    let transfer_id = ((rank as u64) << 40) | *next_tid_seq;
+                    *next_tid_seq += 1;
+                    comm.send_cloneable(
+                        src,
+                        LB_TAG,
+                        Msg::Work {
+                            transfer_id,
+                            req_id,
+                            item: item.clone(),
+                        },
+                    );
+                    in_flight.insert(
+                        transfer_id,
+                        InFlight {
+                            dest: src,
+                            req_id,
+                            item,
+                            last_sent: comm.now(),
+                            attempts: 1,
+                        },
+                    );
+                    answered.insert(req_id, Answer::Work(transfer_id));
+                } else {
+                    comm.send_cloneable(
+                        src,
+                        LB_TAG,
+                        Msg::Work {
+                            transfer_id: 0,
+                            req_id: 0,
+                            item,
+                        },
+                    );
+                }
+                stats.lock().unwrap().items_donated += 1;
+            }
+            None => {
+                if hardened {
+                    answered.insert(req_id, Answer::Deny);
+                }
+                comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
+                stats.lock().unwrap().denies += 1;
+            }
+        }
+    };
+
+    loop {
+        // Publish the current work estimate (MPI_Put).
+        window.put(rank, queue.load());
+
+        // Serve or consume protocol messages.
+        while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
+            match msg {
+                Msg::Request { req_id } => {
+                    if hardened {
+                        match answered.get(&req_id) {
+                            Some(Answer::Work(tid)) => {
+                                // Duplicate/retried request we already
+                                // answered with work: resend that same
+                                // donation (idempotent), or deny if it was
+                                // since acknowledged (the requester has it).
+                                let tid = *tid;
+                                if let Some(f) = in_flight.get_mut(&tid) {
+                                    comm.send_cloneable(
+                                        src,
+                                        LB_TAG,
+                                        Msg::Work {
+                                            transfer_id: tid,
+                                            req_id,
+                                            item: f.item.clone(),
+                                        },
+                                    );
+                                    f.last_sent = comm.now();
+                                    f.attempts += 1;
+                                    stats.lock().unwrap().work_resends += 1;
+                                } else {
+                                    comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
+                                }
+                                stats.lock().unwrap().dup_requests_served += 1;
+                            }
+                            Some(Answer::Deny) => {
+                                comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
+                                stats.lock().unwrap().dup_requests_served += 1;
+                            }
+                            None => {
+                                donate(
+                                    src,
+                                    req_id,
+                                    &mut in_flight,
+                                    &mut answered,
+                                    &mut next_tid_seq,
+                                );
+                            }
+                        }
+                    } else {
+                        donate(
+                            src,
+                            req_id,
+                            &mut in_flight,
+                            &mut answered,
+                            &mut next_tid_seq,
+                        );
+                    }
+                }
+                Msg::Work {
+                    transfer_id,
+                    req_id,
+                    item,
+                } => {
+                    if hardened {
+                        // Always (re-)acknowledge: the donor stops
+                        // resending only once an ack gets through.
+                        comm.send_cloneable(src, LB_TAG, Msg::<W>::Ack { transfer_id });
+                        if seen_transfers.contains(&transfer_id) {
+                            stats.lock().unwrap().dup_transfers_discarded += 1;
+                        } else {
+                            seen_transfers.insert(transfer_id);
+                            queue.push_transferred(item);
+                            comm.wake(); // the mesher may be parked empty
+                            stats.lock().unwrap().items_received += 1;
+                        }
+                        if outstanding.as_ref().is_some_and(|p| p.req_id == req_id) {
+                            outstanding = None;
+                        }
+                    } else {
+                        queue.push_transferred(item);
+                        comm.wake();
+                        outstanding = None;
+                        stats.lock().unwrap().items_received += 1;
+                    }
+                }
+                Msg::Deny { req_id } => {
+                    if hardened {
+                        if outstanding.as_ref().is_some_and(|p| p.req_id == req_id) {
+                            outstanding = None;
+                        }
+                    } else {
+                        outstanding = None;
+                    }
+                }
+                Msg::Ack { transfer_id } => {
+                    // First donation was counted at first send; the ack
+                    // just retires the retransmission entry.
+                    in_flight.remove(&transfer_id);
+                }
+            }
+        }
+
+        // Global termination check.
+        if termination.reached(window, done_slot) {
+            shutdown.store(true, Ordering::Release);
+            comm.wake(); // unpark the mesher so it observes shutdown
+            return;
+        }
+
+        let now = comm.now();
+
+        // Retry a timed-out request (hardened only).
+        if hardened {
+            let mut give_up = false;
+            if let Some(p) = &mut outstanding {
+                if now.saturating_sub(p.sent_at) > backoff(cfg.request_timeout, p.attempts - 1) {
+                    if p.attempts > cfg.max_request_retries {
+                        give_up = true;
+                    } else {
+                        comm.send_cloneable(
+                            p.victim,
+                            LB_TAG,
+                            Msg::<W>::Request { req_id: p.req_id },
+                        );
+                        p.sent_at = now;
+                        p.attempts += 1;
+                        stats.lock().unwrap().request_retries += 1;
+                    }
+                }
+            }
+            if give_up {
+                // Abandon this victim; the next pass below may pick a
+                // different one. If the old request still produces work it
+                // will be accepted (and deduplicated) regardless.
+                outstanding = None;
+            }
+
+            // Resend unacknowledged donations with capped backoff. These
+            // retry forever: the fair-lossy link guarantees delivery, and
+            // giving up would lose the item.
+            for (tid, f) in in_flight.iter_mut() {
+                if now.saturating_sub(f.last_sent) > backoff(cfg.resend_timeout, f.attempts - 1) {
+                    comm.send_cloneable(
+                        f.dest,
+                        LB_TAG,
+                        Msg::Work {
+                            transfer_id: *tid,
+                            req_id: f.req_id,
+                            item: f.item.clone(),
+                        },
+                    );
+                    f.last_sent = now;
+                    f.attempts += 1;
+                    stats.lock().unwrap().work_resends += 1;
+                }
+            }
+        }
+
+        // Request work before the mesher runs dry (paper: "the
+        // communicator thread requests additional work before the mesher
+        // thread runs out of work").
+        if outstanding.is_none() && queue.load() < cfg.threshold {
+            if let Some(victim) = window.argmax_excluding(rank, size) {
+                let req_id = ((rank as u64) << 40) | next_req_seq;
+                next_req_seq += 1;
+                comm.send_cloneable(victim, LB_TAG, Msg::<W>::Request { req_id });
+                outstanding = Some(PendingRequest {
+                    req_id,
+                    victim,
+                    sent_at: now,
+                    attempts: 1,
+                });
+                stats.lock().unwrap().requests_sent += 1;
+            }
+        }
+
+        // Park until the next poll tick, woken early by traffic.
+        comm.pause(cfg.poll);
+    }
+}
+
+/// Shared two-thread skeleton of [`run_rank`] / [`run_rank_dynamic`].
+fn run_rank_inner<W, F, R>(
     comm: &Comm,
     queue: Arc<WorkQueue<W>>,
     window: Window,
-    total_items: u64,
+    termination: Termination,
     cfg: BalancerConfig,
     mut process: F,
 ) -> (Vec<R>, RankStats)
@@ -203,79 +599,36 @@ where
     let rank = comm.rank();
     let size = comm.size();
     let done_slot = size;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let busy = Arc::new(AtomicBool::new(false));
-    let stats = Arc::new(Mutex::new(RankStats::default()));
+    let shutdown = AtomicBool::new(false);
+    let busy = AtomicBool::new(false);
+    let stats = Mutex::new(RankStats::default());
 
     let mut results = Vec::new();
     std::thread::scope(|scope| {
-        // Communicator thread.
-        let comm_queue = queue.clone();
-        let comm_window = window.clone();
-        let comm_shutdown = shutdown.clone();
-        let comm_busy = busy.clone();
-        let comm_stats = stats.clone();
+        // Communicator thread (the rank's Helper lane). Registration is
+        // handshaked through the transport so simulated schedules stay
+        // deterministic; on panic the transport is poisoned so peers
+        // unwind instead of hanging.
+        let transport = comm.transport().clone();
+        let (comm_r, queue_r, window_r, term_r, cfg_r) =
+            (comm, &queue, &window, &termination, &cfg);
+        let (busy_r, shutdown_r, stats_r) = (&busy, &shutdown, &stats);
         let communicator = scope.spawn(move || {
-            let mut outstanding_request = false;
-            loop {
-                // Publish the current work estimate (MPI_Put).
-                comm_window.put(rank, comm_queue.load());
-
-                // Serve or consume protocol messages.
-                while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
-                    match msg {
-                        Msg::Request => {
-                            // Donate the largest queued item; keep one in
-                            // reserve only when the mesher is idle (its
-                            // in-flight task is the reserve otherwise).
-                            let reserve = if comm_busy.load(Ordering::Acquire) {
-                                1
-                            } else {
-                                2
-                            };
-                            if comm_queue.len() >= reserve {
-                                if let Some(item) = comm_queue.pop() {
-                                    comm.send(src, LB_TAG, Msg::Work(item));
-                                    comm_stats.lock().unwrap().items_donated += 1;
-                                } else {
-                                    comm.send(src, LB_TAG, Msg::<W>::Deny);
-                                    comm_stats.lock().unwrap().denies += 1;
-                                }
-                            } else {
-                                comm.send(src, LB_TAG, Msg::<W>::Deny);
-                                comm_stats.lock().unwrap().denies += 1;
-                            }
-                        }
-                        Msg::Work(item) => {
-                            comm_queue.push_transferred(item);
-                            outstanding_request = false;
-                            comm_stats.lock().unwrap().items_received += 1;
-                        }
-                        Msg::Deny => {
-                            outstanding_request = false;
-                        }
-                    }
+            transport.thread_start(rank, Lane::Helper);
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                communicator_loop(
+                    comm_r, queue_r, window_r, term_r, cfg_r, busy_r, shutdown_r, stats_r,
+                );
+            }));
+            match out {
+                Ok(()) => transport.thread_exit(rank, Lane::Helper),
+                Err(p) => {
+                    transport.abort();
+                    std::panic::resume_unwind(p);
                 }
-
-                // Global termination: all items processed.
-                if comm_window.get(done_slot) >= total_items {
-                    comm_shutdown.store(true, Ordering::Release);
-                    return;
-                }
-
-                // Request work before the mesher runs dry (paper: "the
-                // communicator thread requests additional work before the
-                // mesher thread runs out of work").
-                if !outstanding_request && comm_queue.load() < cfg.threshold {
-                    if let Some(victim) = comm_window.argmax_excluding(rank, size) {
-                        comm.send(victim, LB_TAG, Msg::<W>::Request);
-                        outstanding_request = true;
-                        comm_stats.lock().unwrap().requests_sent += 1;
-                    }
-                }
-                std::thread::sleep(cfg.poll);
             }
         });
+        comm.transport().await_thread(rank, Lane::Helper);
 
         // Mesher loop (this thread).
         loop {
@@ -289,9 +642,18 @@ where
                 if shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                std::thread::sleep(Duration::from_micros(50));
+                // Park until the communicator queues transferred work,
+                // signals shutdown, or traffic arrives for this rank.
+                comm.pause(cfg.poll);
             }
         }
+        // A raw join on a still-running communicator would block
+        // *outside* the transport — under simulation that wedges the
+        // cooperative schedule (the join holds the token the
+        // communicator needs), and polling `is_finished` ties the
+        // replayable schedule to real thread-exit timing. Wait through
+        // the transport instead; the raw join then returns promptly.
+        comm.transport().join_thread(rank, Lane::Helper);
         communicator.join().expect("communicator panicked");
     });
     // Keep this rank's endpoint alive until every communicator has exited:
@@ -300,6 +662,34 @@ where
     comm.barrier();
     let s = *stats.lock().unwrap();
     (results, s)
+}
+
+/// Runs the two-thread balanced processing loop on one rank. `process` is
+/// the mesher body; it may push follow-up work into the queue it is given.
+/// `total_window` must have `size + 1` slots: one load estimate per rank
+/// plus the completed-items counter in the last slot. `total_items` is the
+/// global number of items that will ever exist.
+pub fn run_rank<W, F, R>(
+    comm: &Comm,
+    queue: Arc<WorkQueue<W>>,
+    window: Window,
+    total_items: u64,
+    cfg: BalancerConfig,
+    process: F,
+) -> (Vec<R>, RankStats)
+where
+    W: WorkItem,
+    F: FnMut(W, &WorkQueue<W>) -> R,
+    R: Send,
+{
+    run_rank_inner(
+        comm,
+        queue,
+        window,
+        Termination::Static { total: total_items },
+        cfg,
+        process,
+    )
 }
 
 /// Dynamic-workload variant of [`run_rank`]: the total number of items is
@@ -317,106 +707,28 @@ pub fn run_rank_dynamic<W, F, R>(
     queue: Arc<WorkQueue<W>>,
     window: Window,
     cfg: BalancerConfig,
-    mut process: F,
+    process: F,
 ) -> (Vec<R>, RankStats)
 where
     W: WorkItem,
     F: FnMut(W, &WorkQueue<W>) -> R,
     R: Send,
 {
-    let rank = comm.rank();
     let size = comm.size();
-    let done_slot = size;
-    let created_slot = size + 1;
     assert!(window.len() >= size + 2, "dynamic mode needs size+2 slots");
     // All seed items must be registered before anyone can observe
     // completed == created.
     comm.barrier();
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let busy = Arc::new(AtomicBool::new(false));
-    let stats = Arc::new(Mutex::new(RankStats::default()));
-
-    let mut results = Vec::new();
-    std::thread::scope(|scope| {
-        let comm_queue = queue.clone();
-        let comm_window = window.clone();
-        let comm_shutdown = shutdown.clone();
-        let comm_busy = busy.clone();
-        let comm_stats = stats.clone();
-        let communicator = scope.spawn(move || {
-            let mut outstanding_request = false;
-            loop {
-                comm_window.put(rank, comm_queue.load());
-                while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
-                    match msg {
-                        Msg::Request => {
-                            let reserve = if comm_busy.load(Ordering::Acquire) {
-                                1
-                            } else {
-                                2
-                            };
-                            if comm_queue.len() >= reserve {
-                                if let Some(item) = comm_queue.pop() {
-                                    comm.send(src, LB_TAG, Msg::Work(item));
-                                    comm_stats.lock().unwrap().items_donated += 1;
-                                } else {
-                                    comm.send(src, LB_TAG, Msg::<W>::Deny);
-                                    comm_stats.lock().unwrap().denies += 1;
-                                }
-                            } else {
-                                comm.send(src, LB_TAG, Msg::<W>::Deny);
-                                comm_stats.lock().unwrap().denies += 1;
-                            }
-                        }
-                        Msg::Work(item) => {
-                            comm_queue.push_transferred(item);
-                            outstanding_request = false;
-                            comm_stats.lock().unwrap().items_received += 1;
-                        }
-                        Msg::Deny => {
-                            outstanding_request = false;
-                        }
-                    }
-                }
-                // Termination: everything ever created has completed.
-                // Read `created` first: a stale-low `created` with a
-                // fresh-high `done` could otherwise fake completion.
-                let created = comm_window.get(created_slot);
-                let done = comm_window.get(done_slot);
-                if created > 0 && done >= created {
-                    comm_shutdown.store(true, Ordering::Release);
-                    return;
-                }
-                if !outstanding_request && comm_queue.load() < cfg.threshold {
-                    if let Some(victim) = comm_window.argmax_excluding(rank, size) {
-                        comm.send(victim, LB_TAG, Msg::<W>::Request);
-                        outstanding_request = true;
-                        comm_stats.lock().unwrap().requests_sent += 1;
-                    }
-                }
-                std::thread::sleep(cfg.poll);
-            }
-        });
-
-        loop {
-            if let Some(item) = queue.pop() {
-                busy.store(true, Ordering::Release);
-                results.push(process(item, &queue));
-                busy.store(false, Ordering::Release);
-                stats.lock().unwrap().processed += 1;
-                window.fetch_add(done_slot, 1);
-            } else {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                std::thread::sleep(Duration::from_micros(50));
-            }
-        }
-        communicator.join().expect("communicator panicked");
-    });
-    comm.barrier();
-    let s = *stats.lock().unwrap();
-    (results, s)
+    run_rank_inner(
+        comm,
+        queue,
+        window,
+        Termination::Dynamic {
+            created_slot: size + 1,
+        },
+        cfg,
+        process,
+    )
 }
 
 #[cfg(test)]
@@ -424,7 +736,7 @@ mod tests {
     use super::*;
     use crate::comm::run;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Job {
         id: usize,
         work: u64,
@@ -488,6 +800,7 @@ mod tests {
                 BalancerConfig {
                     threshold: 100,
                     poll: Duration::from_micros(100),
+                    ..BalancerConfig::default()
                 },
                 |job, _q| {
                     spin(job.work);
@@ -563,5 +876,17 @@ mod tests {
             .0
         });
         assert_eq!(results[0].len(), 10);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = Duration::from_millis(1);
+        assert_eq!(backoff(base, 0), base);
+        assert_eq!(backoff(base, 1), base * 2);
+        assert_eq!(backoff(base, 3), base * 8);
+        assert_eq!(backoff(base, 6), base * 64);
+        // Capped: further attempts keep the ceiling.
+        assert_eq!(backoff(base, 7), base * 64);
+        assert_eq!(backoff(base, 40), base * 64);
     }
 }

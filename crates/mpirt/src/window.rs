@@ -11,10 +11,33 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Observer for window traffic, installed by a fault-injecting transport.
+///
+/// Real RMA reads race with remote puts: the value a rank observes may be
+/// arbitrarily stale. The production window is exact (shared atomics); a
+/// hook restores the weaker semantics under test by substituting the
+/// *estimate* reads ([`Window::get_all`], [`Window::argmax_excluding`])
+/// with historical values. Single-slot [`Window::get`] and the
+/// fetch-and-op calls stay exact — termination counters must never run
+/// backwards.
+pub trait WindowHook: Send + Sync {
+    /// Called on every window operation before it executes — the
+    /// simulator's scheduling yield point for RMA traffic.
+    fn on_op(&self);
+
+    /// Records a completed put (offset, new value) for stale-read replay.
+    fn on_put(&self, offset: usize, value: u64);
+
+    /// Optionally replaces the value array seen by estimate reads.
+    /// `current` is the exact snapshot; return `None` to keep it.
+    fn estimates(&self, current: &[u64]) -> Option<Vec<u64>>;
+}
+
 /// A one-sided memory window of `u64` slots.
 #[derive(Clone)]
 pub struct Window {
     slots: Arc<Vec<AtomicU64>>,
+    hook: Option<Arc<dyn WindowHook>>,
 }
 
 impl Window {
@@ -24,6 +47,23 @@ impl Window {
     pub fn new(len: usize) -> Self {
         Window {
             slots: Arc::new((0..len).map(|_| AtomicU64::new(0)).collect()),
+            hook: None,
+        }
+    }
+
+    /// Creates a window whose traffic is observed (and whose estimate
+    /// reads may be weakened) by `hook`.
+    pub fn with_hook(len: usize, hook: Arc<dyn WindowHook>) -> Self {
+        Window {
+            slots: Arc::new((0..len).map(|_| AtomicU64::new(0)).collect()),
+            hook: Some(hook),
+        }
+    }
+
+    #[inline]
+    fn yield_op(&self) {
+        if let Some(h) = &self.hook {
+            h.on_op();
         }
     }
 
@@ -39,29 +79,48 @@ impl Window {
 
     /// One-sided put: stores `value` at `offset`.
     pub fn put(&self, offset: usize, value: u64) {
+        self.yield_op();
         self.slots[offset].store(value, Ordering::Release);
+        if let Some(h) = &self.hook {
+            h.on_put(offset, value);
+        }
     }
 
-    /// One-sided get of a single slot.
+    /// One-sided get of a single slot (exact, never stale — used for
+    /// termination counters).
     pub fn get(&self, offset: usize) -> u64 {
+        self.yield_op();
         self.slots[offset].load(Ordering::Acquire)
     }
 
     /// One-sided get of the entire window (the victim-selection read).
+    /// Under a fault-injecting hook the returned estimates may be stale.
     pub fn get_all(&self) -> Vec<u64> {
-        self.slots
+        self.yield_op();
+        let exact: Vec<u64> = self
+            .slots
             .iter()
             .map(|s| s.load(Ordering::Acquire))
-            .collect()
+            .collect();
+        match &self.hook {
+            Some(h) => h.estimates(&exact).unwrap_or(exact),
+            None => exact,
+        }
     }
 
     /// Atomic fetch-and-add (MPI_Accumulate with MPI_SUM).
     pub fn fetch_add(&self, offset: usize, delta: u64) -> u64 {
-        self.slots[offset].fetch_add(delta, Ordering::AcqRel)
+        self.yield_op();
+        let prev = self.slots[offset].fetch_add(delta, Ordering::AcqRel);
+        if let Some(h) = &self.hook {
+            h.on_put(offset, prev + delta);
+        }
+        prev
     }
 
     /// Atomic saturating subtraction.
     pub fn fetch_sub_saturating(&self, offset: usize, delta: u64) -> u64 {
+        self.yield_op();
         let mut cur = self.slots[offset].load(Ordering::Acquire);
         loop {
             let next = cur.saturating_sub(delta);
@@ -71,7 +130,12 @@ impl Window {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(prev) => return prev,
+                Ok(prev) => {
+                    if let Some(h) = &self.hook {
+                        h.on_put(offset, next);
+                    }
+                    return prev;
+                }
                 Err(actual) => cur = actual,
             }
         }
@@ -83,12 +147,12 @@ impl Window {
     /// share the window with the per-rank estimates. Returns `None` when
     /// all other slots are zero.
     pub fn argmax_excluding(&self, exclude: usize, limit: usize) -> Option<usize> {
+        let all = self.get_all();
         let mut best: Option<(usize, u64)> = None;
-        for (i, s) in self.slots.iter().take(limit).enumerate() {
+        for (i, &v) in all.iter().take(limit).enumerate() {
             if i == exclude {
                 continue;
             }
-            let v = s.load(Ordering::Acquire);
             if v > 0 && best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((i, v));
             }

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Job {
     id: usize,
     cost: u64,
@@ -53,6 +53,7 @@ fn randomized_dynamic_workload_processes_exactly_once() {
             BalancerConfig {
                 threshold: 30,
                 poll: Duration::from_micros(100),
+                ..BalancerConfig::default()
             },
             move |job, q| {
                 std::thread::sleep(Duration::from_micros(20 * job.cost));
@@ -184,7 +185,7 @@ mod dynamic_mode {
     use std::time::Duration;
 
     /// A binary-splitting task: value n spawns n/2 twice until n == 1.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Split(u64);
     impl WorkItem for Split {
         fn cost(&self) -> u64 {
@@ -216,6 +217,7 @@ mod dynamic_mode {
                 BalancerConfig {
                     threshold: 8,
                     poll: Duration::from_micros(100),
+                    ..BalancerConfig::default()
                 },
                 |task: Split, q| {
                     std::thread::sleep(Duration::from_micros(50));

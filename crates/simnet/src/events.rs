@@ -1,0 +1,212 @@
+//! Deterministic discrete-event machinery shared by the performance
+//! simulator ([`crate::sim`]) and the fault-injecting transport of
+//! `adm-mpirt`.
+//!
+//! Both consumers need the same two primitives: a stable-priority event
+//! queue (ties broken by insertion order, so identical inputs replay the
+//! identical event sequence) and a small seedable generator whose stream
+//! is platform-independent. Keeping them here means one audited
+//! implementation of the determinism-critical code path.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Timestamp types usable in an [`EventQueue`].
+///
+/// `f64` is admitted through `total_cmp` (the performance simulator keeps
+/// seconds as floats); integer nanoseconds (`u64`) are what the virtual-time
+/// transport uses.
+pub trait SimTime: Copy {
+    /// Total order over timestamps.
+    fn cmp_total(a: Self, b: Self) -> Ordering;
+}
+
+impl SimTime for f64 {
+    fn cmp_total(a: Self, b: Self) -> Ordering {
+        a.total_cmp(&b)
+    }
+}
+
+impl SimTime for u64 {
+    fn cmp_total(a: Self, b: Self) -> Ordering {
+        a.cmp(&b)
+    }
+}
+
+struct Entry<T, E> {
+    at: T,
+    seq: u64,
+    ev: E,
+}
+
+impl<T: SimTime, E> PartialEq for Entry<T, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T: SimTime, E> Eq for Entry<T, E> {}
+impl<T: SimTime, E> PartialOrd for Entry<T, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: SimTime, E> Ord for Entry<T, E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        T::cmp_total(self.at, other.at).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A min-ordered event queue with deterministic tie-breaking: events at
+/// the same timestamp pop in insertion order.
+pub struct EventQueue<T: SimTime, E> {
+    heap: BinaryHeap<Reverse<Entry<T, E>>>,
+    seq: u64,
+}
+
+impl<T: SimTime, E> Default for EventQueue<T, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: SimTime, E> EventQueue<T, E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `ev` at time `at`.
+    pub fn push(&mut self, at: T, ev: E) {
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(T, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<T> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// SplitMix64: a tiny, seedable, platform-independent generator. The same
+/// algorithm backs the vendored `rand` stub, so event schedules derived
+/// from a seed are reproducible everywhere the workspace builds.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() < p
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo` when the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        q.push(5, "c");
+        q.push(1, "a");
+        q.push(5, "d");
+        q.push(3, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, "a"), (3, "b"), (5, "c"), (5, "d")]);
+    }
+
+    #[test]
+    fn float_times_totally_ordered() {
+        let mut q: EventQueue<f64, u32> = EventQueue::new();
+        q.push(0.5, 1);
+        q.push(0.25, 2);
+        q.push(0.5, 3);
+        assert_eq!(q.peek_time(), Some(0.25));
+        assert_eq!(q.pop(), Some((0.25, 2)));
+        assert_eq!(q.pop(), Some((0.5, 1)));
+        assert_eq!(q.pop(), Some((0.5, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rng_streams_reproduce() {
+        let mut a = DetRng::new(99);
+        let mut b = DetRng::new(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(7);
+        assert!(!r.chance(0.0));
+        for _ in 0..100 {
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(r.range(5, 5), 5);
+    }
+}

@@ -13,8 +13,10 @@
 //! Only the *schedule and communication* are modeled; every task cost fed
 //! in is measured from the real mesher.
 
+pub mod events;
 pub mod link;
 pub mod sim;
 
+pub use events::{DetRng, EventQueue};
 pub use link::LinkModel;
 pub use sim::{simulate, InitialDist, Schedule, SimConfig, SimResult, Task};

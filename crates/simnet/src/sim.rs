@@ -6,9 +6,8 @@
 //! the task's transfer time — exactly the protocol of §II.F/§III with the
 //! interconnect from [`crate::link`].
 
+use crate::events::EventQueue;
 use crate::link::LinkModel;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// One unit of meshing work with its **measured** cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,31 +103,6 @@ enum Event {
     Reply { rank: usize, task: Option<Task> },
     /// A denied rank retries after its poll interval.
     Retry { rank: usize },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Scheduled {
-    at: f64,
-    seq: u64,
-    ev: Event,
-}
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at
-            .total_cmp(&other.at)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
 }
 
 struct RankState {
@@ -241,12 +215,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
         }
     };
 
-    let mut events: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    fn push(events: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, at: f64, ev: Event) {
-        events.push(Reverse(Scheduled { at, seq: *seq, ev }));
-        *seq += 1;
-    }
+    let mut events: EventQueue<f64, Event> = EventQueue::new();
 
     let mut steals = 0usize;
     let mut denies = 0usize;
@@ -260,32 +229,18 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
         if let Some(task) = ranks[r].pop(cfg.schedule) {
             ranks[r].busy_until = Some(setup_s + task.cost_s);
             ranks[r].busy_s += task.cost_s;
-            push(
-                &mut events,
-                &mut seq,
-                setup_s + task.cost_s,
-                Event::Finish { rank: r },
-            );
+            events.push(setup_s + task.cost_s, Event::Finish { rank: r });
         } else {
             ranks[r].idle_since = Some(setup_s);
         }
         // Idle ranks with stealing enabled request immediately.
         if cfg.steal && ranks[r].busy_until.is_none() {
-            request_work(
-                r,
-                setup_s,
-                p,
-                &mut ranks,
-                &mut events,
-                &mut seq,
-                cfg,
-                &mut comm_s,
-            );
+            request_work(r, setup_s, p, &mut ranks, &mut events, cfg, &mut comm_s);
         }
     }
 
     let mut makespan = setup_s;
-    while let Some(Reverse(Scheduled { at, ev, .. })) = events.pop() {
+    while let Some((at, ev)) = events.pop() {
         now = at;
         makespan = makespan.max(now);
         match ev {
@@ -300,26 +255,12 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                     && ranks[rank].load_s < cfg.lb_threshold_s
                     && !ranks[rank].waiting_reply
                 {
-                    request_work(
-                        rank,
-                        now,
-                        p,
-                        &mut ranks,
-                        &mut events,
-                        &mut seq,
-                        cfg,
-                        &mut comm_s,
-                    );
+                    request_work(rank, now, p, &mut ranks, &mut events, cfg, &mut comm_s);
                 }
                 if let Some(task) = ranks[rank].pop(cfg.schedule) {
                     ranks[rank].busy_until = Some(now + task.cost_s);
                     ranks[rank].busy_s += task.cost_s;
-                    push(
-                        &mut events,
-                        &mut seq,
-                        now + task.cost_s,
-                        Event::Finish { rank },
-                    );
+                    events.push(now + task.cost_s, Event::Finish { rank });
                 } else {
                     ranks[rank].idle_since = Some(now);
                 }
@@ -336,9 +277,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                 } else {
                     denies += 1;
                 }
-                push(
-                    &mut events,
-                    &mut seq,
+                events.push(
                     now + delay,
                     Event::Reply {
                         rank: from,
@@ -359,22 +298,12 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                             let task = ranks[rank].pop(cfg.schedule).expect("just pushed");
                             ranks[rank].busy_until = Some(now + task.cost_s);
                             ranks[rank].busy_s += task.cost_s;
-                            push(
-                                &mut events,
-                                &mut seq,
-                                now + task.cost_s,
-                                Event::Finish { rank },
-                            );
+                            events.push(now + task.cost_s, Event::Finish { rank });
                         }
                     }
                     None => {
                         if remaining > 0 {
-                            push(
-                                &mut events,
-                                &mut seq,
-                                now + cfg.poll_s,
-                                Event::Retry { rank },
-                            );
+                            events.push(now + cfg.poll_s, Event::Retry { rank });
                         }
                     }
                 }
@@ -384,16 +313,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                     && ranks[rank].load_s < cfg.lb_threshold_s
                     && !ranks[rank].waiting_reply
                 {
-                    request_work(
-                        rank,
-                        now,
-                        p,
-                        &mut ranks,
-                        &mut events,
-                        &mut seq,
-                        cfg,
-                        &mut comm_s,
-                    );
+                    request_work(rank, now, p, &mut ranks, &mut events, cfg, &mut comm_s);
                 }
             }
         }
@@ -416,14 +336,12 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn request_work(
     rank: usize,
     now: f64,
     p: usize,
     ranks: &mut [RankState],
-    events: &mut BinaryHeap<Reverse<Scheduled>>,
-    seq: &mut u64,
+    events: &mut EventQueue<f64, Event>,
     cfg: &SimConfig,
     comm_s: &mut f64,
 ) {
@@ -441,13 +359,7 @@ fn request_work(
     ranks[rank].waiting_reply = true;
     let delay = cfg.link.rma_op_s + cfg.link.transfer_s(16); // window read + request msg
     *comm_s += delay;
-    let sched = Scheduled {
-        at: now + delay,
-        seq: *seq,
-        ev: Event::Request { from: rank, victim },
-    };
-    *seq += 1;
-    events.push(Reverse(sched));
+    events.push(now + delay, Event::Request { from: rank, victim });
 }
 
 #[cfg(test)]
