@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by adm-trace.
+
+Checks, in order:
+  1. the file parses as JSON and has the expected top-level shape
+     (traceEvents list, otherData with counters/histograms);
+  2. every complete ("X") event carries ph/name/pid/tid/ts/dur with
+     ts >= 0 and dur >= 0;
+  3. events are balanced: within one (pid, tid) lane, spans are either
+     disjoint or properly nested — a partial overlap means an enter/exit
+     pair was lost;
+  4. a root "pipeline" span exists and covers >= 95% of the run's wall
+     time (the span-coverage acceptance bar for the exporter).
+
+Usage: validate_trace.py <trace.json> [--min-coverage 0.95]
+"""
+
+import json
+import sys
+
+REQUIRED_X_FIELDS = ("ph", "name", "pid", "tid", "ts", "dur")
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_balanced(lane_events):
+    """Spans in one lane must nest: sort by (ts, -dur) and keep a stack of
+    open intervals; each new span must fit entirely inside the innermost
+    interval that contains its start."""
+    lane_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    stack = []  # end timestamps of open enclosing spans
+    for e in lane_events:
+        start, end = e["ts"], e["ts"] + e["dur"]
+        while stack and start >= stack[-1] - 1e-9:
+            stack.pop()
+        if stack and end > stack[-1] + 1e-9:
+            fail(
+                f"unbalanced span {e['name']!r} on lane "
+                f"(pid {e['pid']}, tid {e['tid']}): [{start}, {end}] "
+                f"overlaps its enclosing span ending at {stack[-1]}"
+            )
+        stack.append(end)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_coverage = 0.95
+    for a in sys.argv[1:]:
+        if a.startswith("--min-coverage"):
+            min_coverage = float(a.split("=", 1)[1])
+    if len(args) != 1:
+        fail("usage: validate_trace.py <trace.json> [--min-coverage=0.95]")
+
+    try:
+        with open(args[0], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args[0]}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData missing")
+    for key in ("counters", "histograms"):
+        if not isinstance(other.get(key), dict):
+            fail(f"otherData.{key} missing")
+
+    complete = []
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            fail(f"unexpected event phase {ph!r} (only X and M are emitted)")
+        for field in REQUIRED_X_FIELDS:
+            if field not in e:
+                fail(f"X event missing {field!r}: {e}")
+        if not isinstance(e["name"], str) or not e["name"]:
+            fail(f"X event with empty name: {e}")
+        if e["ts"] < 0:
+            fail(f"negative ts on {e['name']!r}")
+        if e["dur"] < 0:
+            fail(f"negative dur on {e['name']!r}")
+        complete.append(e)
+    if not complete:
+        fail("no complete (X) events in trace")
+
+    lanes = {}
+    for e in complete:
+        lanes.setdefault((e["pid"], e["tid"]), []).append(e)
+    for lane in lanes.values():
+        check_balanced(lane)
+
+    t0 = min(e["ts"] for e in complete)
+    t1 = max(e["ts"] + e["dur"] for e in complete)
+    wall = t1 - t0
+    roots = [e for e in complete if e["name"] == "pipeline"]
+    if not roots:
+        fail("no root 'pipeline' span found")
+    coverage = max(e["dur"] for e in roots) / wall if wall > 0 else 1.0
+    if coverage < min_coverage:
+        fail(
+            f"root span covers {coverage:.1%} of wall time "
+            f"(< {min_coverage:.0%})"
+        )
+
+    print(
+        f"validate_trace: OK: {len(complete)} spans on {len(lanes)} lanes, "
+        f"{len(other['counters'])} counters, "
+        f"{len(other['histograms'])} histograms, "
+        f"root coverage {coverage:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,16 @@ fn main() {
     let (orient, incircle) = stats::snapshot();
     println!("ruppert 2.5e-4 ({} triangles):", out.mesh.num_triangles());
     report(orient, incircle);
+
+    // The counters also publish into the trace metrics registry, which is
+    // what the pipeline exports via --trace-out.
+    let tracer = adm_trace::Tracer::wall();
+    stats::publish(&tracer);
+    println!("registry view:");
+    for (name, value) in tracer.snapshot().counters {
+        println!("  {name} = {value}");
+    }
+    adm_bench::maybe_write_trace(&tracer).expect("write trace");
 }
 
 #[cfg(feature = "predicate-stats")]

@@ -7,7 +7,7 @@
 //! The task pool measured from one real pipeline run is replicated per
 //! rank, keeping the paper's cost *distribution*.
 
-use adm_bench::{write_json, Series};
+use adm_bench::{maybe_write_trace, write_json, Series};
 use adm_core::{generate, MeshConfig, TaskKind};
 use adm_simnet::{simulate, InitialDist, SimConfig, Task};
 use serde::Serialize;
@@ -76,4 +76,5 @@ fn main() {
     };
     let path = write_json("ext_weak_scaling", &report).expect("write report");
     eprintln!("[weak] wrote {}", path.display());
+    maybe_write_trace(&result.trace).expect("write trace");
 }

@@ -7,8 +7,9 @@
 //! cusp).
 
 use adm_airfoil::Naca4;
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, write_json};
 use adm_blayer::{emit_rays, loop_normals, max_consecutive_angle, CornerThresholds, RaySource};
+use adm_trace::{Tracer, Track};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -25,6 +26,8 @@ struct NormalsReport {
 }
 
 fn main() {
+    let tracer = Tracer::wall();
+    let root = tracer.span(Track::ROOT, "fig02_normals");
     let surface = Naca4::naca0012().surface(60);
     let normals = loop_normals(&surface);
 
@@ -115,6 +118,8 @@ fn main() {
     };
     let path = write_json("fig02_normals", &report).unwrap();
     eprintln!("[fig02] wrote {}", path.display());
+    root.close();
+    maybe_write_trace(&tracer).expect("write trace");
     assert!(max_after <= th.max_ray_angle + 1e-9);
     assert!(te_turn.to_degrees() > 150.0);
 }

@@ -7,10 +7,11 @@
 //! balance of the subdomains, and renders the decomposition as an SVG.
 
 use adm_airfoil::naca0012_domain;
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, write_json};
 use adm_blayer::{build_boundary_layer, BlParams, Geometric};
 use adm_delaunay::divconq::triangulate_dc;
 use adm_partition::{decompose, triangulate_leaf, DecomposeParams, Subdomain};
+use adm_trace::{Tracer, Track};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -28,6 +29,8 @@ struct DecompositionReport {
 }
 
 fn main() {
+    let tracer = Tracer::wall();
+    let root = tracer.span(Track::ROOT, "fig08_decomposition");
     let domain = naca0012_domain(140, 30.0);
     let growth = Geometric::new(1.5e-4, 1.2);
     let bl = build_boundary_layer(
@@ -41,10 +44,12 @@ fn main() {
     let cloud = bl.all_points();
     eprintln!("[fig08] boundary-layer cloud: {} points", cloud.len());
 
+    let span = tracer.span(Track::ROOT, "phase.decompose");
     let d = decompose(
         Subdomain::root(&cloud),
         &DecomposeParams::for_subdomain_count(128),
     );
+    span.close_with(&[("leaves", d.leaves.len() as u64)]);
     eprintln!("[fig08] {} subdomains", d.leaves.len());
 
     // Merge and compare against the direct DT.
@@ -153,5 +158,7 @@ fn main() {
     };
     let path = write_json("fig08_decomposition", &report).expect("write report");
     eprintln!("[fig08] wrote {}", path.display());
+    root.close();
+    maybe_write_trace(&tracer).expect("write trace");
     assert!(equal, "merged decomposition must equal the direct DT");
 }

@@ -6,11 +6,13 @@
 //! ("each subdomain has roughly the same number of triangles"). Renders
 //! the decoupled borders as an SVG.
 
+use adm_bench::maybe_write_trace;
 use adm_bench::write_json;
 use adm_core::refine_region;
 use adm_decouple::{decouple_to_count, initial_quadrants, GradedSizing};
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
+use adm_trace::{Tracer, Track};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -36,11 +38,17 @@ fn main() {
     let leaves = decouple_to_count(init.quadrants.to_vec(), 64, &sizing);
     eprintln!("[fig10] {} decoupled subdomains", leaves.len());
 
+    let tracer = Tracer::wall();
+    let root = tracer.span(Track::ROOT, "fig10_decoupling");
     let mut counts = Vec::with_capacity(leaves.len());
     let mut splits = 0usize;
+    let mut all_stats = adm_delaunay::refine::RefineStats::default();
     for (i, leaf) in leaves.iter().enumerate() {
+        let span = tracer.span(Track::ROOT, "task.inviscid_refine");
         let (mesh, s) = refine_region(&leaf.border, &sizing);
-        splits += s;
+        span.close_with(&[("triangles", mesh.num_triangles() as u64)]);
+        all_stats.absorb(&s);
+        splits += s.segment_splits;
         counts.push(mesh.num_triangles());
         if i % 16 == 0 {
             eprintln!(
@@ -106,5 +114,8 @@ fn main() {
     };
     let path = write_json("fig10_decoupling", &report).expect("write report");
     eprintln!("[fig10] wrote {}", path.display());
+    all_stats.publish(&tracer);
+    root.close();
+    maybe_write_trace(&tracer).expect("write trace");
     assert_eq!(splits, 0, "decoupling contract violated");
 }

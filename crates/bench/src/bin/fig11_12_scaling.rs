@@ -10,9 +10,11 @@
 //!
 //! Usage: fig11_12_scaling [--points N] [--subdomains S] [--schedule fifo]
 
-use adm_bench::{scaling_config, write_json, Series};
+use adm_bench::{
+    maybe_write_snapshot_trace, phase_rows, scaling_config, write_json, PhaseRow, Series,
+};
 use adm_core::{generate, TaskKind};
-use adm_simnet::{simulate, InitialDist, LinkModel, Schedule, SimConfig, Task};
+use adm_simnet::{simulate, InitialDist, LinkModel, Schedule, SimConfig, SimResult, Task};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,7 +26,64 @@ struct ScalingReport {
     schedule: String,
     speedup: Series,
     efficiency: Series,
+    /// Trace-derived per-phase breakdown of the measured sequential run.
+    trace_phases: Vec<PhaseRow>,
     paper_reference: &'static str,
+}
+
+/// Renders a simulated schedule as a trace snapshot: one lane per
+/// simulated rank, one span per executed task, plus a root lane covering
+/// the makespan. `--trace-out` exports this for the largest rank count so
+/// the 256-rank schedule can be inspected in `about:tracing`.
+fn sim_snapshot(p: usize, sim: &SimResult) -> adm_trace::TraceSnapshot {
+    use adm_trace::{Span, TraceSnapshot, Track};
+    let ns = |s: f64| (s * 1e9).round() as u64;
+    let mut snap = TraceSnapshot {
+        spans: Vec::new(),
+        counters: std::collections::BTreeMap::new(),
+        histograms: std::collections::BTreeMap::new(),
+        track_names: std::collections::BTreeMap::new(),
+    };
+    snap.track_names
+        .insert(Track::ROOT, format!("simulated schedule ({p} ranks)"));
+    snap.spans.push(Span {
+        name: "sim.makespan".into(),
+        track: Track::ROOT,
+        start_ns: 0,
+        end_ns: ns(sim.makespan_s),
+        depth: 0,
+        parent: None,
+        args: vec![],
+    });
+    if sim.setup_s > 0.0 {
+        snap.spans.push(Span {
+            name: "sim.tree_distribution".into(),
+            track: Track::ROOT,
+            start_ns: 0,
+            end_ns: ns(sim.setup_s),
+            depth: 1,
+            parent: Some(0),
+            args: vec![],
+        });
+    }
+    for rank in 0..p {
+        snap.track_names
+            .insert(Track::rank(rank), format!("rank {rank}"));
+    }
+    for iv in &sim.intervals {
+        snap.spans.push(Span {
+            name: "sim.task".into(),
+            track: Track::rank(iv.rank),
+            start_ns: ns(iv.start_s),
+            end_ns: ns(iv.end_s),
+            depth: 0,
+            parent: None,
+            args: vec![],
+        });
+    }
+    snap.counters.insert("sim.steals".into(), sim.steals as u64);
+    snap.counters.insert("sim.denies".into(), sim.denies as u64);
+    snap
 }
 
 fn main() {
@@ -117,6 +176,7 @@ fn main() {
 
     let mut speedup = Series::new("speedup");
     let mut efficiency = Series::new("efficiency");
+    let mut largest_sim: Option<(usize, SimResult)> = None;
     println!("ranks  makespan(s)  speedup  efficiency  steals");
     for p in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let sim = simulate(p, &tasks, dist, &cfg);
@@ -132,6 +192,10 @@ fn main() {
         );
         speedup.push(p as f64, s);
         efficiency.push(p as f64, e);
+        largest_sim = Some((p, sim));
+    }
+    if let Some((p, sim)) = &largest_sim {
+        maybe_write_snapshot_trace(&sim_snapshot(*p, sim)).expect("write trace");
     }
 
     let report = ScalingReport {
@@ -142,6 +206,7 @@ fn main() {
         schedule: format!("{schedule:?}"),
         speedup,
         efficiency,
+        trace_phases: phase_rows(&result.trace),
         paper_reference: "Fig 11: speedup ~180 at 256 ranks; Fig 12: ~80% at 128, ~70% at 256",
     };
     let path = write_json(

@@ -9,12 +9,13 @@
 //! rays and borders as SVGs, with close-ups of each region.
 
 use adm_airfoil::{three_element_highlift, HighLiftParams};
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, write_json};
 use adm_blayer::{
     build_multielement_layers, layers_disjoint, no_proper_intersections, BlParams, Geometric,
     RaySource,
 };
 use adm_geom::point::Point2;
+use adm_trace::{Tracer, Track};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -103,7 +104,14 @@ fn main() {
         height: 0.04,
         ..Default::default()
     };
-    let layers = build_multielement_layers(&surfaces, &growth, &params);
+    let tracer = Tracer::wall();
+    let root = tracer.span(Track::ROOT, "fig13_blayer_cases");
+    let layers = {
+        let span = tracer.span(Track::ROOT, "phase.bl_build");
+        let layers = build_multielement_layers(&surfaces, &growth, &params);
+        span.close();
+        layers
+    };
 
     let mut rays_n = Vec::new();
     let mut fans_n = Vec::new();
@@ -205,6 +213,8 @@ fn main() {
     };
     let path = write_json("fig13_blayer_cases", &report).expect("write report");
     eprintln!("[fig13] wrote {}", path.display());
+    root.close();
+    maybe_write_trace(&tracer).expect("write trace");
     assert!(self_ok && multi_ok);
     assert!(fans_n.iter().all(|&f| f > 0), "every element needs fans");
     assert!(clamped_n.iter().sum::<usize>() > 0, "gap clamping expected");

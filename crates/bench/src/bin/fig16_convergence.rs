@@ -13,13 +13,14 @@
 //!
 //! Usage: fig16_convergence [--points N] [--iso-h0-factor F]
 
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, write_json};
 use adm_core::{generate, MeshConfig};
 use adm_decouple::{GradedSizing, SizingField};
 use adm_delaunay::mesh::Mesh;
 use adm_delaunay::triangulator::{triangulate, RefineOptions, TriOptions};
 use adm_geom::point::Point2;
 use adm_solver::{assemble, cg, dirichlet_on_boundary, CgOptions};
+use adm_trace::Track;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -131,14 +132,25 @@ fn main() {
 
     let iso_h0 = config.growth.first_height() * iso_factor;
     eprintln!("[fig16] isotropic mesh (wall edge {iso_h0:.2e}) ...");
-    let iso = isotropic_mesh(&config, iso_h0);
+    // Keep tracing the post-pipeline stages on the pipeline's tracer so
+    // --trace-out shows the whole experiment.
+    let iso = {
+        let span = aniso.trace.span(Track::ROOT, "fig16.iso_mesh");
+        let iso = isotropic_mesh(&config, iso_h0);
+        span.close_with(&[("triangles", iso.num_triangles() as u64)]);
+        iso
+    };
     eprintln!("[fig16]   {} triangles", iso.num_triangles());
 
     eprintln!("[fig16] solving on the anisotropic mesh ...");
+    let span = aniso.trace.span(Track::ROOT, "fig16.solve_aniso");
     let hist_aniso = solve_model(&aniso.mesh, tol);
+    span.close_with(&[("iterations", hist_aniso.len() as u64)]);
     eprintln!("[fig16]   {} iterations", hist_aniso.len());
     eprintln!("[fig16] solving on the isotropic mesh ...");
+    let span = aniso.trace.span(Track::ROOT, "fig16.solve_iso");
     let hist_iso = solve_model(&iso, tol);
+    span.close_with(&[("iterations", hist_iso.len() as u64)]);
     eprintln!("[fig16]   {} iterations", hist_iso.len());
 
     let ratio_e = iso.num_triangles() as f64 / aniso.stats.total_triangles as f64;
@@ -171,4 +183,5 @@ fn main() {
     };
     let path = write_json("fig16_convergence", &report).expect("write report");
     eprintln!("[fig16] wrote {}", path.display());
+    maybe_write_trace(&aniso.trace).expect("write trace");
 }

@@ -6,7 +6,7 @@
 //! will be less." This binary measures ASCII vs binary write throughput
 //! on a generated mesh and extrapolates both to the paper's mesh size.
 
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, write_json};
 use adm_core::{generate, MeshConfig};
 use adm_delaunay::io::{write_ascii, write_binary};
 use serde::Serialize;
@@ -81,4 +81,5 @@ fn main() {
     };
     let path = write_json("table_output_io", &report).expect("write report");
     eprintln!("[io] wrote {}", path.display());
+    maybe_write_trace(&result.trace).expect("write trace");
 }

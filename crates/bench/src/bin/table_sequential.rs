@@ -7,7 +7,7 @@
 //! constrained refinement, the "plain Triangle" role) and [`generate`]
 //! (full decomposed pipeline on one rank).
 
-use adm_bench::write_json;
+use adm_bench::{maybe_write_trace, phase_rows, write_json, PhaseRow};
 use adm_core::{generate, generate_undecomposed, MeshConfig, TaskKind};
 use serde::Serialize;
 
@@ -20,6 +20,8 @@ struct SequentialReport {
     undecomposed_triangles: usize,
     pipeline_triangles: usize,
     triangle_overhead: f64,
+    /// Trace-derived per-phase breakdown of the best pipeline run.
+    trace_phases: Vec<PhaseRow>,
     paper_reference: &'static str,
 }
 
@@ -93,8 +95,14 @@ fn main() {
         undecomposed_triangles: base.stats.total_triangles,
         pipeline_triangles: pipe.stats.total_triangles,
         triangle_overhead: overhead,
+        trace_phases: phase_rows(&pipe.trace),
         paper_reference: "Triangle 192 s vs pipeline 196 s => ~98% sequential efficiency",
     };
+    println!("phase breakdown (trace-derived):");
+    for row in &report.trace_phases {
+        println!("  {:<24} x{:<5} {:>9.3}s", row.name, row.count, row.total_s);
+    }
     let path = write_json("table_sequential", &report).expect("write report");
     eprintln!("[table] wrote {}", path.display());
+    maybe_write_trace(&pipe.trace).expect("write trace");
 }

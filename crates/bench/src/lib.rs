@@ -7,5 +7,8 @@
 pub mod report;
 pub mod workloads;
 
-pub use report::{write_json, Series};
+pub use report::{
+    maybe_write_snapshot_trace, maybe_write_trace, phase_rows, write_json, write_snapshot_trace,
+    write_trace, PhaseRow, Series,
+};
 pub use workloads::{scaling_config, standard_config};

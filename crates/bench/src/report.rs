@@ -1,8 +1,9 @@
 //! Machine-readable experiment outputs.
 
+use adm_trace::Tracer;
 use serde::Serialize;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A labeled series of (x, y) samples.
 #[derive(Debug, Clone, Serialize)]
@@ -49,4 +50,78 @@ pub fn write_artifact(name: &str, contents: &[u8]) -> std::io::Result<std::path:
     let path = dir.join(name);
     std::fs::write(&path, contents)?;
     Ok(path)
+}
+
+/// One row of the per-phase summary embedded in bench reports: spans
+/// aggregated by name, largest total first.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseRow {
+    /// Span name (e.g. `task.inviscid_refine`).
+    pub name: String,
+    /// Number of closed spans with this name.
+    pub count: u64,
+    /// Summed duration in seconds.
+    pub total_s: f64,
+}
+
+/// The trace-derived per-phase breakdown of a run.
+pub fn phase_rows(tracer: &Tracer) -> Vec<PhaseRow> {
+    tracer
+        .phase_totals()
+        .into_iter()
+        .map(|p| PhaseRow {
+            name: p.name,
+            count: p.count,
+            total_s: p.total_s,
+        })
+        .collect()
+}
+
+/// Parses `--trace-out <path>` (or `--trace-out=<path>`) from this
+/// process's arguments. Every bench binary honors it.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(v));
+        }
+        if a == "--trace-out" {
+            return args.get(i + 1).map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes a trace snapshot as Chrome trace-event JSON (load in
+/// `about:tracing` or Perfetto) to `path`.
+pub fn write_snapshot_trace(path: &Path, snap: &adm_trace::TraceSnapshot) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    adm_trace::chrome::write_chrome_trace(f, snap)
+}
+
+/// Writes `tracer` as Chrome trace-event JSON to `path`.
+pub fn write_trace(path: &Path, tracer: &Tracer) -> std::io::Result<()> {
+    write_snapshot_trace(path, &tracer.snapshot())
+}
+
+/// Honors a `--trace-out` argument if present: exports `tracer` there and
+/// reports the path on stderr. Returns the path written, if any.
+pub fn maybe_write_trace(tracer: &Tracer) -> std::io::Result<Option<PathBuf>> {
+    maybe_write_snapshot_trace(&tracer.snapshot())
+}
+
+/// Snapshot-level version of [`maybe_write_trace`], for traces assembled
+/// by hand (e.g. from simulated schedules).
+pub fn maybe_write_snapshot_trace(
+    snap: &adm_trace::TraceSnapshot,
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(path) = trace_out_arg() else {
+        return Ok(None);
+    };
+    write_snapshot_trace(&path, snap)?;
+    eprintln!("[trace] wrote {}", path.display());
+    Ok(Some(path))
 }

@@ -10,6 +10,7 @@
 use crate::tasklog::{TaskKind, TaskLog};
 use adm_decouple::{decouple_by_threshold, initial_quadrants, GradedSizing, Region, SizingField};
 use adm_delaunay::mesh::Mesh;
+use adm_delaunay::refine::RefineStats;
 use adm_delaunay::triangulator::{triangulate, RefineOptions, TriOptions};
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
@@ -23,6 +24,9 @@ pub struct InviscidMesh {
     /// Shared-border segment splits during refinement (must be zero for a
     /// conforming union — reported for diagnostics).
     pub border_splits: usize,
+    /// Aggregated refinement statistics across the near-body and all
+    /// decoupled subdomain runs.
+    pub refine_stats: RefineStats,
 }
 
 /// Smallest body edge length for which no boundary-layer outer-border
@@ -58,8 +62,9 @@ pub fn build_sizing(
 }
 
 /// Refines one region (border polygon) against the sizing field.
-/// Returns the mesh and the number of border-segment splits.
-pub fn refine_region(region_border: &[Point2], sizing: &dyn SizingField) -> (Mesh, usize) {
+/// Returns the mesh and the refinement statistics (whose
+/// `segment_splits` counts border-segment splits).
+pub fn refine_region(region_border: &[Point2], sizing: &dyn SizingField) -> (Mesh, RefineStats) {
     let n = region_border.len() as u32;
     let segments: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     let sz = |p: Point2| sizing.target_area(p);
@@ -73,7 +78,7 @@ pub fn refine_region(region_border: &[Point2], sizing: &dyn SizingField) -> (Mes
         ..Default::default()
     };
     let out = triangulate(region_border, &opts).expect("region triangulation failed");
-    (out.mesh, out.refine_stats.map_or(0, |s| s.segment_splits))
+    (out.mesh, out.refine_stats.unwrap_or_default())
 }
 
 /// Refines the near-body subdomain: outer rectangle border + hole loops.
@@ -82,7 +87,7 @@ pub fn refine_nearbody(
     holes: &[Vec<Point2>],
     hole_seeds: &[Point2],
     sizing: &dyn SizingField,
-) -> (Mesh, usize) {
+) -> (Mesh, RefineStats) {
     let mut points: Vec<Point2> = rect_border.to_vec();
     let mut segments: Vec<(u32, u32)> = {
         let n = rect_border.len() as u32;
@@ -106,7 +111,7 @@ pub fn refine_nearbody(
         ..Default::default()
     };
     let out = triangulate(&points, &opts).expect("near-body triangulation failed");
-    (out.mesh, out.refine_stats.map_or(0, |s| s.segment_splits))
+    (out.mesh, out.refine_stats.unwrap_or_default())
 }
 
 /// Propagates interface splits from a refined donor mesh back into the
@@ -239,14 +244,14 @@ pub fn mesh_inviscid(
         });
 
     // Near-body subdomain.
-    let mut border_splits = 0usize;
+    let mut refine_stats = RefineStats::default();
     let holes: Vec<Vec<Point2>> = outer_borders.to_vec();
     let nearbody = log.measure(
         TaskKind::NearBodyRefine,
         (nearbody_border.len() * 16) as u64,
         || {
-            let (mesh, splits) = refine_nearbody(&nearbody_border, &holes, hole_seeds, sizing);
-            border_splits += splits;
+            let (mesh, stats) = refine_nearbody(&nearbody_border, &holes, hole_seeds, sizing);
+            refine_stats.absorb(&stats);
             let n = mesh.num_triangles() as u64;
             (mesh, n)
         },
@@ -257,17 +262,19 @@ pub fn mesh_inviscid(
     for leaf in &leaves {
         let bytes = (leaf.border.len() * 16) as u64;
         let mesh = log.measure(TaskKind::InviscidRefine, bytes, || {
-            let (mesh, splits) = refine_region(&leaf.border, sizing);
-            border_splits += splits;
+            let (mesh, stats) = refine_region(&leaf.border, sizing);
+            refine_stats.absorb(&stats);
             let n = mesh.num_triangles() as u64;
             (mesh, n)
         });
         subdomain_meshes.push(mesh);
     }
+    refine_stats.publish(log.tracer());
     InviscidMesh {
         nearbody,
         subdomain_meshes,
-        border_splits,
+        border_splits: refine_stats.segment_splits,
+        refine_stats,
     }
 }
 

@@ -181,6 +181,66 @@ mod tests {
     }
 
     #[test]
+    fn shared_corner_across_three_subdomains_dedups_once() {
+        // Three triangles from three "subdomains" all touching the origin:
+        // the duplicated corner must collapse to a single global vertex.
+        let quadrant =
+            |a: Point2, b: Point2| Mesh::from_triangles(vec![p(0.0, 0.0), a, b], vec![[0, 1, 2]]);
+        let m1 = quadrant(p(1.0, 0.0), p(0.0, 1.0));
+        let m2 = quadrant(p(0.0, 1.0), p(-1.0, 0.0));
+        let m3 = quadrant(p(-1.0, 0.0), p(0.0, -1.0));
+        let mut m = MeshMerger::new();
+        m.add_mesh(&m1);
+        m.add_mesh(&m2);
+        m.add_mesh(&m3);
+        let merged = m.finish();
+        // 9 corner instances -> 5 distinct points (origin + 4 axis tips).
+        assert_eq!(merged.num_vertices(), 5);
+        assert_eq!(merged.num_triangles(), 3);
+        merged.check_consistency();
+        let conf = check_conformity(&merged);
+        assert_eq!(conf.interior_edges, 2); // the two shared spokes
+        assert_eq!(conf.boundary_edges, 5);
+    }
+
+    #[test]
+    fn empty_subdomain_mesh_is_a_noop() {
+        // A decomposition can produce an empty leaf; merging its (empty)
+        // mesh must not disturb the union.
+        let tri =
+            Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let empty = Mesh::from_triangles(Vec::new(), Vec::new());
+        let mut m = MeshMerger::new();
+        m.add_mesh(&tri);
+        m.add_mesh(&empty);
+        assert_eq!(m.triangle_count(), 1);
+        let merged = m.finish();
+        assert_eq!(merged.num_vertices(), 3);
+        assert_eq!(merged.num_triangles(), 1);
+    }
+
+    #[test]
+    fn single_mesh_merge_is_identity() {
+        // The single-rank degenerate case: one subdomain in, same mesh out.
+        let mut mesh = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        mesh.constrain_edge(0, 1);
+        let mut m = MeshMerger::new();
+        m.add_mesh(&mesh);
+        let merged = m.finish();
+        assert_eq!(merged.num_vertices(), mesh.num_vertices());
+        assert_eq!(merged.num_triangles(), mesh.num_triangles());
+        assert_eq!(merged.num_constrained(), mesh.num_constrained());
+        assert_eq!(
+            check_conformity(&merged),
+            check_conformity(&mesh),
+            "edge statistics must be preserved"
+        );
+    }
+
+    #[test]
     fn add_raw_triangles() {
         let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)];
         let mut m = MeshMerger::new();

@@ -16,9 +16,11 @@ use adm_delaunay::mesh::Mesh;
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
 use adm_mpirt::{
-    run_rank_dynamic, BalancerConfig, Comm, Src, ThreadedTransport, Transport, WorkItem, WorkQueue,
+    run_rank_dynamic_traced, BalancerConfig, Comm, Src, ThreadedTransport, Transport,
+    TransportClock, WorkItem, WorkQueue,
 };
 use adm_partition::{triangulate_leaf, DecomposeParams, Subdomain};
+use adm_trace::{Tracer, Track};
 use std::sync::Arc;
 
 /// Aggregate numbers for one pipeline run.
@@ -49,12 +51,19 @@ pub struct PipelineResult {
     pub log: TaskLog,
     /// Aggregates.
     pub stats: PipelineStats,
+    /// The full trace of the run: phase/task spans plus the metrics
+    /// registry (refinement counters, load-balancer counters, predicate
+    /// ladder hit rates). Export with `adm_trace::chrome`.
+    pub trace: Tracer,
 }
 
 /// Runs the full pipeline sequentially.
 pub fn generate(config: &MeshConfig) -> PipelineResult {
-    let t0 = std::time::Instant::now();
-    let mut log = TaskLog::default();
+    let tracer = Tracer::wall();
+    tracer.name_track(Track::ROOT, "pipeline (sequential)");
+    let t0 = tracer.now();
+    let root = tracer.span(Track::ROOT, "pipeline");
+    let mut log = TaskLog::with_tracer(tracer.clone(), Track::ROOT);
 
     // 1. Anisotropic boundary layers (§II.A-II.C).
     let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
@@ -121,6 +130,7 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
         (mesh, n)
     });
 
+    root.close();
     let stats = PipelineStats {
         bl_points: bl.cloud_points,
         bl_triangles,
@@ -128,9 +138,14 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
         total_triangles: mesh.num_triangles(),
         total_vertices: mesh.num_vertices(),
         border_splits: inviscid.border_splits - propagated.min(inviscid.border_splits),
-        total_s: t0.elapsed().as_secs_f64(),
+        total_s: (tracer.now() - t0).as_secs_f64(),
     };
-    PipelineResult { mesh, log, stats }
+    PipelineResult {
+        mesh,
+        log,
+        stats,
+        trace: tracer,
+    }
 }
 
 /// A transferable meshing task for the parallel driver. Decomposition
@@ -216,13 +231,25 @@ pub fn generate_parallel_with(
     balancer: BalancerConfig,
 ) -> PipelineResult {
     let ranks = transport.size();
-    let t0 = std::time::Instant::now();
+    // The tracer runs on the transport's clock: wall time on the threaded
+    // transport, virtual time on the simulator — which makes the whole
+    // trace (and its fingerprint) replay-stable under a seeded schedule.
+    let tracer = Tracer::new(Arc::new(TransportClock::new(transport.clone())));
+    tracer.name_track(Track::ROOT, "driver");
+    let t0 = tracer.now();
+    let root = tracer.span(Track::ROOT, "pipeline");
+    let setup = tracer.span(Track::ROOT, "phase.setup");
 
     // Root-side geometry setup (the boundary layer build is per-surface
     // work the paper parallelizes by surface ownership; at our scales it
     // is a negligible prefix).
     let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
-    let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
+    let layers = {
+        let bl_span = tracer.span(Track::ROOT, "phase.bl_build");
+        let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
+        bl_span.close();
+        layers
+    };
     let hole_seeds = config.pslg.hole_seeds();
     let cloud: Vec<Point2> = layers.iter().flat_map(|l| l.all_points()).collect();
     let outer_borders: Vec<Vec<Point2>> = layers.iter().map(|l| l.outer_border()).collect();
@@ -274,7 +301,10 @@ pub fn generate_parallel_with(
     let window = transport.window(ranks + 2);
     let seed_tasks = std::sync::Mutex::new(Some(seed_tasks));
     let sizing = Arc::new(sizing);
+    setup.close();
 
+    let par_span = tracer.span(Track::ROOT, "phase.parallel_mesh");
+    let tracer_ref = &tracer;
     let mut rank_outputs = adm_mpirt::run_with(transport.clone(), |comm: Comm| {
         let initial = if comm.rank() == 0 {
             seed_tasks.lock().unwrap().take().unwrap()
@@ -288,12 +318,15 @@ pub fn generate_parallel_with(
         ));
         let sizing = sizing.clone();
         let comm_ref = &comm;
-        let (outs, _stats) = run_rank_dynamic(
+        let tr = tracer_ref.clone();
+        let (outs, _stats) = run_rank_dynamic_traced(
             &comm,
             queue,
             window.clone(),
             balancer,
+            Some(tracer_ref.clone()),
             move |task: Task, q| {
+                let rank_track = Track::rank(comm_ref.rank());
                 // Charge the task's cost estimate as virtual compute so
                 // simulated schedules exhibit realistic load imbalance
                 // (free in production — the refinement took real time).
@@ -315,12 +348,20 @@ pub fn generate_parallel_with(
                             || leaf.len() < bl_params.min_vertices.max(4)
                             || leaf.internal_count() == 0;
                         if stop {
-                            TaskOutKind::BlTris(triangulate_leaf(&leaf))
+                            let span = tr.span(rank_track, TaskKind::BlTriangulate.span_name());
+                            let tris = triangulate_leaf(&leaf);
+                            span.close_with(&[
+                                ("bytes", (leaf.len() * 16) as u64),
+                                ("triangles", tris.len() as u64),
+                            ]);
+                            TaskOutKind::BlTris(tris)
                         } else {
+                            let span = tr.span(rank_track, TaskKind::Decompose.span_name());
                             let axis = leaf.choose_cut_axis();
                             let (lo, hi, _path) = leaf.split(axis);
                             q.push(child(0, TaskBody::Bl(Box::new(lo))));
                             q.push(child(1, TaskBody::Bl(Box::new(hi))));
+                            span.close();
                             TaskOutKind::Nothing
                         }
                     }
@@ -328,6 +369,7 @@ pub fn generate_parallel_with(
                         if region.estimated_triangles(sizing.as_ref()) > threshold
                             && adm_decouple::splittable(&region)
                         {
+                            let span = tr.span(rank_track, TaskKind::Decompose.span_name());
                             for (k, c) in region.plus_split(sizing.as_ref()).into_iter().enumerate()
                             {
                                 q.push(child(
@@ -338,16 +380,30 @@ pub fn generate_parallel_with(
                                     },
                                 ));
                             }
+                            span.close();
                             TaskOutKind::Nothing
                         } else {
-                            let (mesh, _) = refine_region(&region.border, sizing.as_ref());
+                            let span = tr.span(rank_track, TaskKind::InviscidRefine.span_name());
+                            let (mesh, rstats) = refine_region(&region.border, sizing.as_ref());
+                            rstats.publish(&tr);
+                            span.close_with(&[
+                                ("bytes", (region.border.len() * 16) as u64),
+                                ("triangles", mesh.num_triangles() as u64),
+                            ]);
                             TaskOutKind::SubMesh(Box::new(mesh))
                         }
                     }
                     TaskBody::NearBody {
                         rect, holes, seeds, ..
                     } => {
-                        let (mesh, _) = refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
+                        let span = tr.span(rank_track, TaskKind::NearBodyRefine.span_name());
+                        let (mesh, rstats) =
+                            refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
+                        rstats.publish(&tr);
+                        span.close_with(&[
+                            ("bytes", (rect.len() * 16) as u64),
+                            ("triangles", mesh.num_triangles() as u64),
+                        ]);
                         TaskOutKind::SubMesh(Box::new(mesh))
                     }
                 };
@@ -370,6 +426,8 @@ pub fn generate_parallel_with(
     let mut all_outs = rank_outputs
         .remove(0)
         .expect("root rank produces the gathered output");
+    par_span.close();
+    let merge_span = tracer.span(Track::ROOT, TaskKind::Merge.span_name());
 
     // Results arrive in whatever order ranks finished; restore task-tree
     // order so the merge below — and therefore the output bytes — do not
@@ -437,6 +495,8 @@ pub fn generate_parallel_with(
     }
     let mesh = merger.finish();
     check_conformity(&mesh);
+    merge_span.close_with(&[("triangles", mesh.num_triangles() as u64)]);
+    root.close();
 
     let stats = PipelineStats {
         bl_points: cloud.len(),
@@ -445,12 +505,15 @@ pub fn generate_parallel_with(
         total_triangles: mesh.num_triangles(),
         total_vertices: mesh.num_vertices(),
         border_splits: 0,
-        total_s: t0.elapsed().as_secs_f64(),
+        total_s: (tracer.now() - t0).as_secs_f64(),
     };
     PipelineResult {
         mesh,
-        log: TaskLog::default(),
+        // The parallel driver's task log is a view over the trace: every
+        // per-task span recorded on any rank becomes one record.
+        log: TaskLog::from_trace(&tracer),
         stats,
+        trace: tracer,
     }
 }
 
@@ -460,8 +523,11 @@ pub fn generate_parallel_with(
 /// comparison (§IV: 196 s vs 192 s). Uses the identical boundary layer
 /// and sizing so the work is comparable.
 pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
-    let t0 = std::time::Instant::now();
-    let mut log = TaskLog::default();
+    let tracer = Tracer::wall();
+    tracer.name_track(Track::ROOT, "pipeline (undecomposed)");
+    let t0 = tracer.now();
+    let root = tracer.span(Track::ROOT, "pipeline");
+    let mut log = TaskLog::with_tracer(tracer.clone(), Track::ROOT);
     let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
     let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
     let hole_seeds = config.pslg.hole_seeds();
@@ -482,7 +548,8 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
         Point2::new(f.min.x, f.max.y),
     ];
     let inviscid = log.measure(TaskKind::InviscidRefine, 0, || {
-        let (mesh, _) = refine_nearbody(&rect, &bl.outer_borders, &hole_seeds, &sizing);
+        let (mesh, rstats) = refine_nearbody(&rect, &bl.outer_borders, &hole_seeds, &sizing);
+        rstats.publish(&tracer);
         let n = mesh.num_triangles() as u64;
         (mesh, n)
     });
@@ -492,6 +559,7 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
     merger.add_mesh(&bl.mesh);
     merger.add_mesh(&inviscid);
     let mesh = merger.finish();
+    root.close();
     let stats = PipelineStats {
         bl_points: bl.cloud_points,
         bl_triangles: bl.mesh.num_triangles(),
@@ -499,7 +567,12 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
         total_triangles: mesh.num_triangles(),
         total_vertices: mesh.num_vertices(),
         border_splits: 0,
-        total_s: t0.elapsed().as_secs_f64(),
+        total_s: (tracer.now() - t0).as_secs_f64(),
     };
-    PipelineResult { mesh, log, stats }
+    PipelineResult {
+        mesh,
+        log,
+        stats,
+        trace: tracer,
+    }
 }

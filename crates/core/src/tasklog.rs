@@ -1,11 +1,21 @@
-//! Per-task cost records.
+//! Per-task cost records — a thin view over `adm-trace` spans.
 //!
-//! Every subdomain meshing task logs its measured wall time and payload
-//! size. The scaling benches feed these records straight into
-//! `adm-simnet` to regenerate the paper's Figures 11/12 on hardware that
-//! cannot run 256 ranks.
+//! Every subdomain meshing task logs its measured time and payload size.
+//! The scaling benches feed these records straight into `adm-simnet` to
+//! regenerate the paper's Figures 11/12 on hardware that cannot run 256
+//! ranks.
+//!
+//! Since the tracing layer landed, [`TaskLog::measure`] no longer stamps
+//! its own `Instant`s: it opens a span on the log's [`Tracer`] and derives
+//! `cost_s` from the span's interval. Under the threaded transport the
+//! tracer's clock is wall time, so nothing changes; under the simulated
+//! transport the clock is virtual time, which makes the records (and the
+//! whole trace) replay-stable. [`TaskLog::from_trace`] goes the other
+//! direction and rebuilds a record list from a finished trace — the
+//! parallel driver uses it so that the Fig 11/12 simulator replays
+//! exactly the tasks that were traced.
 
-use std::time::Instant;
+use adm_trace::{Tracer, Track};
 
 /// What kind of work a task was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +40,42 @@ pub enum TaskKind {
     Serial,
 }
 
+impl TaskKind {
+    /// Stable span name for this kind (also the reverse key used by
+    /// [`TaskLog::from_trace`]).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            TaskKind::BlTriangulate => "task.bl_triangulate",
+            TaskKind::InviscidRefine => "task.inviscid_refine",
+            TaskKind::NearBodyRefine => "task.nearbody_refine",
+            TaskKind::BlBuild => "phase.bl_build",
+            TaskKind::Decompose => "phase.decompose",
+            TaskKind::Merge => "phase.merge",
+            TaskKind::Serial => "phase.serial",
+        }
+    }
+
+    /// Inverse of [`TaskKind::span_name`].
+    pub fn from_span_name(name: &str) -> Option<TaskKind> {
+        Some(match name {
+            "task.bl_triangulate" => TaskKind::BlTriangulate,
+            "task.inviscid_refine" => TaskKind::InviscidRefine,
+            "task.nearbody_refine" => TaskKind::NearBodyRefine,
+            "phase.bl_build" => TaskKind::BlBuild,
+            "phase.decompose" => TaskKind::Decompose,
+            "phase.merge" => TaskKind::Merge,
+            "phase.serial" => TaskKind::Serial,
+            _ => return None,
+        })
+    }
+}
+
 /// One measured task.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskRecord {
     /// Task category.
     pub kind: TaskKind,
-    /// Measured wall time in seconds.
+    /// Measured time in seconds (wall or virtual, per the tracer clock).
     pub cost_s: f64,
     /// Approximate serialized payload in bytes (what a work transfer
     /// would move).
@@ -45,20 +85,69 @@ pub struct TaskRecord {
 }
 
 /// Collected task records for one pipeline run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TaskLog {
     /// All records in completion order.
     pub records: Vec<TaskRecord>,
+    tracer: Tracer,
+    track: Track,
+}
+
+impl Default for TaskLog {
+    fn default() -> Self {
+        TaskLog::with_tracer(Tracer::wall(), Track::ROOT)
+    }
 }
 
 impl TaskLog {
-    /// Times `f` and appends a record with its measured cost.
+    /// A log whose `measure` calls open spans on `tracer` under `track`.
+    pub fn with_tracer(tracer: Tracer, track: Track) -> Self {
+        TaskLog {
+            records: Vec::new(),
+            tracer,
+            track,
+        }
+    }
+
+    /// The tracer this log records spans into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Rebuilds a record list from a finished trace: every closed span
+    /// whose name maps to a [`TaskKind`] becomes one record, in span-open
+    /// order, with `bytes`/`triangles` recovered from span args.
+    pub fn from_trace(tracer: &Tracer) -> Self {
+        let snap = tracer.snapshot();
+        let mut log = TaskLog::with_tracer(tracer.clone(), Track::ROOT);
+        for span in snap.spans.iter().filter(|s| s.closed()) {
+            if let Some(kind) = TaskKind::from_span_name(&span.name) {
+                let arg = |key: &str| {
+                    span.args
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(0, |(_, v)| *v)
+                };
+                log.records.push(TaskRecord {
+                    kind,
+                    cost_s: span.duration().as_secs_f64(),
+                    bytes: arg("bytes"),
+                    triangles: arg("triangles"),
+                });
+            }
+        }
+        log
+    }
+
+    /// Runs `f` inside a span named for `kind` and appends a record with
+    /// the span's measured interval.
     pub fn measure<R>(&mut self, kind: TaskKind, bytes: u64, f: impl FnOnce() -> (R, u64)) -> R {
-        let t0 = Instant::now();
+        let span = self.tracer.span(self.track, kind.span_name());
         let (out, triangles) = f();
+        let (start, end) = span.close_with(&[("bytes", bytes), ("triangles", triangles)]);
         self.records.push(TaskRecord {
             kind,
-            cost_s: t0.elapsed().as_secs_f64(),
+            cost_s: (end - start).as_secs_f64(),
             bytes,
             triangles,
         });
@@ -97,6 +186,7 @@ impl TaskLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adm_trace::check_well_formed;
 
     #[test]
     fn measure_records_cost_and_output() {
@@ -109,6 +199,52 @@ mod tests {
         assert_eq!(r.bytes, 128);
         assert_eq!(r.triangles, 7);
         assert!(r.cost_s >= 0.0);
+    }
+
+    #[test]
+    fn measure_emits_matching_span() {
+        let mut log = TaskLog::default();
+        log.measure(TaskKind::InviscidRefine, 64, || ((), 13));
+        let snap = log.tracer().snapshot();
+        check_well_formed(&snap).unwrap();
+        assert_eq!(snap.spans.len(), 1);
+        let span = &snap.spans[0];
+        assert_eq!(span.name, TaskKind::InviscidRefine.span_name());
+        assert!(span.closed());
+        assert!(span.args.contains(&("bytes", 64)));
+        assert!(span.args.contains(&("triangles", 13)));
+    }
+
+    #[test]
+    fn from_trace_round_trips_records() {
+        let mut log = TaskLog::default();
+        log.measure(TaskKind::BlTriangulate, 16, || ((), 3));
+        log.measure(TaskKind::NearBodyRefine, 32, || ((), 5));
+        // A span with a non-task name is ignored by the rebuild.
+        log.tracer().span(Track::ROOT, "other").close();
+        let rebuilt = TaskLog::from_trace(log.tracer());
+        assert_eq!(rebuilt.records.len(), 2);
+        assert_eq!(rebuilt.records[0].kind, TaskKind::BlTriangulate);
+        assert_eq!(rebuilt.records[0].bytes, 16);
+        assert_eq!(rebuilt.records[0].triangles, 3);
+        assert_eq!(rebuilt.records[1].kind, TaskKind::NearBodyRefine);
+        assert_eq!(rebuilt.records[1].triangles, 5);
+    }
+
+    #[test]
+    fn span_name_round_trip() {
+        for kind in [
+            TaskKind::BlTriangulate,
+            TaskKind::InviscidRefine,
+            TaskKind::NearBodyRefine,
+            TaskKind::BlBuild,
+            TaskKind::Decompose,
+            TaskKind::Merge,
+            TaskKind::Serial,
+        ] {
+            assert_eq!(TaskKind::from_span_name(kind.span_name()), Some(kind));
+        }
+        assert_eq!(TaskKind::from_span_name("nope"), None);
     }
 
     #[test]

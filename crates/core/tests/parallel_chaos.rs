@@ -27,11 +27,18 @@ fn mesh_sha(mesh: &Mesh) -> String {
     sha256_hex(&buf)
 }
 
-fn chaos_run_sha(config: &MeshConfig, seed: u64, ranks: usize) -> String {
+/// Runs one fault-injected pipeline and returns the mesh digest plus the
+/// trace fingerprint (spans + metrics recorded under virtual time).
+fn chaos_run(config: &MeshConfig, seed: u64, ranks: usize) -> (String, (u64, u64)) {
     let sim = SimTransport::new(ranks, FaultPlan::chaos(seed));
     let transport: Arc<dyn Transport> = Arc::new(sim);
     let out = generate_parallel_with(config, transport, BalancerConfig::default());
-    mesh_sha(&out.mesh)
+    adm_trace::check_well_formed(&out.trace.snapshot()).expect("malformed pipeline trace");
+    (mesh_sha(&out.mesh), out.trace.fingerprint())
+}
+
+fn chaos_run_sha(config: &MeshConfig, seed: u64, ranks: usize) -> String {
+    chaos_run(config, seed, ranks).0
 }
 
 #[test]
@@ -59,6 +66,27 @@ fn threaded_parallel_matches_sequential_sha() {
             "production transport diverged [ranks {ranks}]"
         );
     }
+}
+
+/// Under the simulated transport the whole run — including every trace
+/// span and counter, which are stamped with virtual time — is a pure
+/// function of (seed, ranks): replaying a seed must reproduce the trace
+/// byte-for-byte, and a different seed must not.
+#[test]
+fn same_seed_replays_identical_trace_fingerprint() {
+    let config = tiny_config();
+    for (seed, ranks) in [(0u64, 2usize), (1, 4)] {
+        let (sha1, fp1) = chaos_run(&config, seed, ranks);
+        let (sha2, fp2) = chaos_run(&config, seed, ranks);
+        assert_eq!(sha1, sha2, "mesh differs on replay [seed {seed}]");
+        assert_eq!(
+            fp1, fp2,
+            "trace fingerprint differs on replay [seed {seed}, ranks {ranks}]"
+        );
+    }
+    let (_, fp_a) = chaos_run(&config, 0, 2);
+    let (_, fp_b) = chaos_run(&config, 9, 2);
+    assert_ne!(fp_a, fp_b, "distinct seeds produced identical traces");
 }
 
 /// The full 64-seed × {1,2,4,8} sweep (the CI `chaos` job runs this in

@@ -263,6 +263,31 @@ mod tests {
     }
 
     #[test]
+    fn quadrant_bboxes_form_the_documented_pinwheel() {
+        // Each quadrant must span exactly its pinwheel rectangle: one long
+        // edge along the far field, the short edge reaching the near-body
+        // box (Figure 9 layout).
+        let (b, f) = boxes();
+        let s = UniformSizing(2.0);
+        let d = initial_quadrants(&b, &f, &s);
+        let expect = [
+            // left, top, right, bottom
+            (f.min.x, f.min.y, b.min.x, b.max.y),
+            (f.min.x, b.max.y, b.max.x, f.max.y),
+            (b.max.x, b.min.y, f.max.x, f.max.y),
+            (b.min.x, f.min.y, f.max.x, b.min.y),
+        ];
+        for (q, (xmin, ymin, xmax, ymax)) in d.quadrants.iter().zip(expect) {
+            let (mut lo, mut hi) = (q.border[0], q.border[0]);
+            for p in &q.border {
+                lo = Point2::new(lo.x.min(p.x), lo.y.min(p.y));
+                hi = Point2::new(hi.x.max(p.x), hi.y.max(p.y));
+            }
+            assert_eq!((lo.x, lo.y, hi.x, hi.y), (xmin, ymin, xmax, ymax));
+        }
+    }
+
+    #[test]
     fn graded_borders_are_finer_near_the_body() {
         let (b, f) = boxes();
         let s = GradedSizing::new(&[Point2::new(0.5, 0.0)], 0.2, 0.5, 1e9, 8);

@@ -50,11 +50,38 @@ pub struct RefineStats {
     pub segment_splits: usize,
     /// Points inserted at triangle circumcenters.
     pub circumcenters: usize,
+    /// Circumcenters rejected because they encroached nearby subsegments
+    /// (Ruppert's rule: split those segments instead).
+    pub encroach_rejections: usize,
     /// Bad triangles skipped because their circumcenter already exists as
     /// a vertex (cocircular clusters).
     pub skipped: usize,
     /// `true` when the insertion cap stopped refinement early.
     pub hit_cap: bool,
+}
+
+impl RefineStats {
+    /// Accumulates another run's counts (for aggregating per-subdomain
+    /// refinements into one pipeline-level figure).
+    pub fn absorb(&mut self, other: &RefineStats) {
+        self.segment_splits += other.segment_splits;
+        self.circumcenters += other.circumcenters;
+        self.encroach_rejections += other.encroach_rejections;
+        self.skipped += other.skipped;
+        self.hit_cap |= other.hit_cap;
+    }
+
+    /// Mirrors the counters into a trace metrics registry under the
+    /// `refine.*` namespace (additive, so per-subdomain runs aggregate).
+    pub fn publish(&self, tracer: &adm_trace::Tracer) {
+        tracer.count("refine.segment_splits", self.segment_splits as u64);
+        tracer.count("refine.circumcenters", self.circumcenters as u64);
+        tracer.count(
+            "refine.encroach_rejections",
+            self.encroach_rejections as u64,
+        );
+        tracer.count("refine.skipped", self.skipped as u64);
+    }
 }
 
 /// Sizing query: target triangle *area* at a location.
@@ -208,6 +235,7 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
                         stats.skipped += 1;
                     }
                 } else {
+                    stats.encroach_rejections += 1;
                     for (a, b) in encroached {
                         seg_queue.push_back((a, b));
                     }

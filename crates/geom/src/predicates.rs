@@ -93,6 +93,26 @@ pub mod stats {
             c.store(0, Ordering::Relaxed);
         }
     }
+
+    /// Mirrors the current counter values into a trace metrics registry
+    /// under the `geom.*` namespace. The atomics stay the recording
+    /// mechanism (zero-overhead in the insertion hot path); the registry
+    /// is the reporting surface shared with every other subsystem.
+    pub fn publish(tracer: &adm_trace::Tracer) {
+        let (orient, incircle) = snapshot();
+        for (name, v) in [
+            ("geom.orient2d.stage_a", orient[0]),
+            ("geom.orient2d.stage_b", orient[1]),
+            ("geom.orient2d.stage_c", orient[2]),
+            ("geom.orient2d.exact", orient[3]),
+            ("geom.incircle.stage_a", incircle[0]),
+            ("geom.incircle.stage_b", incircle[1]),
+            ("geom.incircle.stage_c", incircle[2]),
+            ("geom.incircle.exact", incircle[3]),
+        ] {
+            tracer.set_count(name, v);
+        }
+    }
 }
 
 #[cfg(feature = "predicate-stats")]

@@ -23,8 +23,9 @@ pub mod window;
 
 pub use comm::{comms_for, fabric, run, run_with, Comm, Src};
 pub use loadbalance::{
-    run_rank, run_rank_dynamic, BalancerConfig, Protocol, RankStats, WorkItem, WorkQueue,
+    run_rank, run_rank_dynamic, run_rank_dynamic_traced, BalancerConfig, Protocol, RankStats,
+    WorkItem, WorkQueue,
 };
 pub use simfault::{FaultPlan, SimTransport, StallPlan};
-pub use transport::{Lane, Payload, RawMsg, ThreadedTransport, Transport};
+pub use transport::{Lane, Payload, RawMsg, ThreadedTransport, Transport, TransportClock};
 pub use window::{Window, WindowHook};

@@ -42,6 +42,7 @@
 use crate::comm::{Comm, Src};
 use crate::transport::Lane;
 use crate::window::Window;
+use adm_trace::{Tracer, Track};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -290,6 +291,9 @@ struct PendingRequest {
     req_id: u64,
     victim: usize,
     sent_at: Duration,
+    /// First transmission time, for the steal round-trip histogram
+    /// (`sent_at` moves forward on every retry).
+    first_sent: Duration,
     attempts: u32,
 }
 
@@ -323,11 +327,20 @@ fn communicator_loop<W: WorkItem>(
     busy: &AtomicBool,
     shutdown: &AtomicBool,
     stats: &Mutex<RankStats>,
+    trace: Option<&Tracer>,
 ) {
     let rank = comm.rank();
     let size = comm.size();
     let done_slot = size;
     let hardened = cfg.protocol == Protocol::Hardened;
+    // Registry mirror of the RankStats counters, plus the queue-depth and
+    // steal-round-trip histograms. All timestamps come from the transport
+    // clock, so under simulation these are deterministic per seed.
+    let bump = |name: &'static str| {
+        if let Some(t) = trace {
+            t.count(name, 1);
+        }
+    };
 
     let mut outstanding: Option<PendingRequest> = None;
     let mut next_req_seq: u64 = 0;
@@ -390,6 +403,7 @@ fn communicator_loop<W: WorkItem>(
                     );
                 }
                 stats.lock().unwrap().items_donated += 1;
+                bump("lb.items_donated");
             }
             None => {
                 if hardened {
@@ -397,6 +411,7 @@ fn communicator_loop<W: WorkItem>(
                 }
                 comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
                 stats.lock().unwrap().denies += 1;
+                bump("lb.denies");
             }
         }
     };
@@ -404,6 +419,9 @@ fn communicator_loop<W: WorkItem>(
     loop {
         // Publish the current work estimate (MPI_Put).
         window.put(rank, queue.load());
+        if let Some(t) = trace {
+            t.observe("lb.queue_depth", queue.len() as u64);
+        }
 
         // Serve or consume protocol messages.
         while let Some((src, msg)) = comm.try_recv::<Msg<W>>(Src::Any, LB_TAG) {
@@ -430,14 +448,17 @@ fn communicator_loop<W: WorkItem>(
                                     f.last_sent = comm.now();
                                     f.attempts += 1;
                                     stats.lock().unwrap().work_resends += 1;
+                                    bump("lb.work_resends");
                                 } else {
                                     comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
                                 }
                                 stats.lock().unwrap().dup_requests_served += 1;
+                                bump("lb.dup_requests_served");
                             }
                             Some(Answer::Deny) => {
                                 comm.send_cloneable(src, LB_TAG, Msg::<W>::Deny { req_id });
                                 stats.lock().unwrap().dup_requests_served += 1;
+                                bump("lb.dup_requests_served");
                             }
                             None => {
                                 donate(
@@ -470,13 +491,21 @@ fn communicator_loop<W: WorkItem>(
                         comm.send_cloneable(src, LB_TAG, Msg::<W>::Ack { transfer_id });
                         if seen_transfers.contains(&transfer_id) {
                             stats.lock().unwrap().dup_transfers_discarded += 1;
+                            bump("lb.dup_transfers_discarded");
                         } else {
                             seen_transfers.insert(transfer_id);
                             queue.push_transferred(item);
                             comm.wake(); // the mesher may be parked empty
                             stats.lock().unwrap().items_received += 1;
+                            bump("lb.items_received");
                         }
-                        if outstanding.as_ref().is_some_and(|p| p.req_id == req_id) {
+                        if let Some(p) = outstanding.as_ref().filter(|p| p.req_id == req_id) {
+                            // Steal round trip: first request transmission
+                            // to first matching work delivery.
+                            if let Some(t) = trace {
+                                let rtt = comm.now().saturating_sub(p.first_sent);
+                                t.observe("lb.steal_rtt_ns", rtt.as_nanos() as u64);
+                            }
                             outstanding = None;
                         }
                     } else {
@@ -484,6 +513,7 @@ fn communicator_loop<W: WorkItem>(
                         comm.wake();
                         outstanding = None;
                         stats.lock().unwrap().items_received += 1;
+                        bump("lb.items_received");
                     }
                 }
                 Msg::Deny { req_id } => {
@@ -528,6 +558,7 @@ fn communicator_loop<W: WorkItem>(
                         p.sent_at = now;
                         p.attempts += 1;
                         stats.lock().unwrap().request_retries += 1;
+                        bump("lb.request_retries");
                     }
                 }
             }
@@ -555,6 +586,7 @@ fn communicator_loop<W: WorkItem>(
                     f.last_sent = now;
                     f.attempts += 1;
                     stats.lock().unwrap().work_resends += 1;
+                    bump("lb.work_resends");
                 }
             }
         }
@@ -571,9 +603,11 @@ fn communicator_loop<W: WorkItem>(
                     req_id,
                     victim,
                     sent_at: now,
+                    first_sent: now,
                     attempts: 1,
                 });
                 stats.lock().unwrap().requests_sent += 1;
+                bump("lb.requests_sent");
             }
         }
 
@@ -589,6 +623,7 @@ fn run_rank_inner<W, F, R>(
     window: Window,
     termination: Termination,
     cfg: BalancerConfig,
+    trace: Option<Tracer>,
     mut process: F,
 ) -> (Vec<R>, RankStats)
 where
@@ -602,6 +637,10 @@ where
     let shutdown = AtomicBool::new(false);
     let busy = AtomicBool::new(false);
     let stats = Mutex::new(RankStats::default());
+    if let Some(t) = &trace {
+        t.name_track(Track::rank(rank), &format!("rank {rank} mesher"));
+        t.name_track(Track::helper(rank), &format!("rank {rank} communicator"));
+    }
 
     let mut results = Vec::new();
     std::thread::scope(|scope| {
@@ -612,13 +651,25 @@ where
         let transport = comm.transport().clone();
         let (comm_r, queue_r, window_r, term_r, cfg_r) =
             (comm, &queue, &window, &termination, &cfg);
-        let (busy_r, shutdown_r, stats_r) = (&busy, &shutdown, &stats);
+        let (busy_r, shutdown_r, stats_r, trace_r) = (&busy, &shutdown, &stats, &trace);
         let communicator = scope.spawn(move || {
             transport.thread_start(rank, Lane::Helper);
             let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let comm_span = trace_r
+                    .as_ref()
+                    .map(|t| t.span(Track::helper(rank), "communicator"));
                 communicator_loop(
-                    comm_r, queue_r, window_r, term_r, cfg_r, busy_r, shutdown_r, stats_r,
+                    comm_r,
+                    queue_r,
+                    window_r,
+                    term_r,
+                    cfg_r,
+                    busy_r,
+                    shutdown_r,
+                    stats_r,
+                    trace_r.as_ref(),
                 );
+                drop(comm_span);
             }));
             match out {
                 Ok(()) => transport.thread_exit(rank, Lane::Helper),
@@ -634,7 +685,11 @@ where
         loop {
             if let Some(item) = queue.pop() {
                 busy.store(true, Ordering::Release);
+                let span = trace.as_ref().map(|t| t.span(Track::rank(rank), "lb.task"));
                 results.push(process(item, &queue));
+                if let Some(span) = span {
+                    span.close();
+                }
                 busy.store(false, Ordering::Release);
                 stats.lock().unwrap().processed += 1;
                 window.fetch_add(done_slot, 1);
@@ -688,6 +743,7 @@ where
         window,
         Termination::Static { total: total_items },
         cfg,
+        None,
         process,
     )
 }
@@ -714,6 +770,28 @@ where
     F: FnMut(W, &WorkQueue<W>) -> R,
     R: Send,
 {
+    run_rank_dynamic_traced(comm, queue, window, cfg, None, process)
+}
+
+/// [`run_rank_dynamic`] with a trace recorder: each processed item gets
+/// an `lb.task` span on the rank's mesher lane, and the communicator
+/// mirrors its protocol counters (requests, retries, resends, dedup)
+/// plus queue-depth and steal-round-trip histograms into the registry.
+/// All stamps come from the transport clock, so traces recorded under
+/// the simulated transport are replay-identical per seed.
+pub fn run_rank_dynamic_traced<W, F, R>(
+    comm: &Comm,
+    queue: Arc<WorkQueue<W>>,
+    window: Window,
+    cfg: BalancerConfig,
+    trace: Option<Tracer>,
+    process: F,
+) -> (Vec<R>, RankStats)
+where
+    W: WorkItem,
+    F: FnMut(W, &WorkQueue<W>) -> R,
+    R: Send,
+{
     let size = comm.size();
     assert!(window.len() >= size + 2, "dynamic mode needs size+2 slots");
     // All seed items must be registered before anyone can observe
@@ -727,6 +805,7 @@ where
             created_slot: size + 1,
         },
         cfg,
+        trace,
         process,
     )
 }

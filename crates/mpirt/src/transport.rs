@@ -158,6 +158,25 @@ pub trait Transport: Send + Sync {
     fn abort(&self) {}
 }
 
+/// [`adm_trace::Clock`] backed by [`Transport::now`]: wall time on the
+/// threaded transport, the cooperative scheduler's virtual time under
+/// simulation. Traces stamped through this clock are replay-stable —
+/// the same simulation seed reproduces them byte-for-byte.
+pub struct TransportClock(Arc<dyn Transport>);
+
+impl TransportClock {
+    /// Wraps a transport as a trace clock.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        TransportClock(transport)
+    }
+}
+
+impl adm_trace::Clock for TransportClock {
+    fn now(&self) -> Duration {
+        self.0.now()
+    }
+}
+
 /// One rank's mailbox on the threaded transport. The condvar covers both
 /// message arrival and explicit [`Transport::notify`] wakeups, so idle
 /// loops park instead of spinning.

@@ -8,9 +8,10 @@
 //! count.
 
 use adm_mpirt::{
-    run_rank_dynamic, run_with, BalancerConfig, Comm, FaultPlan, Protocol, RankStats, SimTransport,
-    Src, Transport, WorkItem, WorkQueue,
+    run_rank_dynamic_traced, run_with, BalancerConfig, Comm, FaultPlan, Protocol, RankStats,
+    SimTransport, Src, Transport, TransportClock, WorkItem, WorkQueue,
 };
+use adm_trace::Tracer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -52,12 +53,19 @@ fn sim_config(protocol: Protocol) -> BalancerConfig {
 type RankOutcome = (Vec<u64>, RankStats);
 
 /// Runs the recursive workload on a fault-injected fabric and returns
-/// per-rank outcomes plus the schedule fingerprint.
-fn run_case(ranks: usize, plan: FaultPlan, protocol: Protocol) -> (Vec<RankOutcome>, (u64, u64)) {
+/// per-rank outcomes, the schedule fingerprint, and the trace
+/// fingerprint (spans + counters recorded under virtual time).
+fn run_case(
+    ranks: usize,
+    plan: FaultPlan,
+    protocol: Protocol,
+) -> (Vec<RankOutcome>, (u64, u64), (u64, u64)) {
     let sim = SimTransport::new(ranks, plan);
     let transport: Arc<dyn Transport> = Arc::new(sim.clone());
+    let tracer = Tracer::new(Arc::new(TransportClock::new(transport.clone())));
     let window = transport.window(ranks + 2);
     let seed_items = Mutex::new(Some(vec![Split { id: 0, n: ROOT }]));
+    let tracer_ref = &tracer;
     let results = run_with(transport, |comm: Comm| {
         let initial = if comm.rank() == 0 {
             seed_items.lock().unwrap().take().unwrap()
@@ -69,11 +77,12 @@ fn run_case(ranks: usize, plan: FaultPlan, protocol: Protocol) -> (Vec<RankOutco
             window.clone(),
             comm.size() + 1,
         ));
-        run_rank_dynamic(
+        run_rank_dynamic_traced(
             &comm,
             queue,
             window.clone(),
             sim_config(protocol),
+            Some(tracer_ref.clone()),
             |t: Split, q| {
                 // Model compute proportional to task size in virtual
                 // time: without this every rank finishes at t≈0 and no
@@ -93,7 +102,9 @@ fn run_case(ranks: usize, plan: FaultPlan, protocol: Protocol) -> (Vec<RankOutco
             },
         )
     });
-    (results, sim.fingerprint())
+    let snap = tracer.snapshot();
+    adm_trace::check_well_formed(&snap).expect("chaos run produced a malformed trace");
+    (results, sim.fingerprint(), tracer.fingerprint())
 }
 
 /// Asserts a completed run processed every task exactly once and
@@ -116,8 +127,16 @@ fn hardened_survives_64_chaos_seeds_across_rank_counts() {
     for &ranks in &[1usize, 2, 4, 8] {
         for seed in 0..64u64 {
             let ctx = format!("seed {seed}, ranks {ranks}, Hardened");
-            let (results, _) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
+            let (results, _, trace_fp) =
+                run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
             assert_exactly_once(&results, &ctx);
+            // Golden-fingerprint spot check: every 8th schedule is
+            // replayed and must reproduce the exact same trace —
+            // virtual-time tracing is part of the deterministic state.
+            if seed % 8 == 0 {
+                let (_, _, replay_fp) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
+                assert_eq!(trace_fp, replay_fp, "trace fingerprint drifted [{ctx}]");
+            }
             for (_, s) in &results {
                 agg.requests_sent += s.requests_sent;
                 agg.request_retries += s.request_retries;
@@ -143,15 +162,19 @@ fn hardened_survives_64_chaos_seeds_across_rank_counts() {
 fn same_seed_replays_identical_schedule_and_results() {
     for &ranks in &[2usize, 4] {
         let seed = 7;
-        let (r1, f1) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
-        let (r2, f2) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
+        let (r1, f1, t1) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
+        let (r2, f2, t2) = run_case(ranks, FaultPlan::chaos(seed), Protocol::Hardened);
         assert_eq!(f1, f2, "fingerprint differs on replay (ranks {ranks})");
+        assert_eq!(
+            t1, t2,
+            "trace fingerprint differs on replay (ranks {ranks})"
+        );
         let ids = |r: &[RankOutcome]| r.iter().map(|(v, _)| v.clone()).collect::<Vec<_>>();
         assert_eq!(ids(&r1), ids(&r2), "per-rank results differ on replay");
         let stats = |r: &[RankOutcome]| r.iter().map(|(_, s)| *s).collect::<Vec<_>>();
         assert_eq!(stats(&r1), stats(&r2), "stats differ on replay");
         // A different seed must explore a different schedule.
-        let (_, f3) = run_case(ranks, FaultPlan::chaos(seed + 1), Protocol::Hardened);
+        let (_, f3, _) = run_case(ranks, FaultPlan::chaos(seed + 1), Protocol::Hardened);
         assert_ne!(f1, f3, "distinct seeds produced identical traces");
     }
 }
@@ -172,7 +195,7 @@ fn naive_protocol_fails_where_hardened_succeeds() {
     let mut sensitive = None;
     for seed in 0..64u64 {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let (results, _) = run_case(4, FaultPlan::chaos(seed), Protocol::Naive);
+            let (results, _, _) = run_case(4, FaultPlan::chaos(seed), Protocol::Naive);
             let mut ids: Vec<u64> = results.iter().flat_map(|(v, _)| v.clone()).collect();
             ids.sort_unstable();
             let mut expected = Vec::new();
@@ -190,7 +213,7 @@ fn naive_protocol_fails_where_hardened_succeeds() {
         .expect("no chaos seed in 0..64 perturbed the naive protocol — fault model too weak");
     // The hardened protocol completes exactly-once under the same plan.
     let ctx = format!("sensitive seed {seed}, ranks 4, Hardened");
-    let (results, _) = run_case(4, FaultPlan::chaos(seed), Protocol::Hardened);
+    let (results, _, _) = run_case(4, FaultPlan::chaos(seed), Protocol::Hardened);
     assert_exactly_once(&results, &ctx);
 }
 
@@ -204,7 +227,7 @@ fn forced_drops_trigger_retry_and_resend_paths() {
         max_consecutive_drops: 2,
         ..FaultPlan::reliable(11)
     };
-    let (results, _) = run_case(2, plan, Protocol::Hardened);
+    let (results, _, _) = run_case(2, plan, Protocol::Hardened);
     assert_exactly_once(&results, "forced-drop plan, ranks 2");
     let retries: usize = results.iter().map(|(_, s)| s.request_retries).sum();
     let resends: usize = results.iter().map(|(_, s)| s.work_resends).sum();
@@ -225,7 +248,7 @@ fn stalled_rank_does_not_wedge_the_run() {
         }),
         ..FaultPlan::reliable(3)
     };
-    let (results, _) = run_case(4, plan, Protocol::Hardened);
+    let (results, _, _) = run_case(4, plan, Protocol::Hardened);
     assert_exactly_once(&results, "stall plan, ranks 4");
 }
 
@@ -327,7 +350,7 @@ mod properties {
             let ctx = format!(
                 "seed {seed}, drop {drop_p:.3}, dup {dup_p:.3}, heavy {heavy_delay_p:.3}"
             );
-            let (results, _) = run_case(3, plan, Protocol::Hardened);
+            let (results, _, _) = run_case(3, plan, Protocol::Hardened);
             assert_exactly_once(&results, &ctx);
         }
 

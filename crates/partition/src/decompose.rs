@@ -309,6 +309,72 @@ mod tests {
     }
 
     #[test]
+    fn cuts_run_parallel_to_the_shortest_bbox_edge() {
+        // Wide cloud (20 x 1): the median line must be vertical (CutAxis::Y,
+        // splitting x) at every level while the pieces stay wide.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let wide: Vec<Point2> = (0..400)
+            .map(|_| p(rng.gen_range(0.0..20.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let params = DecomposeParams {
+            min_vertices: 4,
+            max_level: 2,
+        };
+        let d = decompose(Subdomain::root(&wide), &params);
+        assert_eq!(d.leaves.len(), 4);
+        for leaf in &d.leaves {
+            assert_eq!(leaf.cuts.len(), 2);
+            for cut in &leaf.cuts {
+                assert_eq!(
+                    cut.axis,
+                    CutAxis::Y,
+                    "wide cloud must be split along x (vertical median line)"
+                );
+            }
+        }
+        // Tall cloud (1 x 20): the transpose — horizontal median lines.
+        let tall: Vec<Point2> = wide.iter().map(|q| p(q.y, q.x)).collect();
+        let d = decompose(Subdomain::root(&tall), &params);
+        for leaf in &d.leaves {
+            for cut in &leaf.cuts {
+                assert_eq!(
+                    cut.axis,
+                    CutAxis::X,
+                    "tall cloud must be split along y (horizontal median line)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isotropic_cloud_alternates_cut_axes() {
+        // On a roughly square cloud, halving one direction makes the other
+        // the longest edge, so consecutive cuts must alternate — this is
+        // exactly what keeps leaves from going skinny.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let pts: Vec<Point2> = (0..600)
+            .map(|_| p(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let d = decompose(
+            Subdomain::root(&pts),
+            &DecomposeParams {
+                min_vertices: 4,
+                max_level: 2,
+            },
+        );
+        assert_eq!(d.leaves.len(), 4);
+        for leaf in &d.leaves {
+            assert_eq!(leaf.cuts.len(), 2);
+            assert_ne!(
+                leaf.cuts[0].axis, leaf.cuts[1].axis,
+                "consecutive cuts on a square cloud must alternate axes"
+            );
+        }
+    }
+
+    #[test]
     fn params_for_subdomain_count() {
         assert_eq!(DecomposeParams::for_subdomain_count(16).max_level, 4);
         assert_eq!(DecomposeParams::for_subdomain_count(128).max_level, 7);

@@ -19,4 +19,4 @@ pub mod sim;
 
 pub use events::{DetRng, EventQueue};
 pub use link::LinkModel;
-pub use sim::{simulate, InitialDist, Schedule, SimConfig, SimResult, Task};
+pub use sim::{simulate, InitialDist, Schedule, SimConfig, SimResult, Task, TaskInterval};

@@ -74,6 +74,19 @@ impl Default for SimConfig {
     }
 }
 
+/// One executed task occurrence: which rank ran it, and when. The
+/// schedule benches export these as trace spans (one lane per simulated
+/// rank in `about:tracing`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskInterval {
+    /// Executing rank.
+    pub rank: usize,
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// End time in seconds.
+    pub end_s: f64,
+}
+
 /// Simulation output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -91,6 +104,8 @@ pub struct SimResult {
     pub busy_s: Vec<f64>,
     /// Time when the initial distribution completed.
     pub setup_s: f64,
+    /// Every executed task, in start order.
+    pub intervals: Vec<TaskInterval>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -222,6 +237,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
     let mut idle_s = 0.0;
     let mut comm_s = 0.0;
     let mut remaining = tasks.len();
+    let mut intervals: Vec<TaskInterval> = Vec::with_capacity(tasks.len());
     let mut now;
 
     // Start every rank at setup completion.
@@ -229,6 +245,11 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
         if let Some(task) = ranks[r].pop(cfg.schedule) {
             ranks[r].busy_until = Some(setup_s + task.cost_s);
             ranks[r].busy_s += task.cost_s;
+            intervals.push(TaskInterval {
+                rank: r,
+                start_s: setup_s,
+                end_s: setup_s + task.cost_s,
+            });
             events.push(setup_s + task.cost_s, Event::Finish { rank: r });
         } else {
             ranks[r].idle_since = Some(setup_s);
@@ -260,6 +281,11 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                 if let Some(task) = ranks[rank].pop(cfg.schedule) {
                     ranks[rank].busy_until = Some(now + task.cost_s);
                     ranks[rank].busy_s += task.cost_s;
+                    intervals.push(TaskInterval {
+                        rank,
+                        start_s: now,
+                        end_s: now + task.cost_s,
+                    });
                     events.push(now + task.cost_s, Event::Finish { rank });
                 } else {
                     ranks[rank].idle_since = Some(now);
@@ -298,6 +324,11 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
                             let task = ranks[rank].pop(cfg.schedule).expect("just pushed");
                             ranks[rank].busy_until = Some(now + task.cost_s);
                             ranks[rank].busy_s += task.cost_s;
+                            intervals.push(TaskInterval {
+                                rank,
+                                start_s: now,
+                                end_s: now + task.cost_s,
+                            });
                             events.push(now + task.cost_s, Event::Finish { rank });
                         }
                     }
@@ -333,6 +364,7 @@ pub fn simulate(p: usize, tasks: &[Task], dist: InitialDist, cfg: &SimConfig) ->
         comm_s,
         busy_s: ranks.iter().map(|r| r.busy_s).collect(),
         setup_s,
+        intervals,
     }
 }
 
@@ -515,6 +547,22 @@ mod tests {
         let r = simulate(16, &tasks, InitialDist::RoundRobin, &SimConfig::default());
         let busy: f64 = r.busy_s.iter().sum();
         assert!((busy - 2.0).abs() < 1e-9, "busy {busy}");
+    }
+
+    #[test]
+    fn intervals_cover_every_task() {
+        let tasks = uniform_tasks(100, 0.02, 5000);
+        let r = simulate(16, &tasks, InitialDist::AllOnRoot, &SimConfig::default());
+        assert_eq!(r.intervals.len(), tasks.len());
+        let mut per_rank = [0.0f64; 16];
+        for iv in &r.intervals {
+            assert!(iv.end_s > iv.start_s);
+            assert!(iv.end_s <= r.makespan_s + 1e-12);
+            per_rank[iv.rank] += iv.end_s - iv.start_s;
+        }
+        for (measured, busy) in per_rank.iter().zip(&r.busy_s) {
+            assert!((measured - busy).abs() < 1e-9);
+        }
     }
 
     #[test]

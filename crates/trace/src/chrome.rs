@@ -1,0 +1,172 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes a [`TraceSnapshot`] into the Trace Event Format consumed
+//! by `about:tracing` and Perfetto: one complete (`"ph": "X"`) event per
+//! closed span, `pid`/`tid` taken from the span's [`crate::Track`] (one
+//! process row per rank), timestamps in microseconds at nanosecond
+//! resolution. Lane names travel as `"M"` metadata events; counters and
+//! histogram summaries ride in the top-level `otherData` object.
+//!
+//! The writer is hand-rolled (this crate is dependency-free) and fully
+//! deterministic: given the same snapshot it produces the same bytes,
+//! which is what lets the chaos suite assert byte-identical traces per
+//! simulation seed.
+
+use crate::TraceSnapshot;
+use std::fmt::Write as _;
+use std::io;
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as microseconds with three decimals (the trace
+/// format's native unit, kept at full resolution).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders the snapshot as a Chrome trace-event JSON document.
+pub fn to_chrome_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&s);
+    };
+
+    for (track, name) in &snap.track_names {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {}, \"tid\": {}, \"args\": {{\"name\": \"{}\"}}}}",
+                track.pid,
+                track.tid,
+                esc(name)
+            ),
+            &mut first,
+        );
+    }
+    for span in snap.spans.iter().filter(|s| s.closed()) {
+        let mut args = String::new();
+        for (i, (k, v)) in span.args.iter().enumerate() {
+            if i > 0 {
+                args.push_str(", ");
+            }
+            let _ = write!(args, "\"{}\": {v}", esc(k));
+        }
+        push(
+            format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"adm\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+                esc(&span.name),
+                span.track.pid,
+                span.track.tid,
+                us(span.start_ns),
+                us(span.end_ns - span.start_ns),
+            ),
+            &mut first,
+        );
+    }
+    out.push_str("\n],\n\"otherData\": {\n\"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n\"{}\": {v}", esc(name));
+    }
+    out.push_str("\n},\n\"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+            esc(name),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max
+        );
+    }
+    out.push_str("\n}\n}\n}\n");
+    out
+}
+
+/// Writes the snapshot as Chrome trace JSON to `w`.
+pub fn write_chrome_trace<W: io::Write>(mut w: W, snap: &TraceSnapshot) -> io::Result<()> {
+    w.write_all(to_chrome_json(snap).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TestClock, Tracer, Track};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn export_contains_complete_events_and_metadata() {
+        let clock = Arc::new(TestClock::new());
+        let t = Tracer::new(clock.clone());
+        t.name_track(Track::rank(0), "rank 0 mesher");
+        let g = t.span(Track::rank(0), "refine");
+        clock.advance(Duration::from_micros(3));
+        g.close_with(&[("triangles", 12)]);
+        t.count("tasks", 1);
+        t.observe("rtt_ns", 1500);
+
+        let json = to_chrome_json(&t.snapshot());
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"name\": \"refine\""));
+        assert!(json.contains("\"ts\": 0.000"));
+        assert!(json.contains("\"dur\": 3.000"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"rank 0 mesher\""));
+        assert!(json.contains("\"triangles\": 12"));
+        assert!(json.contains("\"tasks\": 1"));
+        assert!(json.contains("\"rtt_ns\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let clock = Arc::new(TestClock::new());
+            let t = Tracer::new(clock.clone());
+            for name in ["a", "b"] {
+                let g = t.span(Track::ROOT, name);
+                clock.advance(Duration::from_nanos(1234));
+                g.close();
+            }
+            to_chrome_json(&t.snapshot())
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let t = Tracer::new(Arc::new(TestClock::new()));
+        t.span(Track::ROOT, "quo\"te\\path").close();
+        let json = to_chrome_json(&t.snapshot());
+        assert!(json.contains("quo\\\"te\\\\path"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Pluggable time sources for the tracer.
+//!
+//! Every timestamp a [`crate::Tracer`] records comes from a [`Clock`].
+//! Production runs use [`WallClock`] (monotonic host time); simulated
+//! runs plug in a clock backed by the transport's *virtual* time, so the
+//! same pipeline code produces replay-stable traces under the seeded
+//! discrete-event scheduler. Tests use [`TestClock`] and advance time by
+//! hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. Implementations must never go backwards:
+/// span well-formedness (end ≥ start, children inside parents) is
+/// asserted against this guarantee.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// Host monotonic time, measured from construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    ns: AtomicU64,
+}
+
+impl TestClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Jumps to an absolute time, which must not be in the past.
+    pub fn set(&self, t: Duration) {
+        let t = t.as_nanos() as u64;
+        let prev = self.ns.swap(t, Ordering::Relaxed);
+        assert!(prev <= t, "TestClock moved backwards: {prev} -> {t}");
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.ns.load(Ordering::Relaxed))
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: arbitrary span open/close interleavings — across
+//! tracks, and across real threads — always yield balanced,
+//! monotonically-stamped, correctly-parented traces.
+
+use adm_trace::{check_well_formed, TestClock, Tracer, Track};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drives one tracer with a random program of opens, closes, and
+    /// clock advances interleaved over several tracks. RAII guarantees
+    /// per-track LIFO nesting (a close always seals the innermost open
+    /// span of its track), but opens and closes from different tracks
+    /// interleave arbitrarily — the trace must stay well-formed.
+    #[test]
+    fn interleaved_programs_stay_well_formed(
+        ops in proptest::collection::vec((0usize..4, 0u8..3, 1u64..50), 0..120)
+    ) {
+        let clock = Arc::new(TestClock::new());
+        let tracer = Tracer::new(clock.clone());
+        let mut stacks: Vec<Vec<adm_trace::SpanGuard>> = (0..4).map(|_| Vec::new()).collect();
+        for (track_no, action, dt) in ops {
+            let track = Track::rank(track_no);
+            match action {
+                // Open a new span on this track.
+                0 => stacks[track_no].push(tracer.span(track, "op")),
+                // Close the innermost open span, if any.
+                1 => {
+                    stacks[track_no].pop();
+                }
+                // Let time pass.
+                _ => clock.advance(Duration::from_nanos(dt)),
+            }
+        }
+        // Unwind whatever is still open (outermost last, as scopes do).
+        for stack in &mut stacks {
+            while stack.pop().is_some() {}
+        }
+        let snap = tracer.snapshot();
+        prop_assert!(check_well_formed(&snap).is_ok(), "{:?}", check_well_formed(&snap));
+        // Spans on one track open in monotonically nondecreasing order.
+        for t in 0..4 {
+            let track = Track::rank(t);
+            let starts: Vec<u64> = snap
+                .spans
+                .iter()
+                .filter(|s| s.track == track)
+                .map(|s| s.start_ns)
+                .collect();
+            prop_assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// Real threads hammering one tracer concurrently (each on its own
+    /// track, as ranks do) still produce a well-formed trace.
+    #[test]
+    fn concurrent_threads_stay_well_formed(
+        depths in proptest::collection::vec(1usize..6, 2..5)
+    ) {
+        let tracer = Tracer::wall();
+        std::thread::scope(|scope| {
+            for (i, &depth) in depths.iter().enumerate() {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    let track = Track::rank(i);
+                    for _ in 0..8 {
+                        let mut guards = Vec::new();
+                        for _ in 0..depth {
+                            guards.push(tracer.span(track, "nested"));
+                        }
+                        tracer.count("ops", 1);
+                        while guards.pop().is_some() {}
+                    }
+                });
+            }
+        });
+        let snap = tracer.snapshot();
+        prop_assert!(check_well_formed(&snap).is_ok(), "{:?}", check_well_formed(&snap));
+        let expected = depths.iter().map(|d| 8 * d).sum::<usize>();
+        prop_assert_eq!(snap.spans.len(), expected);
+        prop_assert_eq!(snap.counters["ops"], 8 * depths.len() as u64);
+    }
+}

@@ -43,6 +43,8 @@ OPTIONS:
     --out <PATH>           write Triangle-format ASCII mesh
     --binary-out <PATH>    write compact binary mesh
     --svg <PATH>           write an SVG rendering
+    --trace-out <PATH>     write a Chrome trace-event JSON of the run
+                           (open in about:tracing or Perfetto)
     --report               print a mesh-quality report (angle histogram)
     --quiet                suppress statistics
     --help                 show this help
@@ -63,6 +65,7 @@ struct Args {
     out: Option<String>,
     binary_out: Option<String>,
     svg: Option<String>,
+    trace_out: Option<String>,
     quiet: bool,
     report: bool,
 }
@@ -83,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         binary_out: None,
         svg: None,
+        trace_out: None,
         quiet: false,
         report: false,
     };
@@ -149,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value(&argv, &mut i, "--out")?),
             "--binary-out" => args.binary_out = Some(value(&argv, &mut i, "--binary-out")?),
             "--svg" => args.svg = Some(value(&argv, &mut i, "--svg")?),
+            "--trace-out" => args.trace_out = Some(value(&argv, &mut i, "--trace-out")?),
             "--quiet" => args.quiet = true,
             "--report" => args.report = true,
             other => return Err(format!("unknown flag: {other}")),
@@ -310,6 +315,18 @@ fn main() -> ExitCode {
             status = ExitCode::FAILURE;
         } else if !args.quiet {
             eprintln!("wrote {p}");
+        }
+    }
+    if let Some(p) = &args.trace_out {
+        let snap = result.trace.snapshot();
+        if let Err(e) = write(p, &|w| adm2d::trace::chrome::write_chrome_trace(w, &snap)) {
+            eprintln!("error: {e}");
+            status = ExitCode::FAILURE;
+        } else if !args.quiet {
+            eprintln!("wrote {p}");
+            for row in result.trace.phase_totals() {
+                eprintln!("  {:<24} x{:<5} {:>9.3}s", row.name, row.count, row.total_s);
+            }
         }
     }
     status

@@ -22,6 +22,8 @@
 //!   strong-scaling study;
 //! * [`solver`] — P1 finite elements and potential flow (the flow-solver
 //!   substitute);
+//! * [`trace`] — deterministic span tracing + metrics registry with a
+//!   Chrome trace-event exporter;
 //! * [`core`] — the push-button pipeline.
 //!
 //! ## Quickstart
@@ -44,3 +46,4 @@ pub use adm_mpirt as mpirt;
 pub use adm_partition as partition;
 pub use adm_simnet as simnet;
 pub use adm_solver as solver;
+pub use adm_trace as trace;
