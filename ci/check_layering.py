@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Enforce the workspace's crate layering.
+
+Parses ``cargo metadata`` and fails when any first-party crate's *normal*
+dependency sits on a higher layer than the crate itself (dev-dependencies
+are exempt: tests may reach up for drivers and harnesses).
+
+The layer map mirrors the diagram in DESIGN.md ("Mesh kernel"): geometry
+primitives at the bottom, the identity kernel above them, then the
+meshing engines, the per-discipline generators and runtime, the pipeline,
+and the binaries/benches on top.
+
+Usage: python3 ci/check_layering.py [--manifest-path Cargo.toml]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+LAYERS = {
+    # 0 — leaf utilities: no first-party deps at all.
+    "adm-trace": 0,
+    "adm-geom": 0,
+    # 1 — the identity kernel (arena + global vertex ids).
+    "adm-kernel": 1,
+    # 2 — the meshing engine.
+    "adm-delaunay": 2,
+    # 3 — per-discipline generators, decomposition, runtime.
+    "adm-airfoil": 3,
+    "adm-blayer": 3,
+    "adm-decouple": 3,
+    "adm-partition": 3,
+    "adm-mpirt": 3,
+    "adm-simnet": 3,
+    # 4 — the pipeline and its consumers.
+    "adm-core": 4,
+    "adm-solver": 4,
+    # 5 — binaries and benches.
+    "adm-bench": 5,
+    "adm2d": 5,
+}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--manifest-path", default="Cargo.toml")
+    args = ap.parse_args()
+
+    meta = json.loads(
+        subprocess.check_output(
+            [
+                "cargo",
+                "metadata",
+                "--no-deps",
+                "--offline",
+                "--format-version",
+                "1",
+                "--manifest-path",
+                args.manifest_path,
+            ]
+        )
+    )
+
+    workspace = {p["name"] for p in meta["packages"]}
+    unknown = sorted(workspace - LAYERS.keys() - {"vendored"})
+    # Vendored third-party crates live outside the layer map on purpose;
+    # every first-party crate must be assigned a layer explicitly.
+    unknown = [n for n in unknown if not is_vendored(meta, n)]
+    errors = []
+    if unknown:
+        errors.append(
+            f"crates missing from the layer map in ci/check_layering.py: {unknown}"
+        )
+
+    for pkg in meta["packages"]:
+        name = pkg["name"]
+        if name not in LAYERS:
+            continue
+        layer = LAYERS[name]
+        for dep in pkg["dependencies"]:
+            dn = dep["name"]
+            if dn not in LAYERS:
+                continue  # third-party / vendored
+            if dep["kind"] == "dev":
+                continue  # tests may reach up
+            if LAYERS[dn] > layer:
+                errors.append(
+                    f"{name} (layer {layer}) has an upward "
+                    f"{dep['kind'] or 'normal'} dependency on "
+                    f"{dn} (layer {LAYERS[dn]})"
+                )
+
+    if errors:
+        for e in errors:
+            print(f"layering violation: {e}", file=sys.stderr)
+        return 1
+    checked = sum(1 for p in meta["packages"] if p["name"] in LAYERS)
+    print(f"layering ok: {checked} first-party crates respect the layer map")
+    return 0
+
+
+def is_vendored(meta: dict, name: str) -> bool:
+    for p in meta["packages"]:
+        if p["name"] == name:
+            return "/vendored/" in p["manifest_path"]
+    return False
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+//! Subdomain merge cost: coordinate-hash splicing vs arena-id splicing.
+//!
+//! The legacy [`MeshMerger::add_mesh`] hashes the canonical coordinate
+//! bits of *every* vertex it absorbs — O(total vertices) hash work per
+//! subdomain. The id-based [`MeshMerger::add_mesh_spliced`] resolves
+//! stamped vertices through a dense arena map and only touches the
+//! coordinate hash for the constrained interface frontier — so its hash
+//! work is O(interface), and the rest is a blind append.
+//!
+//! Two sweeps demonstrate the scaling claim:
+//!
+//! * `merge/{legacy,spliced}/interior_*` — interior vertex count grows
+//!   at a fixed 64-segment interface: legacy grows with total size much
+//!   faster than spliced does.
+//! * `merge/spliced/interface_*` — interface size grows at a fixed
+//!   16k-vertex interior: the spliced hash work tracks this knob, which
+//!   is the one the decomposition actually bounds.
+//!
+//! `bench_results/merge_baseline.json` records the medians.
+
+use adm_core::MeshMerger;
+use adm_delaunay::mesh::Mesh;
+use adm_geom::point::Point2;
+use adm_kernel::MeshArena;
+use adm_partition::{triangulate_leaf, Subdomain};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+/// A stamped subdomain mesh: `border` points on a circle (its convex
+/// hull, so consecutive points are Delaunay edges we can constrain as
+/// the interface) around `interior` random points, interned into a fresh
+/// arena whose ids are therefore the positional indices.
+fn stamped_subdomain(interior: usize, border: usize, seed: u64) -> (Mesh, usize) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts: Vec<Point2> = (0..border)
+        .map(|i| {
+            let a = i as f64 / border as f64 * std::f64::consts::TAU;
+            Point2::new(a.cos(), a.sin())
+        })
+        .collect();
+    pts.extend((0..interior).map(|_| {
+        let a = r.gen_range(0.0..std::f64::consts::TAU);
+        let d = r.gen_range(0.0..0.9f64).sqrt();
+        Point2::new(d * a.cos(), d * a.sin())
+    }));
+
+    let mut arena = MeshArena::with_capacity(pts.len());
+    let ids = arena.intern_all(&pts);
+    let tris = triangulate_leaf(&Subdomain::root_with_ids(&pts, &ids));
+    let mut mesh = Mesh::from_triangles(pts, tris);
+    mesh.stamp_prefix(&ids);
+    for i in 0..border as u32 {
+        mesh.constrain_edge(i, (i + 1) % border as u32);
+    }
+    let arena_len = arena.len();
+    (mesh, arena_len)
+}
+
+fn bench_interior_sweep(c: &mut Criterion) {
+    const INTERFACE: usize = 64;
+    for interior in [1_000usize, 4_000, 16_000] {
+        let (mesh, arena_len) = stamped_subdomain(interior, INTERFACE, 11);
+        let verts = mesh.num_vertices();
+        let tris = mesh.num_triangles();
+        c.bench_function(format!("merge/legacy/interior_{interior}").as_str(), |b| {
+            b.iter(|| {
+                let mut m = MeshMerger::with_capacity(arena_len, verts + 16, tris + 16);
+                m.add_mesh(&mesh);
+                std::hint::black_box(m)
+            })
+        });
+        c.bench_function(format!("merge/spliced/interior_{interior}").as_str(), |b| {
+            b.iter(|| {
+                let mut m = MeshMerger::with_capacity(arena_len, verts + 16, tris + 16);
+                m.add_mesh_spliced(&mesh);
+                std::hint::black_box(m)
+            })
+        });
+    }
+}
+
+fn bench_interface_sweep(c: &mut Criterion) {
+    const INTERIOR: usize = 16_000;
+    for interface in [64usize, 256, 1_024] {
+        let (mesh, arena_len) = stamped_subdomain(INTERIOR, interface, 23);
+        let verts = mesh.num_vertices();
+        let tris = mesh.num_triangles();
+        c.bench_function(
+            format!("merge/spliced/interface_{interface}").as_str(),
+            |b| {
+                b.iter(|| {
+                    let mut m = MeshMerger::with_capacity(arena_len, verts + 16, tris + 16);
+                    m.add_mesh_spliced(&mesh);
+                    std::hint::black_box(m)
+                })
+            },
+        );
+    }
+}
+
+fn merge_benches(c: &mut Criterion) {
+    bench_interior_sweep(c);
+    bench_interface_sweep(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = merge_benches
+}
+criterion_main!(benches);

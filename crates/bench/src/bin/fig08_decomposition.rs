@@ -46,7 +46,7 @@ fn main() {
 
     let span = tracer.span(Track::ROOT, "phase.decompose");
     let d = decompose(
-        Subdomain::root(&cloud),
+        Subdomain::root(cloud),
         &DecomposeParams::for_subdomain_count(128),
     );
     span.close_with(&[("leaves", d.leaves.len() as u64)]);
@@ -64,7 +64,7 @@ fn main() {
             }
         }
     }
-    let dc = triangulate_dc(&cloud, false);
+    let dc = triangulate_dc(cloud, false);
     let direct = dc.triangles();
     let mut direct_keys: Vec<[u32; 3]> = direct
         .iter()
@@ -108,7 +108,7 @@ fn main() {
     // SVG: each subdomain's triangles in a distinct color.
     let mut svg = String::new();
     let (mut minp, mut maxp) = (cloud[0], cloud[0]);
-    for &p in &cloud {
+    for &p in cloud {
         minp = minp.min(p);
         maxp = maxp.max(p);
     }

@@ -36,6 +36,11 @@ impl Default for BlParams {
 }
 
 /// The generated boundary layer of one element.
+///
+/// The point cloud and outer border are computed once at construction and
+/// served as slices: the pipeline queries them per layer per phase
+/// (decomposition, region refinement, final constraint pass), and
+/// rebuilding a fresh `Vec` on every call dominated those loops.
 #[derive(Debug, Clone)]
 pub struct BoundaryLayer {
     /// Refined, clamped rays in surface (CCW) order.
@@ -44,15 +49,34 @@ pub struct BoundaryLayer {
     pub layer: LayerPoints,
     /// The element's surface points (ray origins may repeat cusp origins).
     pub surface: Vec<Point2>,
+    /// Cached `surface ++ layer.points` (see [`BoundaryLayer::all_points`]).
+    all_points: Vec<Point2>,
+    /// Cached merged border (see [`BoundaryLayer::outer_border`]).
+    outer_border: Vec<Point2>,
 }
 
 impl BoundaryLayer {
+    /// Assembles a finished layer, computing the derived point cloud and
+    /// outer border once. `rays` and `layer` must be final: the caches are
+    /// not invalidated by later mutation (construction sites run after
+    /// the last insertion pass).
+    pub fn new(rays: Vec<Ray>, layer: LayerPoints, surface: Vec<Point2>) -> Self {
+        let mut all_points = surface.clone();
+        all_points.extend_from_slice(&layer.points);
+        let outer_border = compute_outer_border(&rays, &layer);
+        BoundaryLayer {
+            rays,
+            layer,
+            surface,
+            all_points,
+            outer_border,
+        }
+    }
+
     /// All boundary-layer points: surface vertices plus inserted layer
     /// points — the point cloud handed to the parallel triangulation.
-    pub fn all_points(&self) -> Vec<Point2> {
-        let mut pts = self.surface.clone();
-        pts.extend_from_slice(&self.layer.points);
-        pts
+    pub fn all_points(&self) -> &[Point2] {
+        &self.all_points
     }
 
     /// Outer border polyline (CCW): the outermost point of each ray (its
@@ -63,39 +87,44 @@ impl BoundaryLayer {
     /// ulps, and such micro-segments poison downstream refinement with
     /// nanometre encroachment splits. A tip is dropped when it lies within
     /// `1e-6` of the local layer height of its predecessor.
-    pub fn outer_border(&self) -> Vec<Point2> {
-        let mut border: Vec<Point2> = Vec::with_capacity(self.rays.len());
-        let mut last_height = 0.0f64;
-        for i in 0..self.rays.len() {
-            let p = self.layer.tip(i).unwrap_or(self.rays[i].origin);
-            let h = p.distance(self.rays[i].origin);
-            if let Some(&prev) = border.last() {
-                let scale = h.max(last_height).max(f64::MIN_POSITIVE);
-                if prev.distance(p) <= 1e-6 * scale {
-                    continue;
-                }
-            }
-            border.push(p);
-            last_height = h;
-        }
-        // Close-up: the last tip may nearly coincide with the first.
-        while border.len() > 1 {
-            let first = border[0];
-            let last = *border.last().unwrap();
-            let scale = last_height.max(f64::MIN_POSITIVE);
-            if first == last || first.distance(last) <= 1e-6 * scale {
-                border.pop();
-            } else {
-                break;
-            }
-        }
-        border
+    pub fn outer_border(&self) -> &[Point2] {
+        &self.outer_border
     }
 
     /// Summary statistics.
     pub fn stats(&self) -> LayerStats {
         layer_stats(&self.layer)
     }
+}
+
+/// The tip-merging border walk behind [`BoundaryLayer::outer_border`].
+fn compute_outer_border(rays: &[Ray], layer: &LayerPoints) -> Vec<Point2> {
+    let mut border: Vec<Point2> = Vec::with_capacity(rays.len());
+    let mut last_height = 0.0f64;
+    for (i, ray) in rays.iter().enumerate() {
+        let p = layer.tip(i).unwrap_or(ray.origin);
+        let h = p.distance(ray.origin);
+        if let Some(&prev) = border.last() {
+            let scale = h.max(last_height).max(f64::MIN_POSITIVE);
+            if prev.distance(p) <= 1e-6 * scale {
+                continue;
+            }
+        }
+        border.push(p);
+        last_height = h;
+    }
+    // Close-up: the last tip may nearly coincide with the first.
+    while border.len() > 1 {
+        let first = border[0];
+        let last = *border.last().unwrap();
+        let scale = last_height.max(f64::MIN_POSITIVE);
+        if first == last || first.distance(last) <= 1e-6 * scale {
+            border.pop();
+        } else {
+            break;
+        }
+    }
+    border
 }
 
 /// Height-smoothing slopes (see [`crate::insert::smooth_heights`]): the
@@ -125,11 +154,7 @@ pub fn build_boundary_layer<G: GrowthFn>(
     let mut rays = emit_rays(surface, params.height, &params.corners);
     resolve_self_intersections(&mut rays);
     let layer = insert_with_smooth_fans(&mut rays, growth, params);
-    BoundaryLayer {
-        rays,
-        layer,
-        surface: surface.to_vec(),
-    }
+    BoundaryLayer::new(rays, layer, surface.to_vec())
 }
 
 /// Generates boundary layers for a multi-element configuration, resolving
@@ -169,11 +194,7 @@ pub fn build_multielement_layers<G: GrowthFn>(
         .zip(surfaces)
         .map(|(mut rays, surface)| {
             let layer = insert_with_smooth_fans(&mut rays, growth, params);
-            BoundaryLayer {
-                rays,
-                layer,
-                surface: surface.clone(),
-            }
+            BoundaryLayer::new(rays, layer, surface.clone())
         })
         .collect()
 }
@@ -186,7 +207,7 @@ pub fn layers_disjoint(a: &BoundaryLayer, b: &BoundaryLayer) -> bool {
         return true;
     }
     for &p in &a.layer.points {
-        if adm_geom::polygon::contains_point(&border_b, p) && !on_border(&border_b, p) {
+        if adm_geom::polygon::contains_point(border_b, p) && !on_border(border_b, p) {
             return false;
         }
     }
@@ -238,10 +259,10 @@ mod tests {
         let bl = build_boundary_layer(&surf, &g, &BlParams::default());
         let border = bl.outer_border();
         assert!(border.len() >= 32);
-        assert!(is_simple(&border), "outer border self-intersects");
+        assert!(is_simple(border), "outer border self-intersects");
         // Every surface point lies inside the border.
         for &q in &surf {
-            assert!(contains_point(&border, q));
+            assert!(contains_point(border, q));
         }
     }
 

@@ -13,16 +13,22 @@ use adm_blayer::BoundaryLayer;
 use adm_delaunay::cdt::{carve, insert_constraint, CdtError};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
+use adm_kernel::{GlobalVertexId, MeshArena};
 use adm_partition::{decompose, triangulate_leaf, DecomposeParams, Subdomain};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The meshed boundary layer.
 pub struct BlMesh {
-    /// Carved, constrained boundary-layer mesh.
+    /// Carved, constrained boundary-layer mesh, stamped with the arena
+    /// identities of its (entire) point cloud.
     pub mesh: Mesh,
     /// Outer border of each element's layer (inner boundary of the
     /// inviscid region), in input order.
     pub outer_borders: Vec<Vec<Point2>>,
+    /// The arena that minted the cloud's global vertex ids. Frozen:
+    /// downstream stages only read it (id lookups for stamping the
+    /// near-body mesh, splicing the merge).
+    pub arena: Arc<MeshArena>,
     /// Size of the triangulated point cloud.
     pub cloud_points: usize,
     /// Number of coarse subdomains triangulated.
@@ -40,20 +46,24 @@ pub fn mesh_boundary_layer(
     target_subdomains: usize,
     log: &mut TaskLog,
 ) -> Result<BlMesh, CdtError> {
-    // Combined cloud (all elements).
-    let cloud: Vec<Point2> = log.measure(TaskKind::Serial, 0, || {
-        let mut c = Vec::new();
+    // Combined cloud (all elements), interned into the arena that mints
+    // every global vertex id the rest of the pipeline uses.
+    let (cloud, arena, ids) = log.measure(TaskKind::Serial, 0, || {
+        let mut c: Vec<Point2> = Vec::new();
         for l in layers {
             c.extend(l.all_points());
         }
-        (c, 0)
+        let mut arena = MeshArena::with_capacity(c.len());
+        let ids = arena.intern_all(&c);
+        ((c, arena, ids), 0)
     });
 
     // Coarse partitioning (Figure 8) — serial in this path; the parallel
-    // driver distributes it.
+    // driver distributes it. Subdomain vertices carry their arena ids, so
+    // the triangles the leaves emit index the arena directly.
     let leaves: Vec<Subdomain> = log.measure(TaskKind::Decompose, 0, || {
         let d = decompose(
-            Subdomain::root(&cloud),
+            Subdomain::root_with_ids(&cloud, &ids),
             &DecomposeParams::for_subdomain_count(target_subdomains),
         );
         (d.leaves, 0)
@@ -79,21 +89,19 @@ pub fn mesh_boundary_layer(
         }
     }
 
-    // Reassemble, constrain, and carve (merge-side work).
+    // Reassemble, constrain, and carve (merge-side work). The vertex
+    // array *is* the arena's canonical point list — triangle triples
+    // already index it — so there is no coordinate-bit rebuild here: the
+    // border loops resolve to vertex ids through the arena.
     let mesh = log.measure(TaskKind::Merge, 0, || {
-        let mut mesh = Mesh::from_triangles(cloud.clone(), all_tris.clone());
-        // Coordinate -> canonical cloud id (lowest original index), which
-        // is the id the deduplicating partitioner kept.
-        let mut id_of: HashMap<(u64, u64), u32> = HashMap::new();
-        for (i, p) in cloud.iter().enumerate() {
-            id_of
-                .entry((p.x.to_bits(), p.y.to_bits()))
-                .or_insert(i as u32);
-        }
+        let mut mesh = Mesh::from_triangles(arena.points().to_vec(), all_tris.clone());
+        let prefix: Vec<GlobalVertexId> = (0..arena.len() as u32).map(GlobalVertexId).collect();
+        mesh.stamp_prefix(&prefix);
         let lookup = |p: Point2| -> u32 {
-            *id_of
-                .get(&(p.x.to_bits(), p.y.to_bits()))
+            arena
+                .id_of(p)
                 .expect("border point missing from cloud")
+                .raw()
         };
         // Constrain surfaces and outer borders.
         for l in layers {
@@ -119,7 +127,8 @@ pub fn mesh_boundary_layer(
 
     Ok(BlMesh {
         mesh,
-        outer_borders: layers.iter().map(|l| l.outer_border()).collect(),
+        outer_borders: layers.iter().map(|l| l.outer_border().to_vec()).collect(),
+        arena: Arc::new(arena),
         cloud_points: cloud.len(),
         subdomains: n_leaves,
     })

@@ -14,6 +14,7 @@ use adm_delaunay::refine::RefineStats;
 use adm_delaunay::triangulator::{triangulate, RefineOptions, TriOptions};
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
+use adm_kernel::GlobalVertexId;
 
 /// Result of the inviscid stage.
 pub struct InviscidMesh {
@@ -81,13 +82,13 @@ pub fn refine_region(region_border: &[Point2], sizing: &dyn SizingField) -> (Mes
     (out.mesh, out.refine_stats.unwrap_or_default())
 }
 
-/// Refines the near-body subdomain: outer rectangle border + hole loops.
-pub fn refine_nearbody(
+/// The shared assembly + refinement behind the near-body entry points.
+fn nearbody_triangulation(
     rect_border: &[Point2],
     holes: &[Vec<Point2>],
     hole_seeds: &[Point2],
     sizing: &dyn SizingField,
-) -> (Mesh, RefineStats) {
+) -> adm_delaunay::triangulator::TriOutput {
     let mut points: Vec<Point2> = rect_border.to_vec();
     let mut segments: Vec<(u32, u32)> = {
         let n = rect_border.len() as u32;
@@ -110,7 +111,42 @@ pub fn refine_nearbody(
         }),
         ..Default::default()
     };
-    let out = triangulate(&points, &opts).expect("near-body triangulation failed");
+    triangulate(&points, &opts).expect("near-body triangulation failed")
+}
+
+/// Refines the near-body subdomain: outer rectangle border + hole loops.
+pub fn refine_nearbody(
+    rect_border: &[Point2],
+    holes: &[Vec<Point2>],
+    hole_seeds: &[Point2],
+    sizing: &dyn SizingField,
+) -> (Mesh, RefineStats) {
+    let out = nearbody_triangulation(rect_border, holes, hole_seeds, sizing);
+    (out.mesh, out.refine_stats.unwrap_or_default())
+}
+
+/// [`refine_nearbody`] with arena identity stamps: `rect_ids[i]` is the
+/// global id of `rect_border[i]` and `hole_ids[k][i]` of `holes[k][i]`.
+/// The produced mesh carries those stamps on its input-point vertices
+/// (via the triangulator's point map), so the merger can splice its
+/// interface without hashing coordinates. Refinement Steiner vertices
+/// stay unstamped — the ones on constrained segments remain constrained
+/// endpoints and resolve through the merger's coordinate path.
+pub fn refine_nearbody_stamped(
+    rect_border: &[Point2],
+    rect_ids: &[GlobalVertexId],
+    holes: &[Vec<Point2>],
+    hole_ids: &[Vec<GlobalVertexId>],
+    hole_seeds: &[Point2],
+    sizing: &dyn SizingField,
+) -> (Mesh, RefineStats) {
+    assert_eq!(rect_border.len(), rect_ids.len());
+    assert_eq!(holes.len(), hole_ids.len());
+    let mut out = nearbody_triangulation(rect_border, holes, hole_seeds, sizing);
+    let all_ids = rect_ids.iter().chain(hole_ids.iter().flatten());
+    for (&v, &gid) in out.point_map.iter().zip(all_ids) {
+        out.mesh.stamp_vertex(v, gid);
+    }
     (out.mesh, out.refine_stats.unwrap_or_default())
 }
 
@@ -131,6 +167,7 @@ pub fn propagate_interface_splits(
     interface_loops: &[Vec<Point2>],
 ) -> usize {
     use adm_geom::segment::Segment;
+    use adm_kernel::canonical_bits;
     // Donor constrained endpoints.
     let mut donor_pts: Vec<Point2> = Vec::new();
     {
@@ -138,18 +175,18 @@ pub fn propagate_interface_splits(
         for (a, b) in donor.constrained_edges() {
             for v in [a, b] {
                 let p = donor.vertices[v as usize];
-                if seen.insert((p.x.to_bits(), p.y.to_bits())) {
+                if seen.insert(canonical_bits(p)) {
                     donor_pts.push(p);
                 }
             }
         }
     }
-    // Coordinate -> BL vertex id.
+    // Canonical coordinate -> BL vertex id (the BL mesh stores the
+    // arena's normalized points, while interface loops may still carry
+    // -0.0 variants — canonical bits make the two sides agree).
     let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
     for (i, p) in bl.vertices.iter().enumerate() {
-        id_of
-            .entry((p.x.to_bits(), p.y.to_bits()))
-            .or_insert(i as u32);
+        id_of.entry(canonical_bits(*p)).or_insert(i as u32);
     }
     let mut inserted = 0usize;
     for border in interface_loops {
@@ -175,10 +212,10 @@ pub fn propagate_interface_splits(
                 continue;
             }
             added.sort_by(|x, y| x.0.total_cmp(&y.0));
-            let Some(&ida) = id_of.get(&(a.x.to_bits(), a.y.to_bits())) else {
+            let Some(&ida) = id_of.get(&canonical_bits(a)) else {
                 continue;
             };
-            let Some(&idb) = id_of.get(&(b.x.to_bits(), b.y.to_bits())) else {
+            let Some(&idb) = id_of.get(&canonical_bits(b)) else {
                 continue;
             };
             let mut left = ida;

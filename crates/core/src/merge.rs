@@ -1,12 +1,27 @@
 //! Merging independently-meshed subdomains into one global mesh.
 //!
 //! Subdomain meshes share bitwise-identical border points (the decoupling
-//! invariant), so merging is exact-coordinate vertex deduplication plus
-//! triangle re-indexing, followed by a conformity check.
+//! invariant), so merging is vertex deduplication plus triangle
+//! re-indexing, followed by a conformity check. Two deduplication paths
+//! exist:
+//!
+//! * [`MeshMerger::add_mesh`] — the legacy path: every vertex of every
+//!   mesh is keyed by its (negative-zero-normalized) coordinate bits.
+//!   O(total vertices) hashing, but works on completely anonymous meshes.
+//! * [`MeshMerger::add_mesh_spliced`] — the arena path: vertices stamped
+//!   with a [`GlobalVertexId`] resolve through a dense array; unstamped
+//!   vertices are coordinate-hashed only when they are constrained-edge
+//!   endpoints (the only vertices the decoupling invariant allows to be
+//!   shared), and everything else is appended blindly. Hashing drops to
+//!   O(interface) instead of O(total).
 
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
+use adm_kernel::{canonical_bits, canonical_point, GlobalVertexId};
 use std::collections::HashMap;
+
+/// Sentinel for "not yet resolved" in the dense id maps.
+const UNRESOLVED: u32 = u32::MAX;
 
 /// Accumulates subdomain meshes into one global mesh.
 #[derive(Default)]
@@ -14,7 +29,14 @@ pub struct MeshMerger {
     vertices: Vec<Point2>,
     triangles: Vec<[u32; 3]>,
     constrained: Vec<(u32, u32)>,
+    /// Canonical coordinate bits -> merged vertex (the hashing path).
     index: HashMap<(u64, u64), u32>,
+    /// Arena id -> merged vertex (the splicing path).
+    global_map: Vec<u32>,
+    /// Per-call scratch: local vertex -> merged vertex.
+    local_map: Vec<u32>,
+    /// Per-call scratch: local vertex lies on a constrained edge.
+    shared_mark: Vec<bool>,
 }
 
 impl MeshMerger {
@@ -23,17 +45,90 @@ impl MeshMerger {
         Self::default()
     }
 
-    fn vertex_id(&mut self, p: Point2) -> u32 {
-        *self
-            .index
-            .entry((p.x.to_bits(), p.y.to_bits()))
-            .or_insert_with(|| {
-                self.vertices.push(p);
-                (self.vertices.len() - 1) as u32
-            })
+    /// Creates a merger pre-sized for splicing: `arena_len` global ids
+    /// (the minting arena's [`adm_kernel::MeshArena::len`]) plus room for
+    /// `vertices`/`triangles` merged entities, so a bounded sequence of
+    /// [`MeshMerger::add_mesh_spliced`] calls allocates nothing beyond
+    /// the per-mesh scratch growth.
+    pub fn with_capacity(arena_len: usize, vertices: usize, triangles: usize) -> Self {
+        MeshMerger {
+            vertices: Vec::with_capacity(vertices),
+            triangles: Vec::with_capacity(triangles),
+            constrained: Vec::with_capacity(vertices / 2 + 16),
+            index: HashMap::with_capacity(arena_len + vertices / 8 + 16),
+            global_map: vec![UNRESOLVED; arena_len],
+            local_map: Vec::with_capacity(vertices),
+            shared_mark: Vec::with_capacity(vertices),
+        }
     }
 
-    /// Adds all live triangles (and constrained edges) of `mesh`.
+    fn vertex_id(&mut self, p: Point2) -> u32 {
+        *self.index.entry(canonical_bits(p)).or_insert_with(|| {
+            self.vertices.push(canonical_point(p));
+            (self.vertices.len() - 1) as u32
+        })
+    }
+
+    #[inline]
+    fn push_vertex(&mut self, p: Point2) -> u32 {
+        let id = self.vertices.len() as u32;
+        self.vertices.push(canonical_point(p));
+        id
+    }
+
+    #[inline]
+    fn global_slot(&mut self, gid: GlobalVertexId) -> usize {
+        if self.global_map.len() <= gid.index() {
+            self.global_map.resize(gid.index() + 1, UNRESOLVED);
+        }
+        gid.index()
+    }
+
+    /// Resolves a vertex that may be shared across meshes (a constrained-
+    /// edge endpoint): by stamp when present, by canonical coordinates
+    /// otherwise — and *cross-registers* both maps, because the mesh that
+    /// introduced the point first may have carried the other kind of
+    /// identity (merge order differs between the sequential and parallel
+    /// drivers).
+    fn resolve_shared(&mut self, mesh: &Mesh, v: u32) -> u32 {
+        let p = mesh.vertices[v as usize];
+        match mesh.global_id(v) {
+            Some(gid) => {
+                let slot = self.global_slot(gid);
+                let hit = self.global_map[slot];
+                if hit != UNRESOLVED {
+                    return hit;
+                }
+                let m = self.vertex_id(p);
+                self.global_map[slot] = m;
+                m
+            }
+            None => self.vertex_id(p),
+        }
+    }
+
+    /// Resolves a vertex the decoupling invariant guarantees is private
+    /// to meshes carrying matching stamps: dense-array lookup for stamped
+    /// vertices, blind append (no hashing at all) for the rest.
+    fn resolve_private(&mut self, mesh: &Mesh, v: u32) -> u32 {
+        let p = mesh.vertices[v as usize];
+        match mesh.global_id(v) {
+            Some(gid) => {
+                let slot = self.global_slot(gid);
+                let hit = self.global_map[slot];
+                if hit != UNRESOLVED {
+                    return hit;
+                }
+                let m = self.push_vertex(p);
+                self.global_map[slot] = m;
+                m
+            }
+            None => self.push_vertex(p),
+        }
+    }
+
+    /// Adds all live triangles (and constrained edges) of `mesh`,
+    /// deduplicating every vertex by canonical coordinate bits.
     pub fn add_mesh(&mut self, mesh: &Mesh) {
         for t in mesh.live_triangles() {
             let tri = mesh.triangles[t as usize];
@@ -48,6 +143,69 @@ impl MeshMerger {
             let ga = self.vertex_id(mesh.vertices[a as usize]);
             let gb = self.vertex_id(mesh.vertices[b as usize]);
             self.constrained.push((ga, gb));
+        }
+    }
+
+    /// Adds `mesh` via the arena splicing path.
+    ///
+    /// Correctness rests on the global-id invariant's contrapositive: a
+    /// vertex that can be shared with another subdomain mesh is either
+    /// stamped in every mesh containing it, or lies on a constrained edge
+    /// in every mesh containing it (interface loops are constrained, and
+    /// segment splits inherit the constraint). So stamped vertices resolve
+    /// through `global_map`, unstamped constrained endpoints through the
+    /// coordinate index, and everything else is appended without any
+    /// lookup. Do not mix with [`MeshMerger::add_mesh`] *additions of the
+    /// same interface* unless those meshes satisfy the same property —
+    /// `add_mesh` registers every vertex in the coordinate index, which is
+    /// always safe, just slower.
+    pub fn add_mesh_spliced(&mut self, mesh: &Mesh) {
+        let n = mesh.num_vertices();
+        self.local_map.clear();
+        self.local_map.resize(n, UNRESOLVED);
+        self.shared_mark.clear();
+        self.shared_mark.resize(n, false);
+        // Pass 1: mark the shared-vertex frontier. Marking commutes, so
+        // the constraint set's hash-random iteration order cannot leak
+        // into the merged vertex order (two identical runs must produce
+        // bitwise-identical vertex arrays).
+        for (a, b) in mesh.constrained_edges() {
+            self.shared_mark[a as usize] = true;
+            self.shared_mark[b as usize] = true;
+        }
+        // Pass 2: triangles, in deterministic live order.
+        for t in mesh.live_triangles() {
+            let tri = mesh.triangles[t as usize];
+            let mut g = [0u32; 3];
+            for (k, &v) in tri.iter().enumerate() {
+                let cur = self.local_map[v as usize];
+                g[k] = if cur != UNRESOLVED {
+                    cur
+                } else {
+                    let m = if self.shared_mark[v as usize] {
+                        self.resolve_shared(mesh, v)
+                    } else {
+                        self.resolve_private(mesh, v)
+                    };
+                    self.local_map[v as usize] = m;
+                    m
+                };
+            }
+            self.triangles.push(g);
+        }
+        // Pass 3: constrained edges. Endpoints referenced by no live
+        // triangle (possible after carving) resolve here — order within
+        // this pass only affects the constraint list, whose consumer is
+        // itself a set.
+        for (a, b) in mesh.constrained_edges() {
+            for v in [a, b] {
+                if self.local_map[v as usize] == UNRESOLVED {
+                    let m = self.resolve_shared(mesh, v);
+                    self.local_map[v as usize] = m;
+                }
+            }
+            self.constrained
+                .push((self.local_map[a as usize], self.local_map[b as usize]));
         }
     }
 
@@ -238,6 +396,98 @@ mod tests {
             check_conformity(&mesh),
             "edge statistics must be preserved"
         );
+    }
+
+    #[test]
+    fn negative_zero_interface_points_dedup() {
+        // Regression: interface points on a y = 0 chord can arrive as
+        // -0.0 from one subdomain and +0.0 from the other (mirrored
+        // marching). Keying the dedup table on raw `to_bits` split them
+        // into two vertices and broke conformity.
+        let above =
+            Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let below = Mesh::from_triangles(
+            vec![p(1.0, -0.0), p(-0.0, -0.0), p(0.5, -1.0)],
+            vec![[0, 1, 2]],
+        );
+        let mut m = MeshMerger::new();
+        m.add_mesh(&above);
+        m.add_mesh(&below);
+        let merged = m.finish();
+        assert_eq!(merged.num_vertices(), 4, "-0.0 twins must collapse");
+        assert_eq!(merged.num_triangles(), 2);
+        // The surviving coordinates are the normalized ones.
+        for v in &merged.vertices {
+            assert_ne!(v.x.to_bits(), (-0.0f64).to_bits());
+            assert_ne!(v.y.to_bits(), (-0.0f64).to_bits());
+        }
+        let conf = check_conformity(&merged);
+        assert_eq!(conf.interior_edges, 1);
+    }
+
+    #[test]
+    fn spliced_merge_dedups_by_stamp() {
+        // Two stamped triangles sharing an edge: the shared vertices carry
+        // equal global ids and must collapse without any constraint marks.
+        let mut left =
+            Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        left.stamp_prefix(&[0, 1, 2].map(GlobalVertexId));
+        let mut right = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(0.5, -1.0), p(1.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        right.stamp_prefix(&[0, 3, 1].map(GlobalVertexId));
+        let mut m = MeshMerger::with_capacity(4, 4, 2);
+        m.add_mesh_spliced(&left);
+        m.add_mesh_spliced(&right);
+        let merged = m.finish();
+        assert_eq!(merged.num_vertices(), 4);
+        assert_eq!(merged.num_triangles(), 2);
+        merged.check_consistency();
+        assert_eq!(check_conformity(&merged).interior_edges, 1);
+    }
+
+    #[test]
+    fn spliced_merge_cross_registers_stamped_and_coordinate_identities() {
+        // One subdomain resolved its interface by stamps, the other is an
+        // anonymous mesh whose interface edge is constrained. Whichever
+        // order they arrive in, the interface must collapse.
+        for flip in [false, true] {
+            let mut stamped =
+                Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+            stamped.stamp_prefix(&[10, 11, 12].map(GlobalVertexId));
+            stamped.constrain_edge(0, 1); // the interface edge
+            let mut anon = Mesh::from_triangles(
+                vec![p(0.0, 0.0), p(0.5, -1.0), p(1.0, 0.0)],
+                vec![[0, 1, 2]],
+            );
+            anon.constrain_edge(0, 2);
+            let mut m = MeshMerger::new();
+            if flip {
+                m.add_mesh_spliced(&anon);
+                m.add_mesh_spliced(&stamped);
+            } else {
+                m.add_mesh_spliced(&stamped);
+                m.add_mesh_spliced(&anon);
+            }
+            let merged = m.finish();
+            assert_eq!(merged.num_vertices(), 4, "flip={flip}");
+            assert_eq!(check_conformity(&merged).interior_edges, 1);
+        }
+    }
+
+    #[test]
+    fn spliced_private_vertices_never_alias() {
+        // Interior (unstamped, unconstrained) vertices append blindly:
+        // two coincident interior points from different meshes must NOT
+        // merge — the decoupling invariant says they cannot be shared, so
+        // aliasing them would corrupt genuinely disjoint subdomains.
+        let a = Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let b = Mesh::from_triangles(vec![p(5.0, 0.0), p(6.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let mut m = MeshMerger::new();
+        m.add_mesh_spliced(&a);
+        m.add_mesh_spliced(&b);
+        assert_eq!(m.finish().num_vertices(), 6);
     }
 
     #[test]

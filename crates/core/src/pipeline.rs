@@ -7,7 +7,9 @@
 
 use crate::blmesh::{mesh_boundary_layer, BlMesh};
 use crate::config::MeshConfig;
-use crate::inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region};
+use crate::inviscid::{
+    build_sizing, mesh_inviscid, refine_nearbody, refine_nearbody_stamped, refine_region,
+};
 use crate::merge::{check_conformity, MeshMerger};
 use crate::tasklog::{TaskKind, TaskLog};
 use adm_blayer::build_multielement_layers;
@@ -15,6 +17,7 @@ use adm_decouple::{initial_quadrants, Region};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
+use adm_kernel::{GlobalVertexId, MeshArena};
 use adm_mpirt::{
     run_rank_dynamic_traced, BalancerConfig, Comm, Src, ThreadedTransport, Transport,
     TransportClock, WorkItem, WorkQueue,
@@ -118,11 +121,19 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
             .map(|m| m.num_triangles())
             .sum::<usize>();
     let mesh = log.measure(TaskKind::Merge, 0, || {
-        let mut merger = MeshMerger::new();
-        merger.add_mesh(&bl.mesh);
-        merger.add_mesh(&inviscid.nearbody);
+        let est_verts = bl.mesh.num_vertices()
+            + inviscid.nearbody.num_vertices()
+            + inviscid
+                .subdomain_meshes
+                .iter()
+                .map(|m| m.num_vertices())
+                .sum::<usize>();
+        let mut merger =
+            MeshMerger::with_capacity(bl.arena.len(), est_verts, bl_triangles + inviscid_triangles);
+        merger.add_mesh_spliced(&bl.mesh);
+        merger.add_mesh_spliced(&inviscid.nearbody);
         for m in &inviscid.subdomain_meshes {
-            merger.add_mesh(m);
+            merger.add_mesh_spliced(m);
         }
         let mesh = merger.finish();
         check_conformity(&mesh);
@@ -148,6 +159,26 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
     }
 }
 
+/// Read-only geometry shared by every rank and task: the arena that
+/// minted all global vertex ids, plus the id-annotated interface loops.
+/// Frozen behind one `Arc` at setup — tasks and workers borrow it instead
+/// of carrying cloned `Vec<Vec<Point2>>` copies of the borders, seeds,
+/// and near-body rectangle.
+struct SharedGeom {
+    /// Minted from the BL cloud then the near-body rectangle; frozen.
+    arena: MeshArena,
+    /// Near-body outer rectangle border.
+    rect: Vec<Point2>,
+    /// Arena ids of `rect`.
+    rect_ids: Vec<GlobalVertexId>,
+    /// Outer border loop of each element's boundary layer.
+    outer_borders: Vec<Vec<Point2>>,
+    /// Arena ids of each loop of `outer_borders`.
+    outer_border_ids: Vec<Vec<GlobalVertexId>>,
+    /// Hole seeds (one point strictly inside each element).
+    hole_seeds: Vec<Point2>,
+}
+
 /// A transferable meshing task for the parallel driver. Decomposition
 /// and decoupling are tasks themselves: a split pushes its children back
 /// into the queue, from where the balancer may ship them to other ranks —
@@ -162,13 +193,8 @@ enum TaskBody {
     Bl(Box<Subdomain>),
     /// Decouple-or-refine one inviscid region.
     Region { region: Box<Region>, est: u64 },
-    /// Refine the near-body subdomain.
-    NearBody {
-        rect: Vec<Point2>,
-        holes: Vec<Vec<Point2>>,
-        seeds: Vec<Point2>,
-        est: u64,
-    },
+    /// Refine the near-body subdomain (geometry in [`SharedGeom`]).
+    NearBody { est: u64 },
 }
 
 /// A task plus its position in the task tree. `path` is the sequence of
@@ -251,8 +277,17 @@ pub fn generate_parallel_with(
         layers
     };
     let hole_seeds = config.pslg.hole_seeds();
-    let cloud: Vec<Point2> = layers.iter().flat_map(|l| l.all_points()).collect();
-    let outer_borders: Vec<Vec<Point2>> = layers.iter().map(|l| l.outer_border()).collect();
+    let cloud: Vec<Point2> = layers
+        .iter()
+        .flat_map(|l| l.all_points())
+        .copied()
+        .collect();
+    let outer_borders: Vec<Vec<Point2>> =
+        layers.iter().map(|l| l.outer_border().to_vec()).collect();
+    // Mint the global vertex ids: the whole BL cloud first (matching the
+    // arena the sequential path builds), the near-body rectangle after.
+    let mut arena = MeshArena::with_capacity(cloud.len() + 64);
+    let cloud_ids = arena.intern_all(&cloud);
     let sizing = build_sizing(
         &outer_borders,
         config.effective_sizing_h0(),
@@ -271,24 +306,32 @@ pub fn generate_parallel_with(
     let threshold =
         crate::inviscid::decouple_threshold(&init.quadrants, config.inviscid_subdomains, &sizing);
     let nearbody_border = init.nearbody_border.clone();
+    let rect_ids = arena.intern_all(&nearbody_border);
+    let outer_border_ids: Vec<Vec<GlobalVertexId>> =
+        outer_borders.iter().map(|b| arena.ids_of(b)).collect();
+    let shared = Arc::new(SharedGeom {
+        arena,
+        rect: nearbody_border,
+        rect_ids,
+        outer_borders,
+        outer_border_ids,
+        hole_seeds,
+    });
 
     // Seed tasks: the undecomposed BL root, the four quadrants, and the
     // near-body region. Everything else is created dynamically.
     let bl_params = DecomposeParams::for_subdomain_count(config.bl_subdomains);
     let mut seed_bodies: Vec<TaskBody> = Vec::new();
-    seed_bodies.push(TaskBody::Bl(Box::new(Subdomain::root(&cloud))));
+    seed_bodies.push(TaskBody::Bl(Box::new(Subdomain::root_with_ids(
+        &cloud, &cloud_ids,
+    ))));
     for q in init.quadrants.iter() {
         seed_bodies.push(TaskBody::Region {
             est: q.estimated_triangles(&sizing) as u64,
             region: Box::new(q.clone()),
         });
     }
-    seed_bodies.push(TaskBody::NearBody {
-        rect: nearbody_border,
-        holes: outer_borders.clone(),
-        seeds: hole_seeds.clone(),
-        est: 4096,
-    });
+    seed_bodies.push(TaskBody::NearBody { est: 4096 });
     let seed_tasks: Vec<Task> = seed_bodies
         .into_iter()
         .enumerate()
@@ -317,6 +360,7 @@ pub fn generate_parallel_with(
             comm.size() + 1,
         ));
         let sizing = sizing.clone();
+        let shared = shared.clone();
         let comm_ref = &comm;
         let tr = tracer_ref.clone();
         let (outs, _stats) = run_rank_dynamic_traced(
@@ -393,15 +437,19 @@ pub fn generate_parallel_with(
                             TaskOutKind::SubMesh(Box::new(mesh))
                         }
                     }
-                    TaskBody::NearBody {
-                        rect, holes, seeds, ..
-                    } => {
+                    TaskBody::NearBody { .. } => {
                         let span = tr.span(rank_track, TaskKind::NearBodyRefine.span_name());
-                        let (mesh, rstats) =
-                            refine_nearbody(&rect, &holes, &seeds, sizing.as_ref());
+                        let (mesh, rstats) = refine_nearbody_stamped(
+                            &shared.rect,
+                            &shared.rect_ids,
+                            &shared.outer_borders,
+                            &shared.outer_border_ids,
+                            &shared.hole_seeds,
+                            sizing.as_ref(),
+                        );
                         rstats.publish(&tr);
                         span.close_with(&[
-                            ("bytes", (rect.len() * 16) as u64),
+                            ("bytes", (shared.rect.len() * 16) as u64),
                             ("triangles", mesh.num_triangles() as u64),
                         ]);
                         TaskOutKind::SubMesh(Box::new(mesh))
@@ -454,14 +502,18 @@ pub fn generate_parallel_with(
             TaskOutKind::Nothing => {}
         }
     }
-    let mut bl_mesh = Mesh::from_triangles(cloud.clone(), all_tris);
-    let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
-    for (i, p) in cloud.iter().enumerate() {
-        id_of
-            .entry((p.x.to_bits(), p.y.to_bits()))
-            .or_insert(i as u32);
-    }
-    let lookup = |p: Point2| -> u32 { id_of[&(p.x.to_bits(), p.y.to_bits())] };
+    // The BL vertex array is the arena's canonical point list: leaf tasks
+    // emitted arena-id triples, so no coordinate-bit rebuild happens here.
+    let arena = &shared.arena;
+    let mut bl_mesh = Mesh::from_triangles(arena.points().to_vec(), all_tris);
+    let prefix: Vec<GlobalVertexId> = (0..arena.len() as u32).map(GlobalVertexId).collect();
+    bl_mesh.stamp_prefix(&prefix);
+    let lookup = |p: Point2| -> u32 {
+        arena
+            .id_of(p)
+            .expect("border point missing from cloud")
+            .raw()
+    };
     for l in &layers {
         let s = &l.surface;
         for i in 0..s.len() {
@@ -480,18 +532,21 @@ pub fn generate_parallel_with(
             }
         }
     }
-    adm_delaunay::cdt::carve(&mut bl_mesh, &hole_seeds);
+    adm_delaunay::cdt::carve(&mut bl_mesh, &shared.hole_seeds);
     // Interface repair (same as the sequential path).
     for m in &sub_meshes {
-        crate::inviscid::propagate_interface_splits(&mut bl_mesh, m, &outer_borders);
+        crate::inviscid::propagate_interface_splits(&mut bl_mesh, m, &shared.outer_borders);
     }
 
     let bl_triangles = bl_mesh.num_triangles();
     let inviscid_triangles: usize = sub_meshes.iter().map(|m| m.num_triangles()).sum();
-    let mut merger = MeshMerger::new();
-    merger.add_mesh(&bl_mesh);
+    let est_verts =
+        bl_mesh.num_vertices() + sub_meshes.iter().map(|m| m.num_vertices()).sum::<usize>();
+    let mut merger =
+        MeshMerger::with_capacity(arena.len(), est_verts, bl_triangles + inviscid_triangles);
+    merger.add_mesh_spliced(&bl_mesh);
     for m in &sub_meshes {
-        merger.add_mesh(m);
+        merger.add_mesh_spliced(m);
     }
     let mesh = merger.finish();
     check_conformity(&mesh);
@@ -555,9 +610,13 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
     });
     let mut bl = bl;
     crate::inviscid::propagate_interface_splits(&mut bl.mesh, &inviscid, &bl.outer_borders);
-    let mut merger = MeshMerger::new();
-    merger.add_mesh(&bl.mesh);
-    merger.add_mesh(&inviscid);
+    let mut merger = MeshMerger::with_capacity(
+        bl.arena.len(),
+        bl.mesh.num_vertices() + inviscid.num_vertices(),
+        bl.mesh.num_triangles() + inviscid.num_triangles(),
+    );
+    merger.add_mesh_spliced(&bl.mesh);
+    merger.add_mesh_spliced(&inviscid);
     let mesh = merger.finish();
     root.close();
     let stats = PipelineStats {

@@ -1,0 +1,205 @@
+//! The global-id invariant, end to end at the merge layer: decomposing a
+//! cloud with *any* cut sequence, triangulating the leaves independently,
+//! and splicing the per-leaf meshes back together by arena identity must
+//! reproduce the direct (undecomposed) triangulation byte for byte.
+//!
+//! This is the identity twin of the decoupling property: the coordinate
+//! version is covered by the partition crate's own tests; here the leaves
+//! are re-packaged as standalone stamped meshes so the only thing holding
+//! the reassembly together is [`GlobalVertexId`].
+
+use adm_core::{sha256_hex, MeshMerger};
+use adm_delaunay::io::write_ascii_canonical;
+use adm_delaunay::mesh::Mesh;
+use adm_geom::point::Point2;
+use adm_kernel::{GlobalVertexId, MeshArena};
+use adm_partition::{triangulate_leaf, CutAxis, Subdomain};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn mesh_sha(mesh: &Mesh) -> String {
+    let mut buf = Vec::new();
+    write_ascii_canonical(mesh, &mut buf).expect("in-memory write");
+    sha256_hex(&buf)
+}
+
+/// Random general-position cloud. Degenerate configurations are kept out
+/// on purpose: on a cocircular grid the Delaunay diagonal choice is
+/// legitimately ambiguous (see the partition crate's own grid test), and
+/// several points collinear on a median cut line break the dividing-path
+/// construction the same way — neither is a merge-layer property. Corner
+/// anchors pin a non-degenerate hull; they are deliberately *asymmetric*,
+/// because a mirror-symmetric pair puts a circumcenter exactly on a
+/// `y = 0` median cut, where the circumcenter side rule's tie-break can
+/// legitimately strand a triangle whose third vertex went to the other
+/// leaf. One point lands exactly on the x-axis and is emitted twice, as
+/// `y = -0.0` and `y = 0.0`: an exact duplicate up to zero sign, so
+/// canonical interning and dedup are exercised (and that point can become
+/// a `-0.0` median) without creating any symmetric degeneracy.
+fn cloud_strategy() -> impl Strategy<Value = Vec<Point2>> {
+    (
+        proptest::collection::vec((-4.9f64..4.9, -4.9f64..4.9), 24..96),
+        -4.9f64..4.9,
+    )
+        .prop_map(|(cells, dup_x)| {
+            let mut pts: Vec<Point2> = cells.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            pts.push(Point2::new(dup_x, -0.0));
+            pts.push(Point2::new(dup_x, 0.0));
+            pts.extend([
+                Point2::new(-5.1, -4.7),
+                Point2::new(5.2, -5.3),
+                Point2::new(5.0, 4.9),
+                Point2::new(-4.8, 5.1),
+            ]);
+            pts
+        })
+}
+
+/// Splits every current subdomain along each axis in `axes` in turn
+/// (skipping pieces too small to split), i.e. a caller-chosen cut
+/// sequence instead of [`adm_partition::decompose`]'s heuristic.
+fn split_by_axes(root: Subdomain, axes: &[CutAxis]) -> Vec<Subdomain> {
+    let mut subs = vec![root];
+    for &axis in axes {
+        let mut next = Vec::with_capacity(subs.len() * 2);
+        for mut s in subs {
+            if s.len() > 12 {
+                let (lo, hi, _path) = s.split(axis);
+                next.push(lo);
+                next.push(hi);
+            } else {
+                next.push(s);
+            }
+        }
+        subs = next;
+    }
+    subs
+}
+
+/// Triangulates the leaves and splices them through a [`MeshMerger`] as
+/// standalone stamped meshes (each leaf's triangles remapped to local
+/// indices, every local vertex stamped with its arena id).
+fn merge_leaves(arena: &MeshArena, leaves: &[Subdomain]) -> Mesh {
+    let mut seen: HashSet<[u32; 3]> = HashSet::new();
+    let mut merger = MeshMerger::with_capacity(arena.len(), arena.len(), 4 * arena.len());
+    for leaf in leaves {
+        let mut gmap: HashMap<u32, u32> = HashMap::new();
+        let mut pts: Vec<Point2> = Vec::new();
+        let mut local_tris: Vec<[u32; 3]> = Vec::new();
+        for t in triangulate_leaf(leaf) {
+            let mut key = t;
+            key.sort_unstable();
+            // The rare all-path triangle satisfies both siblings' filters;
+            // keep the first copy, exactly as the pipeline's merge does.
+            if !seen.insert(key) {
+                continue;
+            }
+            let mut lt = [0u32; 3];
+            for (k, &g) in t.iter().enumerate() {
+                lt[k] = *gmap.entry(g).or_insert_with(|| {
+                    pts.push(arena.point(GlobalVertexId(g)));
+                    (pts.len() - 1) as u32
+                });
+            }
+            local_tris.push(lt);
+        }
+        if local_tris.is_empty() {
+            continue;
+        }
+        let mut m = Mesh::from_triangles(pts, local_tris);
+        for (&g, &l) in &gmap {
+            m.stamp_vertex(l, GlobalVertexId(g));
+        }
+        merger.add_mesh_spliced(&m);
+    }
+    merger.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decompose → mesh → merge is sha256-identical to the direct
+    /// triangulation for random clouds and random cut sequences.
+    #[test]
+    fn spliced_merge_reproduces_direct_triangulation(
+        cloud in cloud_strategy(),
+        axes in proptest::collection::vec(any::<bool>(), 1..4),
+    ) {
+        let axes: Vec<CutAxis> = axes
+            .into_iter()
+            .map(|b| if b { CutAxis::X } else { CutAxis::Y })
+            .collect();
+
+        let mut arena = MeshArena::with_capacity(cloud.len());
+        let ids = arena.intern_all(&cloud);
+
+        // Direct path: one leaf, no cuts, so the circumcenter filter
+        // keeps everything (the same degenerate-triangle policy applies
+        // to both paths because both go through `triangulate_leaf`).
+        let direct_tris = triangulate_leaf(&Subdomain::root_with_ids(&cloud, &ids));
+        prop_assume!(!direct_tris.is_empty());
+        let direct = Mesh::from_triangles(arena.points().to_vec(), direct_tris);
+        let direct_sha = mesh_sha(&direct);
+
+        let leaves = split_by_axes(Subdomain::root_with_ids(&cloud, &ids), &axes);
+        let merged = merge_leaves(&arena, &leaves);
+        prop_assert_eq!(mesh_sha(&merged), direct_sha);
+    }
+}
+
+/// Two identical spliced merges must agree on the *raw* vertex array, not
+/// just the canonical digest: hash-set iteration order (randomized per
+/// instance) must never leak into the merged vertex order. Regression
+/// test for the `push_button_determinism` failure mode.
+#[test]
+fn spliced_merge_vertex_order_is_deterministic() {
+    let cloud: Vec<Point2> = (0..14)
+        .flat_map(|i| (0..14).map(move |j| Point2::new(i as f64 * 0.7, j as f64 * 0.7)))
+        .collect();
+    let run = || {
+        let mut arena = MeshArena::with_capacity(cloud.len());
+        let ids = arena.intern_all(&cloud);
+        let leaves = split_by_axes(
+            Subdomain::root_with_ids(&cloud, &ids),
+            &[CutAxis::Y, CutAxis::X],
+        );
+        // Constrain a handful of edges in each leaf mesh so the
+        // shared-frontier (hash-ordered) pass actually runs.
+        let mut seen: HashSet<[u32; 3]> = HashSet::new();
+        let mut merger = MeshMerger::with_capacity(arena.len(), arena.len(), 4 * arena.len());
+        for leaf in &leaves {
+            let mut gmap: HashMap<u32, u32> = HashMap::new();
+            let mut pts: Vec<Point2> = Vec::new();
+            let mut local_tris: Vec<[u32; 3]> = Vec::new();
+            for t in triangulate_leaf(leaf) {
+                let mut key = t;
+                key.sort_unstable();
+                if !seen.insert(key) {
+                    continue;
+                }
+                let mut lt = [0u32; 3];
+                for (k, &g) in t.iter().enumerate() {
+                    lt[k] = *gmap.entry(g).or_insert_with(|| {
+                        pts.push(arena.point(GlobalVertexId(g)));
+                        (pts.len() - 1) as u32
+                    });
+                }
+                local_tris.push(lt);
+            }
+            let mut m = Mesh::from_triangles(pts, local_tris);
+            for (&g, &l) in &gmap {
+                m.stamp_vertex(l, GlobalVertexId(g));
+            }
+            for t in m.live_triangles().take(8).collect::<Vec<_>>() {
+                let (a, b) = m.edge_vertices(t, 0);
+                m.constrain_edge(a, b);
+            }
+            merger.add_mesh_spliced(&m);
+        }
+        merger.finish()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.vertices, b.vertices, "merged vertex order diverged");
+    assert_eq!(a.triangles, b.triangles, "merged triangle array diverged");
+}

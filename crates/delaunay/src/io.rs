@@ -7,6 +7,7 @@
 
 use crate::mesh::Mesh;
 use adm_geom::point::Point2;
+use adm_kernel::GlobalVertexId;
 use std::io::{self, BufRead, BufWriter, Read, Write};
 
 /// Writes the mesh as Triangle-style ASCII: a `.node` section then a
@@ -114,18 +115,39 @@ pub fn read_ascii<R: BufRead>(r: &mut R) -> io::Result<Mesh> {
     Ok(Mesh::from_triangles(vertices, tris))
 }
 
-const BINARY_MAGIC: &[u8; 8] = b"ADM2DM01";
+/// Version-1 binary magic: vertices + triangles only.
+const BINARY_MAGIC_V1: &[u8; 8] = b"ADM2DM01";
+/// Version-2 binary magic: v1 payload plus a per-vertex global-id table
+/// (raw [`GlobalVertexId`] values, `u32::MAX` = unstamped) between the
+/// vertex and triangle sections. Written only when the mesh carries
+/// stamps, so v1 readers keep working on unstamped meshes.
+const BINARY_MAGIC_V2: &[u8; 8] = b"ADM2DM02";
 
 /// Writes the mesh in the compact binary format (little-endian). The
-/// writer is buffered internally.
+/// writer is buffered internally. Meshes with arena identity stamps are
+/// written as version 2, which persists the stamps; unstamped meshes
+/// stay byte-identical to the original version-1 format.
 pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    w.write_all(BINARY_MAGIC)?;
+    let stamped = mesh.has_global_ids();
+    w.write_all(if stamped {
+        BINARY_MAGIC_V2
+    } else {
+        BINARY_MAGIC_V1
+    })?;
     w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
     w.write_all(&(mesh.num_triangles() as u64).to_le_bytes())?;
     for v in &mesh.vertices {
         w.write_all(&v.x.to_le_bytes())?;
         w.write_all(&v.y.to_le_bytes())?;
+    }
+    if stamped {
+        for v in 0..mesh.num_vertices() as u32 {
+            let raw = mesh
+                .global_id(v)
+                .map_or(GlobalVertexId::NONE_RAW, |g| g.raw());
+            w.write_all(&raw.to_le_bytes())?;
+        }
     }
     for t in mesh.live_triangles() {
         for &vi in &mesh.triangles[t as usize] {
@@ -135,13 +157,15 @@ pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads a mesh in the binary format written by [`write_binary`].
+/// Reads a mesh in either binary version written by [`write_binary`].
 pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-    }
+    let version = match &magic {
+        m if m == BINARY_MAGIC_V1 => 1,
+        m if m == BINARY_MAGIC_V2 => 2,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic")),
+    };
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
     let n = u64::from_le_bytes(buf8) as usize;
@@ -155,8 +179,16 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
         let y = f64::from_le_bytes(buf8);
         vertices.push(Point2::new(x, y));
     }
-    let mut tris = Vec::with_capacity(m);
     let mut buf4 = [0u8; 4];
+    let mut stamps = Vec::new();
+    if version >= 2 {
+        stamps.reserve(n);
+        for _ in 0..n {
+            r.read_exact(&mut buf4)?;
+            stamps.push(u32::from_le_bytes(buf4));
+        }
+    }
+    let mut tris = Vec::with_capacity(m);
     for _ in 0..m {
         let mut t = [0u32; 3];
         for slot in &mut t {
@@ -165,7 +197,13 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
         }
         tris.push(t);
     }
-    Ok(Mesh::from_triangles(vertices, tris))
+    let mut mesh = Mesh::from_triangles(vertices, tris);
+    for (v, &raw) in stamps.iter().enumerate() {
+        if raw != GlobalVertexId::NONE_RAW {
+            mesh.stamp_vertex(v as u32, GlobalVertexId(raw));
+        }
+    }
+    Ok(mesh)
 }
 
 /// Renders the mesh edges as an SVG document (for the qualitative figures).
@@ -284,6 +322,26 @@ mod tests {
         write_ascii(&mesh, &mut a).unwrap();
         write_binary(&mesh, &mut b).unwrap();
         assert!(b.len() < a.len());
+    }
+
+    #[test]
+    fn binary_v2_roundtrips_stamps() {
+        let mut mesh = sample_mesh();
+        mesh.stamp_vertex(0, GlobalVertexId(7));
+        mesh.stamp_vertex(3, GlobalVertexId(42));
+        let mut buf = Vec::new();
+        write_binary(&mesh, &mut buf).unwrap();
+        assert_eq!(&buf[..8], b"ADM2DM02");
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.vertices, mesh.vertices);
+        assert_eq!(back.global_id(0), Some(GlobalVertexId(7)));
+        assert_eq!(back.global_id(1), None);
+        assert_eq!(back.global_id(3), Some(GlobalVertexId(42)));
+        // Unstamped meshes keep the v1 header so older readers still work.
+        let plain = sample_mesh();
+        let mut buf1 = Vec::new();
+        write_binary(&plain, &mut buf1).unwrap();
+        assert_eq!(&buf1[..8], b"ADM2DM01");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use adm_geom::point::Point2;
 use adm_geom::predicates::{incircle, orient2d};
+use adm_kernel::GlobalVertexId;
 use std::collections::{HashMap, HashSet};
 
 /// Sentinel for "no neighbor" (mesh boundary).
@@ -150,6 +151,11 @@ pub struct Mesh {
     con: Vec<u8>,
     /// Constrained (fixed) edges as canonical vertex pairs.
     constrained: HashSet<(u32, u32)>,
+    /// Arena identity stamps per vertex (raw [`GlobalVertexId`] values,
+    /// [`GlobalVertexId::NONE_RAW`] = unstamped). May be *shorter* than
+    /// `vertices`: refinement Steiner points appended after stamping carry
+    /// no identity and simply fall off the end of this table.
+    global: Vec<u32>,
     pub(crate) scratch: InsertScratch,
 }
 
@@ -224,6 +230,42 @@ impl Mesh {
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.vertices.len()
+    }
+
+    /// Stamps vertex `v` with the arena identity `id`.
+    ///
+    /// Stamps assert the *global-id invariant*: the coordinates of `v`
+    /// are bitwise-identical (modulo `-0.0`) to the arena point behind
+    /// `id`, so any other stamped mesh containing the same coordinates
+    /// carries the same id. Vertices left unstamped (refinement Steiner
+    /// points) report `None` from [`Mesh::global_id`].
+    pub fn stamp_vertex(&mut self, v: u32, id: GlobalVertexId) {
+        if self.global.len() <= v as usize {
+            self.global.resize(v as usize + 1, GlobalVertexId::NONE_RAW);
+        }
+        self.global[v as usize] = id.raw();
+    }
+
+    /// Stamps vertices `0..ids.len()` with `ids` in order — the common
+    /// case where a mesh's vertex prefix is exactly its input point list.
+    pub fn stamp_prefix(&mut self, ids: &[GlobalVertexId]) {
+        for (v, &id) in ids.iter().enumerate() {
+            self.stamp_vertex(v as u32, id);
+        }
+    }
+
+    /// The arena identity of vertex `v`, if it was stamped.
+    #[inline]
+    pub fn global_id(&self, v: u32) -> Option<GlobalVertexId> {
+        match self.global.get(v as usize) {
+            Some(&raw) if raw != GlobalVertexId::NONE_RAW => Some(GlobalVertexId(raw)),
+            _ => None,
+        }
+    }
+
+    /// `true` when at least one vertex carries an arena identity stamp.
+    pub fn has_global_ids(&self) -> bool {
+        self.global.iter().any(|&g| g != GlobalVertexId::NONE_RAW)
     }
 
     /// `true` if triangle slot `t` is live.

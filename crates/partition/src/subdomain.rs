@@ -12,6 +12,7 @@
 use adm_geom::aabb::Aabb;
 use adm_geom::hull::lower_hull_indices_sorted;
 use adm_geom::point::Point2;
+use adm_kernel::GlobalVertexId;
 
 /// A boundary-layer vertex inside a subdomain.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,12 +87,39 @@ pub struct Subdomain {
 
 impl Subdomain {
     /// Builds the root subdomain from a point set (duplicates merged).
+    /// Vertex ids are positional indices into `points`.
     pub fn root(points: &[Point2]) -> Self {
-        let mut x_sorted: Vec<Vertex> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| Vertex::new(p, i as u32))
-            .collect();
+        Self::build_root(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Vertex::new(p, i as u32))
+                .collect(),
+        )
+    }
+
+    /// Builds the root subdomain where each vertex carries its arena
+    /// identity (`ids[i]` for `points[i]`) instead of a positional index,
+    /// so dividing-path vertices keep a stable global identity all the
+    /// way through decompose → mesh → merge. `ids` must come from one
+    /// arena interning of `points`, which guarantees duplicate
+    /// coordinates carry equal ids and the dedup below cannot lose
+    /// identity information.
+    pub fn root_with_ids(points: &[Point2], ids: &[GlobalVertexId]) -> Self {
+        assert_eq!(points.len(), ids.len(), "ids must parallel points");
+        Self::build_root(
+            points
+                .iter()
+                .zip(ids)
+                .map(|(&p, &id)| Vertex::new(p, id.raw()))
+                .collect(),
+        )
+    }
+
+    fn build_root(mut x_sorted: Vec<Vertex>) -> Self {
+        // Stable sort + first-of-run dedup keeps the lowest-index (or
+        // first-interned) duplicate — the same winner an arena's
+        // first-occurrence interning picks.
         x_sorted.sort_by(|a, b| a.pos.lex_cmp(b.pos));
         x_sorted.dedup_by(|a, b| a.pos == b.pos);
         let mut y_sorted = x_sorted.clone();
@@ -143,6 +171,13 @@ impl Subdomain {
     /// Number of internal (non-path) vertices.
     pub fn internal_count(&self) -> usize {
         self.x_sorted.iter().filter(|v| !v.boundary).count()
+    }
+
+    /// Ids of the vertices that lie on some dividing Delaunay path — the
+    /// interface set a merger must reconcile, everything else being
+    /// private to one subdomain.
+    pub fn boundary_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.x_sorted.iter().filter(|v| v.boundary).map(|v| v.id)
     }
 
     /// Chooses the cut axis: the median line runs parallel to the
@@ -348,6 +383,32 @@ mod tests {
             .y_sorted
             .windows(2)
             .all(|w| (w[0].pos.y, w[0].pos.x) <= (w[1].pos.y, w[1].pos.x)));
+    }
+
+    #[test]
+    fn root_with_ids_carries_arena_identity() {
+        let pts = vec![p(2.0, 0.0), p(0.0, 1.0), p(2.0, 0.0), p(1.0, -1.0)];
+        // Arena-style ids: the duplicate maps to the first occurrence.
+        let ids = [7u32, 3, 7, 9].map(GlobalVertexId);
+        let mut s = Subdomain::root_with_ids(&pts, &ids);
+        assert_eq!(s.len(), 3);
+        let mut got: Vec<u32> = s.x_sorted.iter().map(|v| v.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7, 9]);
+        // Splitting marks path vertices; boundary_ids reports exactly those.
+        let big = Subdomain::root_with_ids(
+            &grid(8, 8),
+            &(100..164).map(GlobalVertexId).collect::<Vec<_>>(),
+        );
+        let mut big = big;
+        let (_, _, path) = big.split(CutAxis::Y);
+        let mut from_path = path.clone();
+        from_path.sort_unstable();
+        let mut from_accessor: Vec<u32> = big.boundary_ids().collect();
+        from_accessor.sort_unstable();
+        assert_eq!(from_accessor, from_path);
+        assert!(from_path.iter().all(|&id| (100..164).contains(&id)));
+        let _ = s.split(CutAxis::X);
     }
 
     #[test]

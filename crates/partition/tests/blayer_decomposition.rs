@@ -35,7 +35,7 @@ fn boundary_layer_cloud_decomposes_into_128_subdomains() {
     let cloud = bl.all_points();
     assert!(cloud.len() > 2_000, "only {} points", cloud.len());
 
-    let root = Subdomain::root(&cloud);
+    let root = Subdomain::root(cloud);
     let d = decompose(root, &DecomposeParams::for_subdomain_count(128));
     assert!(
         d.leaves.len() >= 64 && d.leaves.len() <= 128,
@@ -46,7 +46,7 @@ fn boundary_layer_cloud_decomposes_into_128_subdomains() {
     // Independent triangulation + merge reproduces the exact global DT of
     // the anisotropic cloud.
     let merged = triangulate_all(&d.leaves);
-    let dc = triangulate_dc(&cloud, false);
+    let dc = triangulate_dc(cloud, false);
     let direct: Vec<[u32; 3]> = dc
         .triangles()
         .iter()
@@ -77,7 +77,7 @@ fn subdomain_costs_are_balanced() {
     );
     let cloud = bl.all_points();
     let d = decompose(
-        Subdomain::root(&cloud),
+        Subdomain::root(cloud),
         &DecomposeParams::for_subdomain_count(16),
     );
     let costs: Vec<u64> = d.leaves.iter().map(|l| l.cost()).collect();
