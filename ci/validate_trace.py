@@ -10,7 +10,11 @@ Checks, in order:
      disjoint or properly nested — a partial overlap means an enter/exit
      pair was lost;
   4. a root "pipeline" span exists and covers >= 95% of the run's wall
-     time (the span-coverage acceptance bar for the exporter).
+     time (the span-coverage acceptance bar for the exporter);
+  5. every "merge.node" span (one per internal node of the tree-parallel
+     merge reduction, on a per-worker lane) lies entirely inside some
+     "phase.merge" interval — merge work must never leak outside the
+     merge phase.
 
 Usage: validate_trace.py <trace.json> [--min-coverage 0.95]
 """
@@ -96,6 +100,21 @@ def main():
     for lane in lanes.values():
         check_balanced(lane)
 
+    merge_phases = [
+        (e["ts"], e["ts"] + e["dur"]) for e in complete if e["name"] == "phase.merge"
+    ]
+    merge_nodes = [e for e in complete if e["name"] == "merge.node"]
+    for e in merge_nodes:
+        start, end = e["ts"], e["ts"] + e["dur"]
+        if not any(
+            start >= p0 - 1e-9 and end <= p1 + 1e-9 for (p0, p1) in merge_phases
+        ):
+            fail(
+                f"merge.node span [{start}, {end}] on lane "
+                f"(pid {e['pid']}, tid {e['tid']}) lies outside every "
+                f"phase.merge interval"
+            )
+
     t0 = min(e["ts"] for e in complete)
     t1 = max(e["ts"] + e["dur"] for e in complete)
     wall = t1 - t0
@@ -113,6 +132,7 @@ def main():
         f"validate_trace: OK: {len(complete)} spans on {len(lanes)} lanes, "
         f"{len(other['counters'])} counters, "
         f"{len(other['histograms'])} histograms, "
+        f"{len(merge_nodes)} merge.node spans inside phase.merge, "
         f"root coverage {coverage:.1%}"
     )
 

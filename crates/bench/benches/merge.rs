@@ -15,14 +15,18 @@
 //! * `merge/spliced/interface_*` — interface size grows at a fixed
 //!   16k-vertex interior: the spliced hash work tracks this knob, which
 //!   is the one the decomposition actually bounds.
+//! * `merge/tree/threads_*` — the tree-parallel reduction over 8 stamped
+//!   tiles at pool widths 1/2/4/8: same bytes at every width, shrinking
+//!   wall clock.
 //!
 //! `bench_results/merge_baseline.json` records the medians.
 
-use adm_core::MeshMerger;
+use adm_core::{merge_tree_spliced, MeshMerger};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
-use adm_kernel::MeshArena;
-use adm_partition::{triangulate_leaf, Subdomain};
+use adm_kernel::{GlobalVertexId, MeshArena};
+use adm_mpirt::Pool;
+use adm_partition::{reduction_plan, triangulate_leaf, Subdomain};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 
@@ -98,9 +102,44 @@ fn bench_interface_sweep(c: &mut Criterion) {
     }
 }
 
+/// A disjoint translated copy of [`stamped_subdomain`] whose stamps are
+/// rebased by `id_offset`, so many tiles can share one conceptual arena
+/// without id collisions.
+fn stamped_tile(interior: usize, border: usize, seed: u64, tile: usize) -> Mesh {
+    let (mut mesh, arena_len) = stamped_subdomain(interior, border, seed);
+    let dx = 3.0 * tile as f64;
+    for p in &mut mesh.vertices {
+        p.x += dx;
+    }
+    let offset = (tile * arena_len) as u32;
+    let ids: Vec<GlobalVertexId> = (0..arena_len as u32)
+        .map(|i| GlobalVertexId(offset + i))
+        .collect();
+    mesh.stamp_prefix(&ids);
+    mesh
+}
+
+fn bench_tree_sweep(c: &mut Criterion) {
+    const TILES: usize = 8;
+    let meshes: Vec<Mesh> = (0..TILES)
+        .map(|t| stamped_tile(4_000, 64, 31 + t as u64, t))
+        .collect();
+    let refs: Vec<&Mesh> = meshes.iter().collect();
+    let paths: Vec<[u8; 2]> = (0..TILES as u16).map(|i| i.to_be_bytes()).collect();
+    let path_refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
+    let plan = reduction_plan(&path_refs);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        c.bench_function(format!("merge/tree/threads_{threads}").as_str(), |b| {
+            b.iter(|| std::hint::black_box(merge_tree_spliced(&refs, &plan, &pool, None)))
+        });
+    }
+}
+
 fn merge_benches(c: &mut Criterion) {
     bench_interior_sweep(c);
     bench_interface_sweep(c);
+    bench_tree_sweep(c);
 }
 
 criterion_group! {

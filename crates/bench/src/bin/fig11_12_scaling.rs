@@ -23,6 +23,8 @@ struct ScalingReport {
     tasks: usize,
     serial_fraction: f64,
     sequential_s: f64,
+    /// Measured merge time (tree-parallel in the modeled wall clock).
+    merge_s: f64,
     schedule: String,
     speedup: Series,
     efficiency: Series,
@@ -132,17 +134,33 @@ fn main() {
     //    owns a slice of the surface, paper SII.B): bl_s / p;
     //  * decomposition/decoupling -> modeled by the simulator's tree-
     //    distribution setup phase (measured time informs its constant);
-    //  * merge / output           -> excluded, like the paper's I/O (the
-    //    production mesh stays distributed across ranks);
+    //  * merge                    -> tree-parallel reduction over the
+    //    task tree: `p` ranks absorb pairs concurrently, bounded below
+    //    by the critical path (ceil(log2(T+1)) absorbs of ~merge_s/T
+    //    each over T merged meshes);
     //  * anything else            -> serial (Amdahl term).
     let serial_s = result.log.total_s(TaskKind::Serial) * scale;
     let bl_s = result.log.total_s(TaskKind::BlBuild) * scale;
     let decompose_s = result.log.total_s(TaskKind::Decompose) * scale;
+    let merge_s = result.log.total_s(TaskKind::Merge) * scale;
+    // Meshes entering the merge reduction: every refined subdomain plus
+    // the reassembled boundary-layer mesh.
+    let merged_meshes = result
+        .log
+        .parallel_tasks()
+        .iter()
+        .filter(|r| r.kind != TaskKind::BlTriangulate)
+        .count()
+        .max(1)
+        + 1;
+    let merge_depth = ((merged_meshes + 1) as f64).log2().ceil();
+    let merge_critical_s = merge_s * merge_depth / merged_meshes as f64;
+    let merge_tree_s = |p: usize| -> f64 { (merge_s / p as f64).max(merge_critical_s) };
     let task_s: f64 = tasks.iter().map(|t| t.cost_s).sum();
-    let sequential_s = serial_s + bl_s + task_s;
+    let sequential_s = serial_s + bl_s + task_s + merge_s;
     let amdahl = serial_s / sequential_s;
     eprintln!(
-        "[fig11/12] sequential {sequential_s:.3}s ({} tasks {task_s:.3}s, bl {bl_s:.3}s, decompose {decompose_s:.3}s, serial fraction {:.2}%)",
+        "[fig11/12] sequential {sequential_s:.3}s ({} tasks {task_s:.3}s, bl {bl_s:.3}s, decompose {decompose_s:.3}s, merge {merge_s:.3}s over {merged_meshes} meshes, serial fraction {:.2}%)",
         tasks.len(),
         100.0 * amdahl
     );
@@ -181,8 +199,9 @@ fn main() {
     for p in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let sim = simulate(p, &tasks, dist, &cfg);
         // Serial remainder runs once; the boundary-layer build is evenly
-        // parallel over ranks.
-        let wall = serial_s + bl_s / p as f64 + sim.makespan_s;
+        // parallel over ranks; the merge is a tree reduction capped by
+        // its critical path.
+        let wall = serial_s + bl_s / p as f64 + sim.makespan_s + merge_tree_s(p);
         let s = sequential_s / wall;
         let e = s / p as f64;
         println!(
@@ -203,6 +222,7 @@ fn main() {
         tasks: tasks.len(),
         serial_fraction: amdahl,
         sequential_s,
+        merge_s,
         schedule: format!("{schedule:?}"),
         speedup,
         efficiency,

@@ -14,7 +14,8 @@ use adm_delaunay::cdt::{carve, insert_constraint, CdtError};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
 use adm_kernel::{GlobalVertexId, MeshArena};
-use adm_partition::{decompose, triangulate_leaf, DecomposeParams, Subdomain};
+use adm_mpirt::Pool;
+use adm_partition::{decompose, triangulate_leaf_pooled, DecomposeParams, Subdomain};
 use std::sync::Arc;
 
 /// The meshed boundary layer.
@@ -39,11 +40,14 @@ pub struct BlMesh {
 ///
 /// `hole_seeds` are points strictly inside each element (airfoil
 /// interiors to carve). Per-leaf triangulation times are recorded in
-/// `log` as [`TaskKind::BlTriangulate`] tasks.
+/// `log` as [`TaskKind::BlTriangulate`] tasks. Each leaf's
+/// divide-and-conquer triangulation forks its top splits onto `pool`
+/// (inline when the pool has no workers — same bytes either way).
 pub fn mesh_boundary_layer(
     layers: &[BoundaryLayer],
     hole_seeds: &[Point2],
     target_subdomains: usize,
+    pool: &Pool,
     log: &mut TaskLog,
 ) -> Result<BlMesh, CdtError> {
     // Combined cloud (all elements), interned into the arena that mints
@@ -76,7 +80,7 @@ pub fn mesh_boundary_layer(
     for leaf in &leaves {
         let bytes = (leaf.len() * 16) as u64;
         let tris = log.measure(TaskKind::BlTriangulate, bytes, || {
-            let t = triangulate_leaf(leaf);
+            let t = triangulate_leaf_pooled(leaf, pool);
             let n = t.len() as u64;
             (t, n)
         });
@@ -155,7 +159,8 @@ mod tests {
         );
         let mut log = TaskLog::default();
         let seeds = domain.hole_seeds();
-        let out = mesh_boundary_layer(&[bl], &seeds, 16, &mut log).unwrap();
+        let pool = Pool::new(2);
+        let out = mesh_boundary_layer(&[bl], &seeds, 16, &pool, &mut log).unwrap();
         let mesh = &out.mesh;
         mesh.check_consistency();
         assert!(mesh.num_triangles() > 1000);
@@ -203,7 +208,8 @@ mod tests {
         );
         let mut log = TaskLog::default();
         let seeds = domain.hole_seeds();
-        let out = mesh_boundary_layer(&[bl], &seeds, 8, &mut log).unwrap();
+        let pool = Pool::new(0);
+        let out = mesh_boundary_layer(&[bl], &seeds, 8, &pool, &mut log).unwrap();
         let mesh = &out.mesh;
         let mut max_aspect = 0.0f64;
         for t in mesh.live_triangles() {

@@ -30,6 +30,25 @@ pub struct MeshConfig {
     pub bl_subdomains: usize,
     /// Target number of decoupled inviscid subdomains.
     pub inviscid_subdomains: usize,
+    /// Worker threads for the shared-memory pool (tree-parallel merge
+    /// and forked divide-and-conquer triangulation). `0` runs the pool
+    /// inline — still bitwise-identical output, just sequential.
+    pub merge_threads: usize,
+}
+
+/// Default pool width: the `ADM_MERGE_THREADS` environment variable if
+/// set (the CI matrix pins it), otherwise the machine's available
+/// parallelism capped at 8 — merge trees are shallow, so more workers
+/// only add steal traffic.
+pub fn default_merge_threads() -> usize {
+    if let Ok(v) = std::env::var("ADM_MERGE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
 }
 
 impl MeshConfig {
@@ -65,6 +84,7 @@ impl MeshConfig {
             nearbody_margin: 0.3,
             bl_subdomains: 32,
             inviscid_subdomains: 32,
+            merge_threads: default_merge_threads(),
         }
     }
 

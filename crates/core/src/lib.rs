@@ -17,11 +17,11 @@ pub mod pipeline;
 pub mod tasklog;
 
 pub use blmesh::{mesh_boundary_layer, BlMesh};
-pub use config::MeshConfig;
+pub use config::{default_merge_threads, MeshConfig};
 pub use distio::{read_distributed_merged, read_distributed_parts, write_distributed};
 pub use hash::{sha256_hex, Sha256};
 pub use inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region, InviscidMesh};
-pub use merge::{check_conformity, Conformity, MeshMerger};
+pub use merge::{check_conformity, merge_tree_spliced, Conformity, MeshMerger};
 pub use pipeline::{
     generate, generate_parallel, generate_parallel_with, generate_undecomposed, PipelineResult,
     PipelineStats,

@@ -18,12 +18,24 @@
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
 use adm_kernel::{canonical_bits, canonical_point, GlobalVertexId};
+use adm_mpirt::Pool;
+use adm_partition::ReductionNode;
+use adm_trace::{Tracer, Track};
 use std::collections::HashMap;
 
 /// Sentinel for "not yet resolved" in the dense id maps.
 const UNRESOLVED: u32 = u32::MAX;
 
 /// Accumulates subdomain meshes into one global mesh.
+///
+/// A merger is *associative over subtrees*: a merged intermediate keeps
+/// enough per-vertex identity metadata ([`MeshMerger::absorb`]'s replay
+/// classes) that splicing meshes `i..j` into their own merger and then
+/// absorbing that merger into one holding meshes `0..i` produces
+/// bitwise-identical state to splicing `0..j` sequentially. This is
+/// what lets the tree-parallel reduction ([`crate::merge_tree_spliced`])
+/// guarantee sha256-identical output to the sequential path-sorted
+/// fold.
 #[derive(Default)]
 pub struct MeshMerger {
     vertices: Vec<Point2>,
@@ -33,6 +45,15 @@ pub struct MeshMerger {
     index: HashMap<(u64, u64), u32>,
     /// Arena id -> merged vertex (the splicing path).
     global_map: Vec<u32>,
+    /// Per merged vertex: the first arena id registered to it
+    /// ([`UNRESOLVED`] if none). Replayed by [`MeshMerger::absorb`].
+    meta_gid: Vec<u32>,
+    /// Per merged vertex: `true` iff it was created through the
+    /// coordinate index (a shared / constrained-frontier vertex).
+    meta_shared: Vec<bool>,
+    /// Rare second-and-later arena ids cross-registered to a vertex
+    /// that already carries one (mixed stamp/coordinate interfaces).
+    extra_gids: Vec<(u32, u32)>,
     /// Per-call scratch: local vertex -> merged vertex.
     local_map: Vec<u32>,
     /// Per-call scratch: local vertex lies on a constrained edge.
@@ -57,6 +78,9 @@ impl MeshMerger {
             constrained: Vec::with_capacity(vertices / 2 + 16),
             index: HashMap::with_capacity(arena_len + vertices / 8 + 16),
             global_map: vec![UNRESOLVED; arena_len],
+            meta_gid: Vec::with_capacity(vertices),
+            meta_shared: Vec::with_capacity(vertices),
+            extra_gids: Vec::with_capacity(16),
             local_map: Vec::with_capacity(vertices),
             shared_mark: Vec::with_capacity(vertices),
         }
@@ -65,6 +89,8 @@ impl MeshMerger {
     fn vertex_id(&mut self, p: Point2) -> u32 {
         *self.index.entry(canonical_bits(p)).or_insert_with(|| {
             self.vertices.push(canonical_point(p));
+            self.meta_gid.push(UNRESOLVED);
+            self.meta_shared.push(true);
             (self.vertices.len() - 1) as u32
         })
     }
@@ -73,7 +99,27 @@ impl MeshMerger {
     fn push_vertex(&mut self, p: Point2) -> u32 {
         let id = self.vertices.len() as u32;
         self.vertices.push(canonical_point(p));
+        self.meta_gid.push(UNRESOLVED);
+        self.meta_shared.push(false);
         id
+    }
+
+    /// Registers `gid -> m` in the dense map (first registration wins,
+    /// matching the sequential resolve paths, which never overwrite a
+    /// hit) and records the id in the vertex's replayable metadata.
+    fn register_gid(&mut self, m: u32, gid: GlobalVertexId) {
+        let slot = self.global_slot(gid);
+        if self.global_map[slot] != UNRESOLVED {
+            return;
+        }
+        self.global_map[slot] = m;
+        let raw = gid.raw();
+        let meta = &mut self.meta_gid[m as usize];
+        if *meta == UNRESOLVED {
+            *meta = raw;
+        } else if *meta != raw {
+            self.extra_gids.push((m, raw));
+        }
     }
 
     #[inline]
@@ -100,7 +146,7 @@ impl MeshMerger {
                     return hit;
                 }
                 let m = self.vertex_id(p);
-                self.global_map[slot] = m;
+                self.register_gid(m, gid);
                 m
             }
             None => self.vertex_id(p),
@@ -120,7 +166,7 @@ impl MeshMerger {
                     return hit;
                 }
                 let m = self.push_vertex(p);
-                self.global_map[slot] = m;
+                self.register_gid(m, gid);
                 m
             }
             None => self.push_vertex(p),
@@ -209,6 +255,70 @@ impl MeshMerger {
         }
     }
 
+    /// Absorbs another merger, exactly as if `child`'s meshes had been
+    /// spliced into `self` directly, in the same order.
+    ///
+    /// This is the associativity primitive behind the tree-parallel
+    /// merge: every child vertex is *replayed* through the same
+    /// resolution class it was created with (stamped/unstamped ×
+    /// shared/private, recorded in `meta_gid`/`meta_shared`), so the
+    /// parent makes precisely the dedup decisions the sequential
+    /// left-fold would have made — including the negative ones (two
+    /// coincident private interior points still never alias), and
+    /// including the cross-registration of stamp and coordinate
+    /// identity. A stamped vertex already known to the parent (by id)
+    /// resolves to the parent's copy *without* touching the coordinate
+    /// index, matching the sequential early-return.
+    ///
+    /// Preconditions are the same as [`MeshMerger::add_mesh_spliced`]'s
+    /// (the decoupling invariant, one arena minting all ids); both
+    /// mergers must resolve ids against the same arena.
+    pub fn absorb(&mut self, child: MeshMerger) {
+        let MeshMerger {
+            vertices,
+            triangles,
+            constrained,
+            meta_gid,
+            meta_shared,
+            extra_gids,
+            ..
+        } = child;
+        let mut cmap: Vec<u32> = Vec::with_capacity(vertices.len());
+        for (i, &p) in vertices.iter().enumerate() {
+            let gid = meta_gid[i];
+            let m = if gid != UNRESOLVED {
+                let slot = self.global_slot(GlobalVertexId(gid));
+                let hit = self.global_map[slot];
+                if hit != UNRESOLVED {
+                    hit
+                } else {
+                    let m = if meta_shared[i] {
+                        self.vertex_id(p)
+                    } else {
+                        self.push_vertex(p)
+                    };
+                    self.register_gid(m, GlobalVertexId(gid));
+                    m
+                }
+            } else if meta_shared[i] {
+                self.vertex_id(p)
+            } else {
+                self.push_vertex(p)
+            };
+            cmap.push(m);
+        }
+        for (v, gid) in extra_gids {
+            self.register_gid(cmap[v as usize], GlobalVertexId(gid));
+        }
+        self.triangles
+            .extend(triangles.into_iter().map(|t| t.map(|v| cmap[v as usize])));
+        self.constrained.extend(
+            constrained
+                .into_iter()
+                .map(|(a, b)| (cmap[a as usize], cmap[b as usize])),
+        );
+    }
+
     /// Adds raw triangles over explicit points.
     pub fn add_triangles(&mut self, points: &[Point2], tris: &[[u32; 3]]) {
         for t in tris {
@@ -236,6 +346,65 @@ impl MeshMerger {
             mesh.constrain_edge(a, b);
         }
         mesh
+    }
+}
+
+/// Tree-parallel reduction of path-ordered subdomain meshes into one
+/// merger, scheduled by `plan` and executed on `pool`.
+///
+/// Leaves splice their mesh with [`MeshMerger::add_mesh_spliced`];
+/// each internal node [`MeshMerger::absorb`]s its right child into its
+/// left as soon as both are ready (forked via [`Pool::join`], so a
+/// sibling subtree can merge while this one is still triangulating its
+/// own join). Because the plan is in-order over `meshes` and `absorb`
+/// is exact, the result is bitwise-identical to the sequential
+/// left-fold `add_mesh_spliced(meshes[0]); ...; add_mesh_spliced
+/// (meshes[n-1])` — at every thread count, including the inline pool.
+///
+/// When `tracer` is given, every internal node emits a `merge.node`
+/// span on the [`Track::merge_worker`] lane of whichever pool worker
+/// performed it, with `lo`/`hi` args naming the covered task range.
+pub fn merge_tree_spliced(
+    meshes: &[&Mesh],
+    plan: &ReductionNode,
+    pool: &Pool,
+    tracer: Option<&Tracer>,
+) -> MeshMerger {
+    assert_eq!(plan.lo, 0, "plan must start at the first mesh");
+    assert_eq!(plan.hi, meshes.len(), "plan must cover every mesh");
+    reduce(meshes, plan, pool, tracer)
+}
+
+fn reduce(
+    meshes: &[&Mesh],
+    node: &ReductionNode,
+    pool: &Pool,
+    tracer: Option<&Tracer>,
+) -> MeshMerger {
+    match &node.children {
+        None => {
+            let slice = &meshes[node.lo..node.hi];
+            let verts: usize = slice.iter().map(|m| m.num_vertices()).sum();
+            let tris: usize = slice.iter().map(|m| m.num_triangles()).sum();
+            let mut merger = MeshMerger::with_capacity(0, verts + 16, tris + 16);
+            for mesh in slice {
+                merger.add_mesh_spliced(mesh);
+            }
+            merger
+        }
+        Some((l, r)) => {
+            let (mut a, b) = pool.join(
+                || reduce(meshes, l, pool, tracer),
+                || reduce(meshes, r, pool, tracer),
+            );
+            let span =
+                tracer.map(|t| t.span(Track::merge_worker(pool.current_lane()), "merge.node"));
+            a.absorb(b);
+            if let Some(s) = span {
+                s.close_with(&[("lo", node.lo as u64), ("hi", node.hi as u64)]);
+            }
+            a
+        }
     }
 }
 
@@ -488,6 +657,110 @@ mod tests {
         m.add_mesh_spliced(&a);
         m.add_mesh_spliced(&b);
         assert_eq!(m.finish().num_vertices(), 6);
+    }
+
+    /// Four meshes exercising every identity system the merger knows:
+    /// stamped+constrained, anonymous+constrained (coordinate
+    /// identity), a mesh that cross-registers a stamp onto a
+    /// coordinate-born vertex, and a second stamp for an
+    /// already-stamped coordinate (the `extra_gids` path).
+    fn mixed_identity_meshes() -> Vec<Mesh> {
+        let mut a =
+            Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        a.stamp_prefix(&[0, 1, 2].map(GlobalVertexId));
+        a.constrain_edge(0, 1);
+        let mut b = Mesh::from_triangles(
+            vec![p(0.0, 0.0), p(0.5, -1.0), p(1.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        b.constrain_edge(0, 2);
+        b.constrain_edge(1, 2);
+        let mut c = Mesh::from_triangles(
+            vec![p(1.0, 0.0), p(0.5, -1.0), p(2.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        c.stamp_prefix(&[1, 9, 7].map(GlobalVertexId));
+        c.constrain_edge(0, 1);
+        c.constrain_edge(1, 2);
+        let mut d = Mesh::from_triangles(
+            vec![p(2.0, 0.0), p(0.5, -1.0), p(3.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        // gid 42 for a coordinate whose merged vertex already carries
+        // gid 7 (from c): forces the extra_gids bookkeeping.
+        d.stamp_prefix(&[42, 9, 43].map(GlobalVertexId));
+        d.constrain_edge(0, 1);
+        vec![a, b, c, d]
+    }
+
+    fn fold_spliced(meshes: &[&Mesh]) -> Mesh {
+        let mut m = MeshMerger::new();
+        for mesh in meshes {
+            m.add_mesh_spliced(mesh);
+        }
+        m.finish()
+    }
+
+    #[test]
+    fn absorb_is_exact_against_sequential_fold() {
+        let meshes = mixed_identity_meshes();
+        let refs: Vec<&Mesh> = meshes.iter().collect();
+        let seq = fold_spliced(&refs);
+        for split in 1..refs.len() {
+            let (lhs, rhs) = refs.split_at(split);
+            let mut left = MeshMerger::new();
+            for m in lhs {
+                left.add_mesh_spliced(m);
+            }
+            let mut right = MeshMerger::new();
+            for m in rhs {
+                right.add_mesh_spliced(m);
+            }
+            left.absorb(right);
+            let got = left.finish();
+            assert_eq!(got.vertices, seq.vertices, "split={split}");
+            assert_eq!(got.triangles, seq.triangles, "split={split}");
+            assert_eq!(
+                got.num_constrained(),
+                seq.num_constrained(),
+                "split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_keeps_private_vertices_unaliased() {
+        // The negative dedup decision must survive absorption: two
+        // coincident *private* points in different subtrees still must
+        // not merge, because replay preserves the private class.
+        let a = Mesh::from_triangles(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let b = Mesh::from_triangles(vec![p(5.0, 0.0), p(6.0, 0.0), p(0.5, 1.0)], vec![[0, 1, 2]]);
+        let mut left = MeshMerger::new();
+        left.add_mesh_spliced(&a);
+        let mut right = MeshMerger::new();
+        right.add_mesh_spliced(&b);
+        left.absorb(right);
+        assert_eq!(left.finish().num_vertices(), 6);
+    }
+
+    #[test]
+    fn merge_tree_matches_sequential_fold_at_every_thread_count() {
+        let meshes = mixed_identity_meshes();
+        let refs: Vec<&Mesh> = meshes.iter().collect();
+        let seq = fold_spliced(&refs);
+        let paths: Vec<&[u8]> = vec![&[1], &[2], &[3], &[4]];
+        let plan = adm_partition::reduction_plan(&paths);
+        for threads in [0usize, 1, 2, 4] {
+            let pool = Pool::new(threads);
+            let got = merge_tree_spliced(&refs, &plan, &pool, None).finish();
+            assert_eq!(got.vertices, seq.vertices, "threads={threads}");
+            assert_eq!(got.triangles, seq.triangles, "threads={threads}");
+            assert_eq!(
+                got.num_constrained(),
+                seq.num_constrained(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::config::MeshConfig;
 use crate::inviscid::{
     build_sizing, mesh_inviscid, refine_nearbody, refine_nearbody_stamped, refine_region,
 };
-use crate::merge::{check_conformity, MeshMerger};
+use crate::merge::{check_conformity, merge_tree_spliced, MeshMerger};
 use crate::tasklog::{TaskKind, TaskLog};
 use adm_blayer::build_multielement_layers;
 use adm_decouple::{initial_quadrants, Region};
@@ -19,10 +19,10 @@ use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
 use adm_kernel::{GlobalVertexId, MeshArena};
 use adm_mpirt::{
-    run_rank_dynamic_traced, BalancerConfig, Comm, Src, ThreadedTransport, Transport,
+    run_rank_dynamic_traced, BalancerConfig, Comm, Pool, Src, ThreadedTransport, Transport,
     TransportClock, WorkItem, WorkQueue,
 };
-use adm_partition::{triangulate_leaf, DecomposeParams, Subdomain};
+use adm_partition::{reduction_plan, triangulate_leaf_pooled, DecomposeParams, Subdomain};
 use adm_trace::{Tracer, Track};
 use std::sync::Arc;
 
@@ -67,6 +67,10 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
     let t0 = tracer.now();
     let root = tracer.span(Track::ROOT, "pipeline");
     let mut log = TaskLog::with_tracer(tracer.clone(), Track::ROOT);
+    // Shared-memory worker pool: forks the per-leaf divide-and-conquer
+    // triangulations and the merge reduction tree. Output bytes are
+    // pool-width-independent (0 workers = inline).
+    let pool = Pool::new(config.merge_threads);
 
     // 1. Anisotropic boundary layers (§II.A-II.C).
     let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
@@ -79,8 +83,9 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
 
     // 2. Parallel-decomposed boundary-layer triangulation (§II.D).
     let hole_seeds = config.pslg.hole_seeds();
-    let bl: BlMesh = mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &mut log)
-        .expect("boundary-layer meshing failed");
+    let bl: BlMesh =
+        mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &pool, &mut log)
+            .expect("boundary-layer meshing failed");
 
     // 3. Graded decoupled inviscid region (§II.E).
     let sizing = build_sizing(
@@ -121,20 +126,17 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
             .map(|m| m.num_triangles())
             .sum::<usize>();
     let mesh = log.measure(TaskKind::Merge, 0, || {
-        let est_verts = bl.mesh.num_vertices()
-            + inviscid.nearbody.num_vertices()
-            + inviscid
-                .subdomain_meshes
-                .iter()
-                .map(|m| m.num_vertices())
-                .sum::<usize>();
-        let mut merger =
-            MeshMerger::with_capacity(bl.arena.len(), est_verts, bl_triangles + inviscid_triangles);
-        merger.add_mesh_spliced(&bl.mesh);
-        merger.add_mesh_spliced(&inviscid.nearbody);
-        for m in &inviscid.subdomain_meshes {
-            merger.add_mesh_spliced(m);
-        }
+        // Tree-parallel reduction in mesh-list order: a balanced in-order
+        // plan over an associative absorb is bitwise-identical to the old
+        // sequential left fold at any pool width.
+        let mut meshes: Vec<&Mesh> = Vec::with_capacity(2 + inviscid.subdomain_meshes.len());
+        meshes.push(&bl.mesh);
+        meshes.push(&inviscid.nearbody);
+        meshes.extend(inviscid.subdomain_meshes.iter());
+        let paths: Vec<[u8; 2]> = (0..meshes.len() as u16).map(|i| i.to_be_bytes()).collect();
+        let path_refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
+        let plan = reduction_plan(&path_refs);
+        let merger = merge_tree_spliced(&meshes, &plan, &pool, Some(&tracer));
         let mesh = merger.finish();
         check_conformity(&mesh);
         let n = mesh.num_triangles() as u64;
@@ -344,6 +346,16 @@ pub fn generate_parallel_with(
     let window = transport.window(ranks + 2);
     let seed_tasks = std::sync::Mutex::new(Some(seed_tasks));
     let sizing = Arc::new(sizing);
+    // Shared-memory worker pool for forked leaf triangulation and the
+    // root-side merge reduction. Virtual-time transports refuse worker
+    // threads (wall-clock workers would desynchronize the simulated
+    // clock), so the pool degrades to inline mode there — same bytes,
+    // replay-stable trace.
+    let pool = Arc::new(Pool::new(if transport.supports_worker_threads() {
+        config.merge_threads
+    } else {
+        0
+    }));
     setup.close();
 
     let par_span = tracer.span(Track::ROOT, "phase.parallel_mesh");
@@ -363,6 +375,7 @@ pub fn generate_parallel_with(
         let shared = shared.clone();
         let comm_ref = &comm;
         let tr = tracer_ref.clone();
+        let pool = pool.clone();
         let (outs, _stats) = run_rank_dynamic_traced(
             &comm,
             queue,
@@ -393,7 +406,7 @@ pub fn generate_parallel_with(
                             || leaf.internal_count() == 0;
                         if stop {
                             let span = tr.span(rank_track, TaskKind::BlTriangulate.span_name());
-                            let tris = triangulate_leaf(&leaf);
+                            let tris = triangulate_leaf_pooled(&leaf, &pool);
                             span.close_with(&[
                                 ("bytes", (leaf.len() * 16) as u64),
                                 ("triangles", tris.len() as u64),
@@ -486,7 +499,9 @@ pub fn generate_parallel_with(
     // then the sub-meshes.
     let mut all_tris: Vec<[u32; 3]> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    let mut sub_meshes: Vec<Mesh> = Vec::new();
+    // Sub-meshes keep their task path: the merge below reduces them over
+    // the task tree itself, so sibling subtrees can merge independently.
+    let mut sub_meshes: Vec<(Vec<u8>, Mesh)> = Vec::new();
     for out in all_outs {
         match out.kind {
             TaskOutKind::BlTris(tris) => {
@@ -498,7 +513,7 @@ pub fn generate_parallel_with(
                     }
                 }
             }
-            TaskOutKind::SubMesh(m) => sub_meshes.push(*m),
+            TaskOutKind::SubMesh(m) => sub_meshes.push((out.path, *m)),
             TaskOutKind::Nothing => {}
         }
     }
@@ -534,20 +549,30 @@ pub fn generate_parallel_with(
     }
     adm_delaunay::cdt::carve(&mut bl_mesh, &shared.hole_seeds);
     // Interface repair (same as the sequential path).
-    for m in &sub_meshes {
+    for (_, m) in &sub_meshes {
         crate::inviscid::propagate_interface_splits(&mut bl_mesh, m, &shared.outer_borders);
     }
 
     let bl_triangles = bl_mesh.num_triangles();
-    let inviscid_triangles: usize = sub_meshes.iter().map(|m| m.num_triangles()).sum();
-    let est_verts =
-        bl_mesh.num_vertices() + sub_meshes.iter().map(|m| m.num_vertices()).sum::<usize>();
-    let mut merger =
-        MeshMerger::with_capacity(arena.len(), est_verts, bl_triangles + inviscid_triangles);
-    merger.add_mesh_spliced(&bl_mesh);
-    for m in &sub_meshes {
-        merger.add_mesh_spliced(m);
+    let inviscid_triangles: usize = sub_meshes.iter().map(|(_, m)| m.num_triangles()).sum();
+    // Tree-parallel merge over the task tree. The BL mesh takes the
+    // conceptual path `[0]` (its seed task's slot, which only ever emits
+    // triangles, never a sub-mesh), so it sorts before every region and
+    // near-body result and the reduction's in-order fold equals the old
+    // sequential `add_mesh_spliced` sequence — bitwise.
+    const BL_PATH: &[u8] = &[0];
+    let mut meshes: Vec<&Mesh> = Vec::with_capacity(1 + sub_meshes.len());
+    let mut paths: Vec<&[u8]> = Vec::with_capacity(1 + sub_meshes.len());
+    meshes.push(&bl_mesh);
+    paths.push(BL_PATH);
+    for (p, m) in &sub_meshes {
+        meshes.push(m);
+        paths.push(p.as_slice());
     }
+    let plan = reduction_plan(&paths);
+    let steals_before = pool.steals();
+    let merger = merge_tree_spliced(&meshes, &plan, &pool, Some(&tracer));
+    tracer.count("merge.steals", pool.steals() - steals_before);
     let mesh = merger.finish();
     check_conformity(&mesh);
     merge_span.close_with(&[("triangles", mesh.num_triangles() as u64)]);
@@ -586,7 +611,9 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
     let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
     let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
     let hole_seeds = config.pslg.hole_seeds();
-    let bl = mesh_boundary_layer(&layers, &hole_seeds, 1, &mut log).expect("bl meshing failed");
+    let pool = Pool::new(config.merge_threads);
+    let bl =
+        mesh_boundary_layer(&layers, &hole_seeds, 1, &pool, &mut log).expect("bl meshing failed");
     let sizing = build_sizing(
         &bl.outer_borders,
         config.effective_sizing_h0(),
@@ -609,15 +636,22 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
         (mesh, n)
     });
     let mut bl = bl;
-    crate::inviscid::propagate_interface_splits(&mut bl.mesh, &inviscid, &bl.outer_borders);
-    let mut merger = MeshMerger::with_capacity(
-        bl.arena.len(),
-        bl.mesh.num_vertices() + inviscid.num_vertices(),
-        bl.mesh.num_triangles() + inviscid.num_triangles(),
-    );
-    merger.add_mesh_spliced(&bl.mesh);
-    merger.add_mesh_spliced(&inviscid);
-    let mesh = merger.finish();
+    // Measured under `phase.merge` (interface repair included, exactly as
+    // in [`generate`]) so the sequential-efficiency table can exclude
+    // merge symmetrically on both sides of its ratio.
+    let mesh = log.measure(TaskKind::Merge, 0, || {
+        crate::inviscid::propagate_interface_splits(&mut bl.mesh, &inviscid, &bl.outer_borders);
+        let mut merger = MeshMerger::with_capacity(
+            bl.arena.len(),
+            bl.mesh.num_vertices() + inviscid.num_vertices(),
+            bl.mesh.num_triangles() + inviscid.num_triangles(),
+        );
+        merger.add_mesh_spliced(&bl.mesh);
+        merger.add_mesh_spliced(&inviscid);
+        let mesh = merger.finish();
+        let n = mesh.num_triangles() as u64;
+        (mesh, n)
+    });
     root.close();
     let stats = PipelineStats {
         bl_points: bl.cloud_points,

@@ -8,12 +8,13 @@
 //! are re-packaged as standalone stamped meshes so the only thing holding
 //! the reassembly together is [`GlobalVertexId`].
 
-use adm_core::{sha256_hex, MeshMerger};
+use adm_core::{merge_tree_spliced, sha256_hex, MeshMerger};
 use adm_delaunay::io::write_ascii_canonical;
 use adm_delaunay::mesh::Mesh;
 use adm_geom::point::Point2;
 use adm_kernel::{GlobalVertexId, MeshArena};
-use adm_partition::{triangulate_leaf, CutAxis, Subdomain};
+use adm_mpirt::Pool;
+use adm_partition::{reduction_plan, triangulate_leaf, CutAxis, Subdomain};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -76,12 +77,13 @@ fn split_by_axes(root: Subdomain, axes: &[CutAxis]) -> Vec<Subdomain> {
     subs
 }
 
-/// Triangulates the leaves and splices them through a [`MeshMerger`] as
-/// standalone stamped meshes (each leaf's triangles remapped to local
-/// indices, every local vertex stamped with its arena id).
-fn merge_leaves(arena: &MeshArena, leaves: &[Subdomain]) -> Mesh {
+/// Triangulates the leaves and re-packages each as a standalone stamped
+/// mesh (triangles remapped to local indices, every local vertex stamped
+/// with its arena id). Leaves whose triangles were all claimed by an
+/// earlier sibling vanish, exactly as in the pipeline's merge.
+fn leaf_meshes(arena: &MeshArena, leaves: &[Subdomain]) -> Vec<Mesh> {
     let mut seen: HashSet<[u32; 3]> = HashSet::new();
-    let mut merger = MeshMerger::with_capacity(arena.len(), arena.len(), 4 * arena.len());
+    let mut out = Vec::new();
     for leaf in leaves {
         let mut gmap: HashMap<u32, u32> = HashMap::new();
         let mut pts: Vec<Point2> = Vec::new();
@@ -110,6 +112,15 @@ fn merge_leaves(arena: &MeshArena, leaves: &[Subdomain]) -> Mesh {
         for (&g, &l) in &gmap {
             m.stamp_vertex(l, GlobalVertexId(g));
         }
+        out.push(m);
+    }
+    out
+}
+
+/// Splices the leaves through one [`MeshMerger`] sequentially.
+fn merge_leaves(arena: &MeshArena, leaves: &[Subdomain]) -> Mesh {
+    let mut merger = MeshMerger::with_capacity(arena.len(), arena.len(), 4 * arena.len());
+    for m in leaf_meshes(arena, leaves) {
         merger.add_mesh_spliced(&m);
     }
     merger.finish()
@@ -144,6 +155,64 @@ proptest! {
         let leaves = split_by_axes(Subdomain::root_with_ids(&cloud, &ids), &axes);
         let merged = merge_leaves(&arena, &leaves);
         prop_assert_eq!(mesh_sha(&merged), direct_sha);
+    }
+
+    /// The tree-parallel merge is sha256-identical to the sequential
+    /// path-sorted fold under random join schedules: random reduction
+    /// tree shapes (random path keys group into random runs), random
+    /// pool widths (0 = inline through 4 workers), and whatever
+    /// completion order the work-stealing pool happens to produce.
+    #[test]
+    fn tree_parallel_merge_matches_sequential_fold(
+        cloud in cloud_strategy(),
+        axes in proptest::collection::vec(any::<bool>(), 1..4),
+        threads in 0usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let axes: Vec<CutAxis> = axes
+            .into_iter()
+            .map(|b| if b { CutAxis::X } else { CutAxis::Y })
+            .collect();
+        let mut arena = MeshArena::with_capacity(cloud.len());
+        let ids = arena.intern_all(&cloud);
+        let leaves = split_by_axes(Subdomain::root_with_ids(&cloud, &ids), &axes);
+        let meshes = leaf_meshes(&arena, &leaves);
+        prop_assume!(!meshes.is_empty());
+
+        // Sequential reference: the plain left fold.
+        let mut merger = MeshMerger::with_capacity(arena.len(), arena.len(), 4 * arena.len());
+        for m in &meshes {
+            merger.add_mesh_spliced(m);
+        }
+        let seq = merger.finish();
+
+        // Random strictly-increasing path keys: how they cluster by
+        // leading byte decides the reduction tree's shape.
+        let mut x = seed | 1;
+        let mut keys: Vec<u32> = (0..meshes.len())
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 40) as u32
+            })
+            .collect();
+        keys.sort_unstable();
+        for i in 1..keys.len() {
+            if keys[i] <= keys[i - 1] {
+                keys[i] = keys[i - 1] + 1;
+            }
+        }
+        let paths: Vec<[u8; 4]> = keys.iter().map(|k| k.to_be_bytes()).collect();
+        let path_refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
+        let plan = reduction_plan(&path_refs);
+
+        let refs: Vec<&Mesh> = meshes.iter().collect();
+        let pool = Pool::new(threads);
+        let got = merge_tree_spliced(&refs, &plan, &pool, None).finish();
+        prop_assert_eq!(&got.vertices, &seq.vertices);
+        prop_assert_eq!(&got.triangles, &seq.triangles);
+        prop_assert_eq!(mesh_sha(&got), mesh_sha(&seq));
     }
 }
 

@@ -38,6 +38,27 @@ pub struct DcTriangulation {
 /// lexicographic `(x, y)` order — the sort is skipped (duplicates are still
 /// removed). Exact duplicates are merged.
 pub fn triangulate_dc(input: &[Point2], assume_sorted: bool) -> DcTriangulation {
+    let (points, input_index) = prepare_input(input, assume_sorted);
+    let mut pool = EdgePool::with_capacity(3 * points.len() + 8);
+    let hull_edge = if points.len() >= 2 {
+        let (le, _re) = delaunay_rec(&mut pool, &points, 0, points.len());
+        Some(le)
+    } else {
+        None
+    };
+    DcTriangulation {
+        pool,
+        points,
+        input_index,
+        hull_edge,
+    }
+}
+
+/// The triangulator's input prologue, shared with out-of-crate drivers:
+/// sorts (unless `assume_sorted`) and removes exact duplicates, keeping
+/// first-occurrence provenance. Returns `(points, input_index)` exactly
+/// as they appear in [`DcTriangulation`].
+pub fn prepare_input(input: &[Point2], assume_sorted: bool) -> (Vec<Point2>, Vec<u32>) {
     // Index sort so we can report provenance of deduplicated points.
     let mut order: Vec<u32> = (0..input.len() as u32).collect();
     if !assume_sorted {
@@ -59,26 +80,19 @@ pub fn triangulate_dc(input: &[Point2], assume_sorted: bool) -> DcTriangulation 
             input_index.push(i);
         }
     }
-
-    let mut pool = EdgePool::with_capacity(3 * points.len() + 8);
-    let hull_edge = if points.len() >= 2 {
-        let (le, _re) = delaunay_rec(&mut pool, &points, 0, points.len());
-        Some(le)
-    } else {
-        None
-    };
-    DcTriangulation {
-        pool,
-        points,
-        input_index,
-        hull_edge,
-    }
+    (points, input_index)
 }
 
 /// Recursive kernel over `points[lo..hi]` (sorted, distinct). Returns
 /// `(le, re)`: `le` is the CCW hull edge out of the leftmost vertex, `re`
 /// the CW hull edge out of the rightmost vertex.
-fn delaunay_rec(pool: &mut EdgePool, pts: &[Point2], lo: usize, hi: usize) -> (u32, u32) {
+///
+/// Public so an out-of-crate driver can run the same recursion over
+/// *forked* ranges (each half in its own pool, grafted and joined with
+/// [`merge_hulls`]) at the top vertical cuts: forking at the identical
+/// `lo + n/2` split points guarantees the identical merge DAG, and —
+/// with exact predicates — the identical triangle set.
+pub fn delaunay_rec(pool: &mut EdgePool, pts: &[Point2], lo: usize, hi: usize) -> (u32, u32) {
     let n = hi - lo;
     debug_assert!(n >= 2);
     if n == 2 {
@@ -105,8 +119,27 @@ fn delaunay_rec(pool: &mut EdgePool, pts: &[Point2], lo: usize, hi: usize) -> (u
 
     // Vertical cut: split the x-sorted range at the median.
     let mid = lo + n / 2;
-    let (mut ldo, ldi) = delaunay_rec(pool, pts, lo, mid);
-    let (rdi, mut rdo) = delaunay_rec(pool, pts, mid, hi);
+    let (ldo, ldi) = delaunay_rec(pool, pts, lo, mid);
+    let (rdi, rdo) = delaunay_rec(pool, pts, mid, hi);
+    merge_hulls(pool, pts, ldo, ldi, rdi, rdo)
+}
+
+/// The Guibas–Stolfi hull-merge step: stitches two x-disjoint
+/// triangulated halves living in the same pool. `(ldo, ldi)` are the
+/// left half's hull edges (CCW out of its leftmost vertex, CW out of
+/// its rightmost), `(rdi, rdo)` the right half's; returns the combined
+/// `(le, re)`. This is the join point of the forked divide-and-conquer
+/// driver: after [`EdgePool::graft`], rebased right-half edges merge
+/// here exactly as if both halves had been built sequentially.
+pub fn merge_hulls(
+    pool: &mut EdgePool,
+    pts: &[Point2],
+    ldo: u32,
+    ldi: u32,
+    rdi: u32,
+    rdo: u32,
+) -> (u32, u32) {
+    let (mut ldo, mut rdo) = (ldo, rdo);
     let (mut ldi, mut rdi) = (ldi, rdi);
 
     // Find the lower common tangent of the two hulls.

@@ -26,7 +26,7 @@ pub mod refine;
 pub mod triangulator;
 
 pub use cdt::{carve, constrained_delaunay, insert_constraint, CdtError};
-pub use divconq::{triangulate_dc, DcTriangulation};
+pub use divconq::{delaunay_rec, merge_hulls, prepare_input, triangulate_dc, DcTriangulation};
 pub use incremental::triangulate_incremental;
 pub use mesh::{Location, Mesh, NIL};
 pub use poly::{read_poly, write_poly, PolyFile};

@@ -17,6 +17,7 @@
 
 pub mod comm;
 pub mod loadbalance;
+pub mod pool;
 pub mod simfault;
 pub mod transport;
 pub mod window;
@@ -26,6 +27,7 @@ pub use loadbalance::{
     run_rank, run_rank_dynamic, run_rank_dynamic_traced, BalancerConfig, Protocol, RankStats,
     WorkItem, WorkQueue,
 };
+pub use pool::Pool;
 pub use simfault::{FaultPlan, SimTransport, StallPlan};
 pub use transport::{Lane, Payload, RawMsg, ThreadedTransport, Transport, TransportClock};
 pub use window::{Window, WindowHook};

@@ -10,9 +10,13 @@
 //! side of every ancestor cut line.
 
 use crate::subdomain::{Cut, CutAxis, Side, Subdomain};
-use adm_delaunay::divconq::triangulate_dc;
+use adm_delaunay::divconq::{
+    delaunay_rec, merge_hulls, prepare_input, triangulate_dc, DcTriangulation,
+};
+use adm_delaunay::quadedge::EdgePool;
 use adm_delaunay::quality::circumcenter;
 use adm_geom::point::Point2;
+use adm_mpirt::Pool;
 
 /// Stopping criteria for the coarse partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -68,12 +72,95 @@ pub fn decompose(root: Subdomain, params: &DecomposeParams) -> Decomposition {
 }
 
 /// Triangulates one leaf independently and filters by the circumcenter
-/// rule. Returns triangles as **global** vertex-id triples.
+/// rule. Returns triangles as **global** vertex-id triples, in canonical
+/// order (smallest id leading each CCW cycle, triples sorted).
 pub fn triangulate_leaf(leaf: &Subdomain) -> Vec<[u32; 3]> {
     let pts: Vec<Point2> = leaf.x_sorted.iter().map(|v| v.pos).collect();
     // The x-sorted order is maintained across splits, so the sort inside
     // the triangulator is skipped (§III).
     let dc = triangulate_dc(&pts, true);
+    filter_leaf_triangles(leaf, &dc)
+}
+
+/// [`triangulate_leaf`] with the divide-and-conquer recursion forked
+/// onto `pool` at its top vertical cuts. The fork points reuse the
+/// sequential kernel's exact `lo + n/2` splits, so the merge DAG — and
+/// with exact predicates, the triangle set — is identical to
+/// [`triangulate_leaf`]'s; the canonical output order then makes the
+/// two byte-identical at every thread count.
+pub fn triangulate_leaf_pooled(leaf: &Subdomain, pool: &Pool) -> Vec<[u32; 3]> {
+    let pts: Vec<Point2> = leaf.x_sorted.iter().map(|v| v.pos).collect();
+    let dc = triangulate_dc_pooled(&pts, true, pool);
+    filter_leaf_triangles(leaf, &dc)
+}
+
+/// Forked variant of [`triangulate_dc`]: the first ~`log2(threads)`
+/// recursion levels fork left/right halves onto `pool`, each half
+/// building its own [`EdgePool`], grafted together and joined at the
+/// Guibas–Stolfi hull-merge step.
+pub fn triangulate_dc_pooled(
+    input: &[Point2],
+    assume_sorted: bool,
+    pool: &Pool,
+) -> DcTriangulation {
+    let (points, input_index) = prepare_input(input, assume_sorted);
+    let threads = pool.threads();
+    // One extra level of slack over the thread count so work-stealing
+    // can even out unequal halves; 0 levels on the inline pool.
+    let fork_levels = if threads == 0 {
+        0
+    } else {
+        usize::BITS - threads.next_power_of_two().leading_zeros()
+    };
+    if points.len() < 2 {
+        return DcTriangulation {
+            pool: EdgePool::with_capacity(8),
+            points,
+            input_index,
+            hull_edge: None,
+        };
+    }
+    let (ep, le, _re) = dc_forked(&points, 0, points.len(), fork_levels, pool);
+    DcTriangulation {
+        pool: ep,
+        points,
+        input_index,
+        hull_edge: Some(le),
+    }
+}
+
+/// Minimum half size worth forking: below this, pool bookkeeping
+/// outweighs the triangulation work.
+const FORK_GRAIN: usize = 256;
+
+fn dc_forked(
+    pts: &[Point2],
+    lo: usize,
+    hi: usize,
+    level: u32,
+    pool: &Pool,
+) -> (EdgePool, u32, u32) {
+    let n = hi - lo;
+    if level == 0 || n < FORK_GRAIN {
+        let mut ep = EdgePool::with_capacity(3 * n + 8);
+        let (le, re) = delaunay_rec(&mut ep, pts, lo, hi);
+        return (ep, le, re);
+    }
+    // The sequential kernel's exact split point — required for the
+    // identical-triangle-set guarantee.
+    let mid = lo + n / 2;
+    let ((mut lp, ldo, ldi), (rp, rdi, rdo)) = pool.join(
+        || dc_forked(pts, lo, mid, level - 1, pool),
+        || dc_forked(pts, mid, hi, level - 1, pool),
+    );
+    let off = lp.graft(rp);
+    let (le, re) = merge_hulls(&mut lp, pts, ldo, ldi, rdi + off, rdo + off);
+    (lp, le, re)
+}
+
+/// Circumcenter-rule filter over a leaf's triangulation, emitting
+/// canonically ordered global-id triples.
+fn filter_leaf_triangles(leaf: &Subdomain, dc: &DcTriangulation) -> Vec<[u32; 3]> {
     let tris = dc.triangles();
     let mut out = Vec::with_capacity(tris.len());
     for t in &tris {
@@ -113,6 +200,16 @@ pub fn triangulate_leaf(leaf: &Subdomain) -> Vec<[u32; 3]> {
             out.push([gid(t[0]), gid(t[1]), gid(t[2])]);
         }
     }
+    // Canonical order: the quad-edge face walk emits triangles in pool
+    // slot order, which differs between the sequential and forked
+    // drivers (same triangle *set*, different slot numbering). Rotating
+    // each CCW cycle to its smallest id and sorting the triples erases
+    // that, so every driver returns byte-identical output.
+    for t in &mut out {
+        let lead = (0..3).min_by_key(|&k| t[k]).unwrap();
+        t.rotate_left(lead);
+    }
+    out.sort_unstable();
     out
 }
 
@@ -372,6 +469,52 @@ mod tests {
                 "consecutive cuts on a square cloud must alternate axes"
             );
         }
+    }
+
+    #[test]
+    fn pooled_leaf_triangulation_is_byte_identical_to_sequential() {
+        // The tentpole invariant at the triangulator level: forked
+        // divide-and-conquer must produce *identical* output, not just
+        // an equivalent triangulation — at every thread count, on
+        // clouds large enough to actually fork (> FORK_GRAIN).
+        for seed in [7u64, 8] {
+            let pts = random_points(1200, seed);
+            let root = Subdomain::root(&pts);
+            let seq = triangulate_leaf(&root);
+            assert!(!seq.is_empty());
+            for threads in [0usize, 1, 2, 4] {
+                let pool = Pool::new(threads);
+                let got = triangulate_leaf_pooled(&root, &pool);
+                assert_eq!(got, seq, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_leaf_respects_circumcenter_filter() {
+        // Forking must not disturb the Blelloch keep/drop rule: pooled
+        // per-leaf results still reassemble into the direct DT.
+        let pts = random_points(900, 11);
+        let d = decompose(
+            Subdomain::root(&pts),
+            &DecomposeParams {
+                min_vertices: 8,
+                max_level: 2,
+            },
+        );
+        let pool = Pool::new(2);
+        let mut seen = std::collections::HashSet::new();
+        let mut merged = Vec::new();
+        for leaf in &d.leaves {
+            for t in triangulate_leaf_pooled(leaf, &pool) {
+                let mut key = t;
+                key.sort_unstable();
+                if seen.insert(key) {
+                    merged.push(t);
+                }
+            }
+        }
+        assert_eq!(canon(&merged), canon(&direct_dt(&pts)));
     }
 
     #[test]

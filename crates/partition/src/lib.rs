@@ -11,5 +11,8 @@
 pub mod decompose;
 pub mod subdomain;
 
-pub use decompose::{decompose, triangulate_all, triangulate_leaf, DecomposeParams, Decomposition};
-pub use subdomain::{Cut, CutAxis, Side, Subdomain, Vertex};
+pub use decompose::{
+    decompose, triangulate_all, triangulate_dc_pooled, triangulate_leaf, triangulate_leaf_pooled,
+    DecomposeParams, Decomposition,
+};
+pub use subdomain::{reduction_plan, Cut, CutAxis, ReductionNode, Side, Subdomain, Vertex};

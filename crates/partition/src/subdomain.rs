@@ -352,6 +352,102 @@ impl Subdomain {
     }
 }
 
+/// One node of the binary merge-reduction schedule over a path-sorted
+/// task list: an in-order binary tree whose internal nodes are exactly
+/// the join points of the decomposition tree (sibling subtrees under
+/// their shared path prefix), re-balanced binarily where a tree level
+/// has more than two children (the root's quadrant/near-body seeds).
+///
+/// Because the covered ranges are contiguous and in order, *any*
+/// reduction over this tree with an associative combine yields the same
+/// result as the sequential left fold — the tree only decides which
+/// merges may run concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionNode {
+    /// First task index covered (inclusive).
+    pub lo: usize,
+    /// One past the last task index covered.
+    pub hi: usize,
+    /// `None` for a leaf (a single task's mesh).
+    pub children: Option<(Box<ReductionNode>, Box<ReductionNode>)>,
+}
+
+impl ReductionNode {
+    /// Number of internal (merge-performing) nodes.
+    pub fn internal_count(&self) -> usize {
+        match &self.children {
+            None => 0,
+            Some((l, r)) => 1 + l.internal_count() + r.internal_count(),
+        }
+    }
+
+    /// Tree depth in merge steps (0 for a leaf): the critical-path
+    /// length of the reduction.
+    pub fn depth(&self) -> usize {
+        match &self.children {
+            None => 0,
+            Some((l, r)) => 1 + l.depth().max(r.depth()),
+        }
+    }
+}
+
+/// Builds the reduction schedule for a lexicographically sorted list of
+/// task-tree paths (the order the sequential merge consumes them in).
+///
+/// # Panics
+/// Panics if `paths` is empty or not sorted.
+pub fn reduction_plan(paths: &[&[u8]]) -> ReductionNode {
+    assert!(!paths.is_empty(), "reduction plan over no tasks");
+    assert!(
+        paths.windows(2).all(|w| w[0] <= w[1]),
+        "paths must be sorted"
+    );
+    plan_range(paths, 0, paths.len(), 0)
+}
+
+fn plan_range(paths: &[&[u8]], lo: usize, hi: usize, depth: usize) -> ReductionNode {
+    if hi - lo == 1 {
+        return ReductionNode {
+            lo,
+            hi,
+            children: None,
+        };
+    }
+    // Contiguous runs sharing the same path byte at this depth (a path
+    // ending here is its own run — it sorts first among its subtree).
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = lo;
+    for i in lo + 1..hi {
+        if paths[i].get(depth) != paths[start].get(depth) {
+            runs.push((start, i));
+            start = i;
+        }
+    }
+    runs.push((start, hi));
+    if runs.len() == 1 {
+        // Identical prefixes can only repeat so long as paths stay
+        // distinct, so this recursion terminates.
+        return plan_range(paths, lo, hi, depth + 1);
+    }
+    plan_runs(paths, &runs, depth)
+}
+
+/// Balanced in-order binary combination of >= 2 sibling runs.
+fn plan_runs(paths: &[&[u8]], runs: &[(usize, usize)], depth: usize) -> ReductionNode {
+    if runs.len() == 1 {
+        let (lo, hi) = runs[0];
+        return plan_range(paths, lo, hi, depth + 1);
+    }
+    let mid = runs.len() / 2;
+    let left = plan_runs(paths, &runs[..mid], depth);
+    let right = plan_runs(paths, &runs[mid..], depth);
+    ReductionNode {
+        lo: left.lo,
+        hi: right.hi,
+        children: Some((Box::new(left), Box::new(right))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,5 +611,61 @@ mod tests {
         // larger because it carries the projection scratch field.
         let s = Subdomain::root(&grid(5, 5));
         assert!(std::mem::size_of::<Vertex>() as u64 * 2 * 25 > s.transfer_bytes() - 64);
+    }
+
+    /// In-order leaves of a reduction plan must be 0..n exactly once.
+    fn collect_leaves(node: &ReductionNode, out: &mut Vec<usize>) {
+        match &node.children {
+            None => {
+                assert_eq!(node.lo + 1, node.hi);
+                out.push(node.lo);
+            }
+            Some((l, r)) => {
+                assert_eq!((node.lo, node.hi), (l.lo, r.hi));
+                assert_eq!(l.hi, r.lo, "children must be contiguous");
+                collect_leaves(l, out);
+                collect_leaves(r, out);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_plan_covers_pipeline_shaped_paths() {
+        // The pipeline's merge list: BL mesh at [0], four quadrant
+        // subtrees, the near-body task — with binary splits below.
+        let paths: Vec<Vec<u8>> = vec![
+            vec![0],
+            vec![1, 0, 0],
+            vec![1, 0, 1],
+            vec![1, 1],
+            vec![2],
+            vec![3, 0],
+            vec![3, 1, 0],
+            vec![3, 1, 1],
+            vec![4],
+            vec![5],
+        ];
+        let refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
+        let plan = reduction_plan(&refs);
+        let mut leaves = Vec::new();
+        collect_leaves(&plan, &mut leaves);
+        assert_eq!(leaves, (0..paths.len()).collect::<Vec<_>>());
+        assert_eq!(plan.internal_count(), paths.len() - 1);
+        // Balanced over the 6 top-level seeds: far shallower than the
+        // length-9 chain of the sequential fold.
+        assert!(plan.depth() <= 5, "depth {} too deep", plan.depth());
+    }
+
+    #[test]
+    fn reduction_plan_single_task_is_a_leaf() {
+        let plan = reduction_plan(&[&[0u8][..]]);
+        assert_eq!(plan.internal_count(), 0);
+        assert_eq!((plan.lo, plan.hi), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn reduction_plan_rejects_unsorted_paths() {
+        let _ = reduction_plan(&[&[2u8][..], &[1u8][..]]);
     }
 }

@@ -90,6 +90,17 @@ impl Track {
             tid: 1,
         }
     }
+
+    /// The merge-pool lane of worker `w` (the pool's external lane maps
+    /// to its own `w`). Lives in the driver process row, offset past
+    /// the serial driver lane so per-worker `merge.node` spans render
+    /// beneath the root `phase.merge` span.
+    pub fn merge_worker(w: usize) -> Track {
+        Track {
+            pid: 0,
+            tid: w as u32 + 1,
+        }
+    }
 }
 
 /// One recorded span. `end_ns == u64::MAX` while still open.
