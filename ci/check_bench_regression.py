@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compares a fresh Criterion bench JSON against a committed baseline.
+
+Both files use the adm-bench export shape:
+
+    {"benchmarks": [{"id": ..., "min_ns": ..., "median_ns": ..., "max_ns": ...}]}
+
+For every benchmark id present in the baseline, the fresh run must have a
+matching entry whose median is no more than --threshold (default 25%)
+slower than the baseline median. Benchmarks present only in the fresh run
+are reported but never fail the check (new benchmarks have no baseline
+yet); benchmarks present only in the baseline fail, since a silently
+vanished benchmark would otherwise disguise a regression forever.
+
+Medians are compared rather than minima or maxima: on shared CI runners
+maxima routinely spike 20-50% above the median under scheduler noise,
+while medians of quick `--test`-mode runs stay comparatively stable.
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold=0.25]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        fail(f"{path}: 'benchmarks' missing or empty")
+    out = {}
+    for b in benches:
+        bid = b.get("id")
+        median = b.get("median_ns")
+        if not isinstance(bid, str) or not isinstance(median, (int, float)):
+            fail(f"{path}: malformed benchmark entry {b!r}")
+        if median <= 0:
+            fail(f"{path}: non-positive median for {bid!r}")
+        out[bid] = float(median)
+    return out
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    threshold = 0.25
+    for a in sys.argv[1:]:
+        if a.startswith("--threshold"):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        fail(
+            "usage: check_bench_regression.py <baseline.json> <fresh.json> "
+            "[--threshold=0.25]"
+        )
+
+    baseline = load(args[0])
+    fresh = load(args[1])
+
+    regressions = []
+    for bid, base_median in sorted(baseline.items()):
+        if bid not in fresh:
+            fail(f"benchmark {bid!r} present in baseline but missing from fresh run")
+        ratio = fresh[bid] / base_median
+        marker = "REGRESSION" if ratio > 1.0 + threshold else "ok"
+        print(
+            f"  {bid}: baseline {base_median / 1e6:.3f} ms, "
+            f"fresh {fresh[bid] / 1e6:.3f} ms ({ratio - 1.0:+.1%} vs baseline) {marker}"
+        )
+        if ratio > 1.0 + threshold:
+            regressions.append((bid, ratio))
+
+    for bid in sorted(set(fresh) - set(baseline)):
+        print(f"  {bid}: new benchmark (no baseline), {fresh[bid] / 1e6:.3f} ms")
+
+    if regressions:
+        worst = ", ".join(f"{bid} ({ratio:.2f}x)" for bid, ratio in regressions)
+        fail(
+            f"{len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%} over baseline: {worst}"
+        )
+    print(
+        f"check_bench_regression: OK: {len(baseline)} benchmark(s) within "
+        f"{threshold:.0%} of baseline"
+    )
+
+
+if __name__ == "__main__":
+    main()

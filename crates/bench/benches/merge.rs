@@ -108,8 +108,10 @@ fn bench_interface_sweep(c: &mut Criterion) {
 fn stamped_tile(interior: usize, border: usize, seed: u64, tile: usize) -> Mesh {
     let (mut mesh, arena_len) = stamped_subdomain(interior, border, seed);
     let dx = 3.0 * tile as f64;
-    for p in &mut mesh.vertices {
+    for i in 0..mesh.num_vertices() {
+        let mut p = mesh.vertex(i);
         p.x += dx;
+        mesh.set_vertex(i, p);
     }
     let offset = (tile * arena_len) as u32;
     let ids: Vec<GlobalVertexId> = (0..arena_len as u32)

@@ -167,15 +167,15 @@ mod tests {
         // No triangle centroid inside the airfoil.
         let surf = &domain.loops[0].points;
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tri(t as usize);
             let c = Point2::new(
-                (mesh.vertices[tri[0] as usize].x
-                    + mesh.vertices[tri[1] as usize].x
-                    + mesh.vertices[tri[2] as usize].x)
+                (mesh.vertex(tri[0] as usize).x
+                    + mesh.vertex(tri[1] as usize).x
+                    + mesh.vertex(tri[2] as usize).x)
                     / 3.0,
-                (mesh.vertices[tri[0] as usize].y
-                    + mesh.vertices[tri[1] as usize].y
-                    + mesh.vertices[tri[2] as usize].y)
+                (mesh.vertex(tri[0] as usize).y
+                    + mesh.vertex(tri[1] as usize).y
+                    + mesh.vertex(tri[2] as usize).y)
                     / 3.0,
             );
             assert!(!contains_point(surf, c), "triangle inside the airfoil");
@@ -213,11 +213,11 @@ mod tests {
         let mesh = &out.mesh;
         let mut max_aspect = 0.0f64;
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tri(t as usize);
             let q = adm_delaunay::quality::tri_quality(
-                mesh.vertices[tri[0] as usize],
-                mesh.vertices[tri[1] as usize],
-                mesh.vertices[tri[2] as usize],
+                mesh.vertex(tri[0] as usize),
+                mesh.vertex(tri[1] as usize),
+                mesh.vertex(tri[2] as usize),
             );
             if q.aspect.is_finite() {
                 max_aspect = max_aspect.max(q.aspect);

@@ -109,7 +109,7 @@ mod tests {
         write_distributed(&dir, &[&a, &b]).unwrap();
         let parts = read_distributed_parts(&dir).unwrap();
         assert_eq!(parts.len(), 2);
-        assert_eq!(parts[0].vertices, a.vertices);
+        assert_eq!(parts[0].points(), a.points());
         assert_eq!(parts[1].num_triangles(), 2);
         let merged = read_distributed_merged(&dir).unwrap();
         merged.check_consistency();

@@ -174,7 +174,7 @@ pub fn propagate_interface_splits(
         let mut seen = std::collections::HashSet::new();
         for (a, b) in donor.constrained_edges() {
             for v in [a, b] {
-                let p = donor.vertices[v as usize];
+                let p = donor.vertex(v as usize);
                 if seen.insert(canonical_bits(p)) {
                     donor_pts.push(p);
                 }
@@ -185,8 +185,10 @@ pub fn propagate_interface_splits(
     // arena's normalized points, while interface loops may still carry
     // -0.0 variants — canonical bits make the two sides agree).
     let mut id_of: std::collections::HashMap<(u64, u64), u32> = std::collections::HashMap::new();
-    for (i, p) in bl.vertices.iter().enumerate() {
-        id_of.entry(canonical_bits(*p)).or_insert(i as u32);
+    for i in 0..bl.num_vertices() {
+        id_of
+            .entry(canonical_bits(bl.vertex(i)))
+            .or_insert(i as u32);
     }
     let mut inserted = 0usize;
     for border in interface_loops {

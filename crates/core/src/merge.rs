@@ -137,7 +137,7 @@ impl MeshMerger {
     /// identity (merge order differs between the sequential and parallel
     /// drivers).
     fn resolve_shared(&mut self, mesh: &Mesh, v: u32) -> u32 {
-        let p = mesh.vertices[v as usize];
+        let p = mesh.vertex(v as usize);
         match mesh.global_id(v) {
             Some(gid) => {
                 let slot = self.global_slot(gid);
@@ -157,7 +157,7 @@ impl MeshMerger {
     /// to meshes carrying matching stamps: dense-array lookup for stamped
     /// vertices, blind append (no hashing at all) for the rest.
     fn resolve_private(&mut self, mesh: &Mesh, v: u32) -> u32 {
-        let p = mesh.vertices[v as usize];
+        let p = mesh.vertex(v as usize);
         match mesh.global_id(v) {
             Some(gid) => {
                 let slot = self.global_slot(gid);
@@ -177,17 +177,17 @@ impl MeshMerger {
     /// deduplicating every vertex by canonical coordinate bits.
     pub fn add_mesh(&mut self, mesh: &Mesh) {
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tri(t as usize);
             let g = [
-                self.vertex_id(mesh.vertices[tri[0] as usize]),
-                self.vertex_id(mesh.vertices[tri[1] as usize]),
-                self.vertex_id(mesh.vertices[tri[2] as usize]),
+                self.vertex_id(mesh.vertex(tri[0] as usize)),
+                self.vertex_id(mesh.vertex(tri[1] as usize)),
+                self.vertex_id(mesh.vertex(tri[2] as usize)),
             ];
             self.triangles.push(g);
         }
         for (a, b) in mesh.constrained_edges() {
-            let ga = self.vertex_id(mesh.vertices[a as usize]);
-            let gb = self.vertex_id(mesh.vertices[b as usize]);
+            let ga = self.vertex_id(mesh.vertex(a as usize));
+            let gb = self.vertex_id(mesh.vertex(b as usize));
             self.constrained.push((ga, gb));
         }
     }
@@ -221,7 +221,7 @@ impl MeshMerger {
         }
         // Pass 2: triangles, in deterministic live order.
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tri(t as usize);
             let mut g = [0u32; 3];
             for (k, &v) in tri.iter().enumerate() {
                 let cur = self.local_map[v as usize];
@@ -423,7 +423,7 @@ pub struct Conformity {
 pub fn check_conformity(mesh: &Mesh) -> Conformity {
     let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         for k in 0..3 {
             let (a, b) = (tri[k], tri[(k + 1) % 3]);
             let key = if a < b { (a, b) } else { (b, a) };
@@ -447,6 +447,23 @@ pub fn check_conformity(mesh: &Mesh) -> Conformity {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Slot-level equality of two meshes: same slot count, same per-slot
+    /// liveness, same corner triples on every live slot. This is the old
+    /// raw `triangles` Vec comparison, expressed through the accessor API.
+    fn assert_slots_eq(got: &Mesh, seq: &Mesh, label: &str) {
+        assert_eq!(got.num_slots(), seq.num_slots(), "slot count, {label}");
+        for t in 0..got.num_slots() {
+            assert_eq!(
+                got.is_alive(t as u32),
+                seq.is_alive(t as u32),
+                "liveness of slot {t}, {label}"
+            );
+            if got.is_alive(t as u32) {
+                assert_eq!(got.tri(t), seq.tri(t), "slot {t}, {label}");
+            }
+        }
+    }
 
     fn p(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -586,7 +603,7 @@ mod tests {
         assert_eq!(merged.num_vertices(), 4, "-0.0 twins must collapse");
         assert_eq!(merged.num_triangles(), 2);
         // The surviving coordinates are the normalized ones.
-        for v in &merged.vertices {
+        for v in merged.points() {
             assert_ne!(v.x.to_bits(), (-0.0f64).to_bits());
             assert_ne!(v.y.to_bits(), (-0.0f64).to_bits());
         }
@@ -718,8 +735,8 @@ mod tests {
             }
             left.absorb(right);
             let got = left.finish();
-            assert_eq!(got.vertices, seq.vertices, "split={split}");
-            assert_eq!(got.triangles, seq.triangles, "split={split}");
+            assert_eq!(got.points(), seq.points(), "split={split}");
+            assert_slots_eq(&got, &seq, &format!("split={split}"));
             assert_eq!(
                 got.num_constrained(),
                 seq.num_constrained(),
@@ -753,8 +770,8 @@ mod tests {
         for threads in [0usize, 1, 2, 4] {
             let pool = Pool::new(threads);
             let got = merge_tree_spliced(&refs, &plan, &pool, None).finish();
-            assert_eq!(got.vertices, seq.vertices, "threads={threads}");
-            assert_eq!(got.triangles, seq.triangles, "threads={threads}");
+            assert_eq!(got.points(), seq.points(), "threads={threads}");
+            assert_slots_eq(&got, &seq, &format!("threads={threads}"));
             assert_eq!(
                 got.num_constrained(),
                 seq.num_constrained(),

@@ -46,11 +46,11 @@ fn parallel_run_matches_sequential_mesh() {
             let mut v: Vec<Vec<(u64, u64)>> = mesh
                 .live_triangles()
                 .map(|t| {
-                    let tri = mesh.triangles[t as usize];
+                    let tri = mesh.tri(t as usize);
                     let mut c: Vec<(u64, u64)> = tri
                         .iter()
                         .map(|&i| {
-                            let p = mesh.vertices[i as usize];
+                            let p = mesh.vertex(i as usize);
                             (p.x.to_bits(), p.y.to_bits())
                         })
                         .collect();
@@ -77,15 +77,15 @@ fn three_element_pipeline_end_to_end() {
     assert_eq!(out.stats.border_splits, 0);
     for l in &config.pslg.loops {
         for t in out.mesh.live_triangles() {
-            let tri = out.mesh.triangles[t as usize];
+            let tri = out.mesh.tri(t as usize);
             let c = adm_geom::Point2::new(
-                (out.mesh.vertices[tri[0] as usize].x
-                    + out.mesh.vertices[tri[1] as usize].x
-                    + out.mesh.vertices[tri[2] as usize].x)
+                (out.mesh.vertex(tri[0] as usize).x
+                    + out.mesh.vertex(tri[1] as usize).x
+                    + out.mesh.vertex(tri[2] as usize).x)
                     / 3.0,
-                (out.mesh.vertices[tri[0] as usize].y
-                    + out.mesh.vertices[tri[1] as usize].y
-                    + out.mesh.vertices[tri[2] as usize].y)
+                (out.mesh.vertex(tri[0] as usize).y
+                    + out.mesh.vertex(tri[1] as usize).y
+                    + out.mesh.vertex(tri[2] as usize).y)
                     / 3.0,
             );
             assert!(

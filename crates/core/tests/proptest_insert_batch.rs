@@ -1,0 +1,132 @@
+//! Property test: the BRIO bulk-insertion path is canonically identical
+//! to one-at-a-time lexicographic insertion.
+//!
+//! `Mesh::insert_batch` reorders insertions (BRIO rounds, Hilbert-sorted)
+//! purely for cache locality; on point sets in general position the
+//! Delaunay triangulation is unique, so the canonical mesh bytes — and
+//! therefore the sha256 — must not depend on the insertion order. The
+//! generator deliberately mixes in exact duplicates and exactly collinear
+//! runs (horizontal lines): duplicates must merge to the same vertex on
+//! both paths, and collinear points never make the triangulation
+//! ambiguous (that would take four cocircular points, which random f64
+//! clouds do not produce).
+
+use adm_core::sha256_hex;
+use adm_delaunay::incremental::{insert_with_growth, triangulate_incremental};
+use adm_delaunay::io::write_ascii_canonical;
+use adm_delaunay::mesh::Mesh;
+use adm_geom::orient2d;
+use adm_geom::point::Point2;
+use proptest::prelude::*;
+
+fn mesh_sha(mesh: &Mesh) -> String {
+    let mut buf = Vec::new();
+    write_ascii_canonical(mesh, &mut buf).expect("in-memory write");
+    sha256_hex(&buf)
+}
+
+/// The pre-BRIO reference driver: lexicographic sort, dedup, bootstrap on
+/// the first non-collinear triple, then strictly lexicographic
+/// one-at-a-time insertion with hint chaining.
+fn triangulate_lexicographic(input: &[Point2]) -> Option<Mesh> {
+    let mut pts: Vec<Point2> = input.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup();
+    if pts.len() < 3 {
+        return None;
+    }
+    let a = pts[0];
+    let b = pts[1];
+    let k = pts[2..].iter().position(|&p| orient2d(a, b, p) != 0.0)? + 2;
+    let c = pts[k];
+    let tri = if orient2d(a, b, c) > 0.0 {
+        [0u32, 1, 2]
+    } else {
+        [0u32, 2, 1]
+    };
+    let mut mesh = Mesh::from_triangles(vec![a, b, c], vec![tri]);
+    let mut hint = mesh.any_triangle().unwrap();
+    for (i, &p) in pts.iter().enumerate() {
+        if i == 0 || i == 1 || i == k {
+            continue;
+        }
+        let v = insert_with_growth(&mut mesh, p, hint);
+        if let Some(t) = mesh.triangle_of_vertex(v) {
+            hint = t;
+        }
+    }
+    Some(mesh)
+}
+
+/// Random cloud plus degeneracy seasoning: some points duplicated
+/// verbatim, some dropped onto exactly horizontal collinear runs.
+fn seasoned_cloud() -> impl Strategy<Value = Vec<Point2>> {
+    let base = prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..120);
+    let dups = prop::collection::vec(0usize..4096, 0..10);
+    let collinear = prop::collection::vec((0.0f64..100.0,), 0..12);
+    (base, dups, collinear).prop_map(|(base, dups, collinear)| {
+        let mut pts: Vec<Point2> = base.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        for idx in &dups {
+            let p = pts[idx % pts.len()];
+            pts.push(p);
+        }
+        // A shared horizontal line: exactly collinear, including runs on
+        // the hull when y = 0 sorts below the rest of the cloud.
+        for (x,) in &collinear {
+            pts.push(Point2::new(*x, 0.0));
+        }
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn brio_batch_matches_lexicographic_one_at_a_time(pts in seasoned_cloud()) {
+        let lex = triangulate_lexicographic(&pts);
+        let brio = triangulate_incremental(&pts);
+        match (lex, brio) {
+            (None, None) => {}
+            (Some(l), Some(b)) => {
+                prop_assert_eq!(
+                    mesh_sha(&l),
+                    mesh_sha(&b),
+                    "BRIO insertion changed the canonical mesh"
+                );
+            }
+            (l, b) => {
+                return Err(TestCaseError::Fail(format!(
+                    "engines disagree on degeneracy: lex={} brio={}",
+                    l.is_some(),
+                    b.is_some()
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_vertex_map_is_input_aligned(pts in seasoned_cloud()) {
+        // insert_batch must report vertices in input order, with duplicate
+        // inputs mapping to one shared vertex.
+        let square = [
+            Point2::new(-1.0, -1.0),
+            Point2::new(101.0, -1.0),
+            Point2::new(101.0, 101.0),
+            Point2::new(-1.0, 101.0),
+        ];
+        let mut mesh = triangulate_incremental(&square).unwrap();
+        let verts = mesh.insert_batch(&pts);
+        prop_assert_eq!(verts.len(), pts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            prop_assert_eq!(mesh.vertex(v as usize), pts[i], "vertex map misaligned at {}", i);
+        }
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i] == pts[j] {
+                    prop_assert_eq!(verts[i], verts[j], "duplicates did not merge");
+                }
+            }
+        }
+    }
+}

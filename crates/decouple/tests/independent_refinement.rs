@@ -83,7 +83,7 @@ fn independent_refinement_never_splits_shared_borders() {
         // points only.
         for (a, b) in mesh.constrained_edges() {
             for v in [a, b] {
-                let p = mesh.vertices[v as usize];
+                let p = mesh.vertex(v as usize);
                 assert!(
                     border_set.contains(&(p.x.to_bits(), p.y.to_bits())),
                     "leaf {i}: constrained vertex {p:?} is not an original border point"

@@ -1,0 +1,180 @@
+//! Biased randomized insertion order (BRIO) with Hilbert-sorted rounds.
+//!
+//! Incremental Delaunay insertion spends most of its time in point
+//! location and cavity traversal, and both are memory-bound: the walk
+//! touches the triangles between the hint and the target, and the cavity
+//! touches the star of the insertion site. Inserting points in an order
+//! with spatial locality keeps that working set cache-resident — the
+//! classic recipe (Amenta, Choi & Rote) is BRIO: assign each point to a
+//! round by repeated coin flips (so round sizes roughly double, which
+//! keeps the *expected* structural cost of randomized insertion), then
+//! sort each round along a space-filling curve so consecutive insertions
+//! are near each other.
+//!
+//! The coin flips here are a deterministic SplitMix64 hash of the point's
+//! index, so the order — and therefore the exact mesh produced on inputs
+//! with cocircular degeneracies — is reproducible across runs and
+//! platforms. On point sets in general position the Delaunay
+//! triangulation is unique, so the insertion order never shows in the
+//! output; the sha256 canonical-mesh tests pin exactly that.
+
+use adm_geom::point::Point2;
+
+/// Hilbert-curve index of a cell on the `2^16 x 2^16` grid. Maps
+/// neighboring cells to nearby indices, which is all the insertion order
+/// needs from it.
+pub fn hilbert_index(mut x: u32, mut y: u32) -> u64 {
+    debug_assert!(x < (1 << 16) && y < (1 << 16));
+    let mut d: u64 = 0;
+    let mut s: u32 = 1 << 15;
+    while s > 0 {
+        let rx = u32::from(x & s > 0);
+        let ry = u32::from(y & s > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant so the curve stays continuous.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (s - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (s - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s >>= 1;
+    }
+    d
+}
+
+/// SplitMix64: cheap, high-quality deterministic mixing of an index into
+/// 64 bits. Used for the BRIO round coin flips.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Insertion order for `pts`: indices grouped into BRIO rounds (earlier
+/// rounds geometrically smaller), each round sorted by Hilbert index with
+/// the input index as a deterministic tie-break. Duplicate and collinear
+/// points are handled like any others — the order is a permutation of
+/// `0..pts.len()` regardless of the geometry.
+pub fn brio_order(pts: &[Point2]) -> Vec<u32> {
+    let n = pts.len();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    // Quantize onto the Hilbert grid over the bounding box.
+    let (mut minx, mut miny) = (f64::INFINITY, f64::INFINITY);
+    let (mut maxx, mut maxy) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in pts {
+        minx = minx.min(p.x);
+        miny = miny.min(p.y);
+        maxx = maxx.max(p.x);
+        maxy = maxy.max(p.y);
+    }
+    let sx = if maxx > minx {
+        65535.0 / (maxx - minx)
+    } else {
+        0.0
+    };
+    let sy = if maxy > miny {
+        65535.0 / (maxy - miny)
+    } else {
+        0.0
+    };
+
+    // Last round holds ~half the points, each earlier round half again:
+    // a point lands `k` rounds before the last with probability 2^-(k+1).
+    let last_round = (usize::BITS - 1 - (n as u32).leading_zeros()).min(31);
+    let mut keys: Vec<(u32, u64, u32)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let gx = ((p.x - minx) * sx) as u32;
+            let gy = ((p.y - miny) * sy) as u32;
+            let flips = splitmix64(i as u64).trailing_ones().min(last_round);
+            let round = last_round - flips;
+            (round, hilbert_index(gx.min(65535), gy.min(65535)), i as u32)
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.into_iter().map(|(_, _, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_is_a_bijection_on_a_small_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..64u32 {
+            for y in 0..64u32 {
+                // Scale up so the full 16-bit curve is exercised, not just
+                // one corner.
+                assert!(seen.insert(hilbert_index(x * 1024, y * 1024)));
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64);
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_close() {
+        // Consecutive curve indices differ by exactly one grid step, so
+        // walking the first 4096 indices of the order-16 curve must visit
+        // 4096 distinct adjacent cells. Here we check the converse,
+        // weaker, locality property that matters for insertion: adjacent
+        // cells have nearby indices on average.
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for x in 0..64u32 {
+            for y in 0..63u32 {
+                let a = hilbert_index(x, y);
+                let b = hilbert_index(x, y + 1);
+                total += a.abs_diff(b);
+                count += 1;
+            }
+        }
+        // Lexicographic order would average ~65536 here; Hilbert stays
+        // tiny for the bottom-left block of the grid.
+        assert!(total / count < 4096, "avg gap {}", total / count);
+    }
+
+    #[test]
+    fn brio_order_is_a_permutation() {
+        let pts: Vec<Point2> = (0..1000)
+            .map(|i| {
+                let h = splitmix64(i as u64);
+                Point2::new((h & 0xffff) as f64, (h >> 16 & 0xffff) as f64)
+            })
+            .collect();
+        let order = brio_order(&pts);
+        let mut seen = vec![false; pts.len()];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn brio_handles_duplicates_and_degenerate_boxes() {
+        // All points identical: zero-extent bounding box.
+        let pts = vec![Point2::new(3.0, 4.0); 17];
+        assert_eq!(brio_order(&pts).len(), 17);
+        // Collinear (zero-height box).
+        let pts: Vec<Point2> = (0..33).map(|i| Point2::new(i as f64, 2.0)).collect();
+        let order = brio_order(&pts);
+        let mut sorted: Vec<u32> = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..33).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn brio_is_deterministic() {
+        let pts: Vec<Point2> = (0..500)
+            .map(|i| Point2::new((i * 7 % 83) as f64, (i * 13 % 97) as f64))
+            .collect();
+        assert_eq!(brio_order(&pts), brio_order(&pts));
+    }
+}

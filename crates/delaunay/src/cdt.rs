@@ -9,7 +9,7 @@
 use crate::divconq::triangulate_dc;
 use crate::mesh::{edge_key, Location, Mesh, NIL};
 use adm_geom::point::Point2;
-use adm_geom::predicates::{incircle, orient2d};
+use adm_geom::predicates::{incircle_one, orient2d_batch, orient2d_one};
 use std::collections::{HashMap, HashSet};
 
 /// Errors from constrained triangulation.
@@ -33,17 +33,24 @@ pub fn constrained_delaunay(
 ) -> Result<(Mesh, Vec<u32>), CdtError> {
     let dc = triangulate_dc(points, assume_sorted);
     let tris = dc.triangles();
-    // input index -> mesh vertex index
-    let mut input_to_mesh = vec![u32::MAX; points.len()];
-    for (mesh_idx, &first_input) in dc.input_index.iter().enumerate() {
-        let _ = first_input;
-        // All duplicates of this mesh point map to it.
-        for (i, p) in points.iter().enumerate() {
-            if input_to_mesh[i] == u32::MAX && *p == dc.points[mesh_idx] {
-                input_to_mesh[i] = mesh_idx as u32;
-            }
-        }
-    }
+    // input index -> mesh vertex index. Mesh points are dedup'd, so each
+    // coordinate pair appears exactly once; one hash pass maps every input
+    // duplicate to it. Keys normalize -0.0 to 0.0 so the lookup agrees
+    // with f64 `==` (NaN never matches either way).
+    let coord_key = |p: Point2| -> (u64, u64) {
+        let norm = |v: f64| if v == 0.0 { 0.0f64 } else { v }.to_bits();
+        (norm(p.x), norm(p.y))
+    };
+    let mesh_of: HashMap<(u64, u64), u32> = dc
+        .points
+        .iter()
+        .enumerate()
+        .map(|(mesh_idx, &p)| (coord_key(p), mesh_idx as u32))
+        .collect();
+    let input_to_mesh: Vec<u32> = points
+        .iter()
+        .map(|&p| mesh_of.get(&coord_key(p)).copied().unwrap_or(u32::MAX))
+        .collect();
     let mut mesh = Mesh::from_triangles(dc.points, tris);
     for &(a, b) in segments {
         let (ma, mb) = (input_to_mesh[a as usize], input_to_mesh[b as usize]);
@@ -72,8 +79,8 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
         return Ok(());
     }
 
-    let pa = mesh.vertices[a as usize];
-    let pb = mesh.vertices[b as usize];
+    let pa = mesh.vertex(a as usize);
+    let pb = mesh.vertex(b as usize);
 
     // Find the triangle at `a` through which the segment leaves: either the
     // opposite edge is properly crossed, or the segment passes through one
@@ -82,10 +89,19 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
     for t in mesh.triangles_around_vertex(a) {
         let i = mesh.vertex_index_in(t, a).expect("vertex in triangle");
         let (u, v) = mesh.edge_vertices(t, i); // edge opposite a, CCW
-        let pu = mesh.vertices[u as usize];
-        let pv = mesh.vertices[v as usize];
-        let du = orient2d(pa, pb, pu);
-        let dv = orient2d(pa, pb, pv);
+        let pu = mesh.vertex(u as usize);
+        let pv = mesh.vertex(v as usize);
+        let mut duv = [0.0f64; 2];
+        orient2d_batch(
+            &[pa.x; 2],
+            &[pa.y; 2],
+            &[pb.x; 2],
+            &[pb.y; 2],
+            &[pu.x, pv.x],
+            &[pu.y, pv.y],
+            &mut duv,
+        );
+        let [du, dv] = duv;
         // Vertex exactly on the segment between a and b: split.
         for (w, dw, pw) in [(u, du, pu), (v, dv, pv)] {
             if dw == 0.0 && between(pa, pb, pw) {
@@ -96,9 +112,21 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
         }
         // The CCW edge (u, v) opposite `a` is crossed by a->b when u lies
         // strictly right and v strictly left of the directed segment.
-        if du < 0.0 && dv > 0.0 && orient2d(pu, pv, pa) * orient2d(pu, pv, pb) < 0.0 {
-            start = Some((t, i));
-            break;
+        if du < 0.0 && dv > 0.0 {
+            let mut dab = [0.0f64; 2];
+            orient2d_batch(
+                &[pu.x; 2],
+                &[pu.y; 2],
+                &[pv.x; 2],
+                &[pv.y; 2],
+                &[pa.x, pb.x],
+                &[pa.y, pb.y],
+                &mut dab,
+            );
+            if dab[0] * dab[1] < 0.0 {
+                start = Some((t, i));
+                break;
+            }
         }
     }
     let (mut tcur, mut ecross) = start.unwrap_or_else(|| {
@@ -118,14 +146,14 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
         upper.push(v); // v left of a->b
     }
     loop {
-        let n = mesh.neighbors[tcur as usize][ecross as usize];
+        let n = mesh.tris[tcur as usize].n[ecross as usize];
         assert_ne!(n, NIL, "constraint walk left the mesh");
         let (u, v) = mesh.edge_vertices(tcur, ecross);
         // Classify the crossed edge's endpoints relative to a->b.
-        let du = orient2d(pa, pb, mesh.vertices[u as usize]);
+        let du = orient2d_one(pa, pb, mesh.vertex(u as usize));
         let (right, left) = if du < 0.0 { (u, v) } else { (v, u) };
         // Apex of n across (u, v).
-        let ntri = mesh.triangles[n as usize];
+        let ntri = mesh.tris[n as usize].v;
         let w = ntri
             .iter()
             .copied()
@@ -135,8 +163,8 @@ pub fn insert_constraint(mesh: &mut Mesh, a: u32, b: u32) -> Result<(), CdtError
         if w == b {
             break;
         }
-        let pw = mesh.vertices[w as usize];
-        let dw = orient2d(pa, pb, pw);
+        let pw = mesh.vertex(w as usize);
+        let dw = orient2d_one(pa, pb, pw);
         if dw == 0.0 {
             // The segment passes through vertex w: retriangulate the
             // corridor for (a, w), then continue with (w, b).
@@ -180,7 +208,7 @@ fn finish_corridor(mesh: &mut Mesh, a: u32, b: u32, crossed: &[u32], upper: &[u3
     let mut border: HashMap<(u32, u32), u32> = HashMap::new();
     for &t in crossed {
         for i in 0..3u8 {
-            let n = mesh.neighbors[t as usize][i as usize];
+            let n = mesh.tris[t as usize].n[i as usize];
             if n == NIL || !dead.contains(&n) {
                 let (u, v) = mesh.edge_vertices(t, i);
                 border.insert((u, v), n);
@@ -204,12 +232,12 @@ fn retriangulate_chain(mesh: &Mesh, a: u32, b: u32, verts: &[u32], out: &mut Vec
     if verts.is_empty() {
         return;
     }
-    let pa = mesh.vertices[a as usize];
-    let pb = mesh.vertices[b as usize];
+    let pa = mesh.vertex(a as usize);
+    let pb = mesh.vertex(b as usize);
     let mut ci = 0usize;
     for i in 1..verts.len() {
-        let pc = mesh.vertices[verts[ci] as usize];
-        if incircle(pa, pb, pc, mesh.vertices[verts[i] as usize]) > 0.0 {
+        let pc = mesh.vertex(verts[ci] as usize);
+        if incircle_one(pa, pb, pc, mesh.vertex(verts[i] as usize)) > 0.0 {
             ci = i;
         }
     }
@@ -229,7 +257,7 @@ pub fn carve(mesh: &mut Mesh, holes: &[Point2]) {
     // Seeds: every triangle with an unconstrained boundary (NIL) edge.
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == NIL
+            if mesh.tris[t as usize].n[i as usize] == NIL
                 && !mesh.is_constrained_tri(t, i)
                 && outside.insert(t)
             {
@@ -251,7 +279,7 @@ pub fn carve(mesh: &mut Mesh, holes: &[Point2]) {
     }
     while let Some(t) = stack.pop() {
         for i in 0..3u8 {
-            let n = mesh.neighbors[t as usize][i as usize];
+            let n = mesh.tris[t as usize].n[i as usize];
             if n == NIL || outside.contains(&n) {
                 continue;
             }
@@ -355,12 +383,12 @@ mod tests {
         mesh.check_consistency();
         // No live triangle may use the outside vertex.
         for t in mesh.live_triangles() {
-            assert!(!mesh.triangles[t as usize].contains(&map[5]));
+            assert!(!mesh.tris[t as usize].v.contains(&map[5]));
         }
         // Interior vertex still used.
         assert!(mesh
             .live_triangles()
-            .any(|t| mesh.triangles[t as usize].contains(&map[4])));
+            .any(|t| mesh.tris[t as usize].v.contains(&map[4])));
     }
 
     #[test]
@@ -396,11 +424,11 @@ mod tests {
         let total_area: f64 = mesh
             .live_triangles()
             .map(|t| {
-                let tri = mesh.triangles[t as usize];
+                let tri = mesh.tris[t as usize].v;
                 adm_geom::polygon::signed_area(&[
-                    mesh.vertices[tri[0] as usize],
-                    mesh.vertices[tri[1] as usize],
-                    mesh.vertices[tri[2] as usize],
+                    mesh.vertex(tri[0] as usize),
+                    mesh.vertex(tri[1] as usize),
+                    mesh.vertex(tri[2] as usize),
                 ])
             })
             .sum();

@@ -16,7 +16,7 @@
 
 use crate::quadedge::EdgePool;
 use adm_geom::point::Point2;
-use adm_geom::predicates::{incircle, orient2d};
+use adm_geom::predicates::{incircle_one, orient2d_one};
 
 /// Result of a divide-and-conquer triangulation: the edge pool plus the
 /// point set it refers to (deduplicated, sorted).
@@ -104,7 +104,7 @@ pub fn delaunay_rec(pool: &mut EdgePool, pts: &[Point2], lo: usize, hi: usize) -
         let a = pool.make_edge(i0, i1);
         let b = pool.make_edge(i1, i2);
         pool.splice(pool.sym(a), b);
-        let ct = orient2d(pts[lo], pts[lo + 1], pts[lo + 2]);
+        let ct = orient2d_one(pts[lo], pts[lo + 1], pts[lo + 2]);
         if ct > 0.0 {
             pool.connect(b, a);
             return (a, pool.sym(b));
@@ -164,16 +164,35 @@ pub fn merge_hulls(
 
     // Merge loop: rise the bubble.
     loop {
+        // `basel` is fixed for the whole iteration; hoist its endpoints so
+        // the candidate loops and validity tests reuse two registers
+        // instead of re-chasing pool indirections the mutating
+        // `delete_edge` calls would otherwise force the compiler to
+        // reload. `rightward(x)` is `right_of(x, basel)` on the hoisted
+        // endpoints — identical arithmetic.
+        let bd_i = pool.dest(basel);
+        let bo_i = pool.org(basel);
+        let bd = pts[bd_i as usize];
+        let bo = pts[bo_i as usize];
+        let rightward = |p: Point2| orient2d_one(p, bd, bo) > 0.0;
+        // The incircle tests below short-circuit on *vertex-index* equality:
+        // a circle test with a repeated point has a determinant of exactly
+        // zero (two identical matrix rows), which the stage-A filter can
+        // never certify — without the check, every ring wrap onto `basel`
+        // (and the shared apex where the two hulls meet) pays the full
+        // exact expansion ladder just to learn "0". Skipping is
+        // sign-identical because `> 0.0` is false either way.
         // Left candidate.
         let mut lcand = pool.onext(pool.sym(basel));
-        if valid(pts, pool, lcand, basel) {
-            while incircle(
-                pts[pool.dest(basel) as usize],
-                pts[pool.org(basel) as usize],
-                pts[pool.dest(lcand) as usize],
-                pts[pool.dest(pool.onext(lcand)) as usize],
-            ) > 0.0
-            {
+        if rightward(pts[pool.dest(lcand) as usize]) {
+            loop {
+                let apex = pool.dest(pool.onext(lcand));
+                if apex == bo_i
+                    || incircle_one(bd, bo, pts[pool.dest(lcand) as usize], pts[apex as usize])
+                        <= 0.0
+                {
+                    break;
+                }
                 let t = pool.onext(lcand);
                 pool.delete_edge(lcand);
                 lcand = t;
@@ -181,21 +200,22 @@ pub fn merge_hulls(
         }
         // Right candidate.
         let mut rcand = pool.oprev(basel);
-        if valid(pts, pool, rcand, basel) {
-            while incircle(
-                pts[pool.dest(basel) as usize],
-                pts[pool.org(basel) as usize],
-                pts[pool.dest(rcand) as usize],
-                pts[pool.dest(pool.oprev(rcand)) as usize],
-            ) > 0.0
-            {
+        if rightward(pts[pool.dest(rcand) as usize]) {
+            loop {
+                let apex = pool.dest(pool.oprev(rcand));
+                if apex == bd_i
+                    || incircle_one(bd, bo, pts[pool.dest(rcand) as usize], pts[apex as usize])
+                        <= 0.0
+                {
+                    break;
+                }
                 let t = pool.oprev(rcand);
                 pool.delete_edge(rcand);
                 rcand = t;
             }
         }
-        let lvalid = valid(pts, pool, lcand, basel);
-        let rvalid = valid(pts, pool, rcand, basel);
+        let lvalid = rightward(pts[pool.dest(lcand) as usize]);
+        let rvalid = rightward(pts[pool.dest(rcand) as usize]);
         if !lvalid && !rvalid {
             break; // upper common tangent reached
         }
@@ -203,7 +223,8 @@ pub fn merge_hulls(
         // inside the circle through the other (standard G-S selection).
         if !lvalid
             || (rvalid
-                && incircle(
+                && pool.dest(lcand) != pool.dest(rcand)
+                && incircle_one(
                     pts[pool.dest(lcand) as usize],
                     pts[pool.org(lcand) as usize],
                     pts[pool.org(rcand) as usize],
@@ -222,7 +243,7 @@ pub fn merge_hulls(
 /// `x` lies strictly left of directed edge `e` (org -> dest).
 #[inline]
 fn left_of(pts: &[Point2], x: u32, pool: &EdgePool, e: u32) -> bool {
-    orient2d(
+    orient2d_one(
         pts[x as usize],
         pts[pool.org(e) as usize],
         pts[pool.dest(e) as usize],
@@ -232,17 +253,11 @@ fn left_of(pts: &[Point2], x: u32, pool: &EdgePool, e: u32) -> bool {
 /// `x` lies strictly right of directed edge `e`.
 #[inline]
 fn right_of(pts: &[Point2], x: u32, pool: &EdgePool, e: u32) -> bool {
-    orient2d(
+    orient2d_one(
         pts[x as usize],
         pts[pool.dest(e) as usize],
         pts[pool.org(e) as usize],
     ) > 0.0
-}
-
-/// A candidate edge is valid while its destination lies right of basel.
-#[inline]
-fn valid(pts: &[Point2], pool: &EdgePool, e: u32, basel: u32) -> bool {
-    right_of(pts, pool.dest(e), pool, basel)
 }
 
 impl DcTriangulation {
@@ -250,21 +265,23 @@ impl DcTriangulation {
     /// into `self.points`.
     pub fn triangles(&self) -> Vec<[u32; 3]> {
         let pool = &self.pool;
-        let mut visited = vec![false; pool.slots()];
-        let mut tris = Vec::new();
+        let mut visited = crate::bitset::BitSet::with_len(pool.slots(), false);
+        // Every directed live edge lies on exactly one left face, so the
+        // triangle count never exceeds a third of the live-edge count.
+        let mut tris = Vec::with_capacity(pool.live_count() / 3 + 1);
         for e0 in pool.live_directed_edges() {
-            if visited[e0 as usize] {
+            if visited.get(e0 as usize) {
                 continue;
             }
             // Walk the left face.
             let e1 = pool.lnext(e0);
             let e2 = pool.lnext(e1);
             if pool.lnext(e2) == e0 && e1 != e0 && e2 != e0 {
-                visited[e0 as usize] = true;
-                visited[e1 as usize] = true;
-                visited[e2 as usize] = true;
+                visited.set(e0 as usize, true);
+                visited.set(e1 as usize, true);
+                visited.set(e2 as usize, true);
                 let (a, b, c) = (pool.org(e0), pool.org(e1), pool.org(e2));
-                if orient2d(
+                if orient2d_one(
                     self.points[a as usize],
                     self.points[b as usize],
                     self.points[c as usize],
@@ -307,7 +324,7 @@ impl DcTriangulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adm_geom::predicates::in_circle;
+    use adm_geom::predicates::{in_circle, orient2d};
 
     fn pts_of(coords: &[(f64, f64)]) -> Vec<Point2> {
         coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()

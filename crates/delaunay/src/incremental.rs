@@ -1,16 +1,19 @@
 //! Incremental Delaunay triangulation (Triangle's `-i` engine).
 //!
 //! The second from-scratch construction engine, cross-validating the
-//! divide-and-conquer kernel: points are inserted one at a time (in
-//! lexicographic order with a walking locate from the last insertion,
-//! the classic sweep-friendly schedule). Interior points use the
-//! Bowyer–Watson cavity of [`crate::mesh::Mesh::insert_point`]; exterior
-//! points grow the convex hull by carving the Bowyer–Watson conflict
-//! cavity and fanning over the visible hull arc.
+//! divide-and-conquer kernel: after a lexicographic bootstrap, the
+//! remaining points go through the BRIO bulk-insertion path
+//! ([`Mesh::insert_batch`]) — Hilbert-sorted rounds with a walking locate
+//! from the last insertion, so the walk and the cavity stay
+//! cache-resident. Interior points use the Bowyer–Watson cavity of
+//! [`crate::mesh::Mesh::insert_point`]; exterior points grow the convex
+//! hull by carving the Bowyer–Watson conflict cavity and fanning over the
+//! visible hull arc.
 
+use crate::brio::brio_order;
 use crate::mesh::{Location, Mesh, NIL};
 use adm_geom::point::Point2;
-use adm_geom::predicates::{incircle, orient2d};
+use adm_geom::predicates::{incircle_one, orient2d, orient2d_one};
 
 /// Triangulates `input` incrementally. Exact duplicates are merged.
 /// Returns `None` when fewer than 3 non-collinear distinct points exist.
@@ -34,17 +37,44 @@ pub fn triangulate_incremental(input: &[Point2]) -> Option<Mesh> {
     };
     let mut mesh = Mesh::from_triangles(vec![a, b, c], vec![tri]);
 
-    let mut hint = mesh.any_triangle().unwrap();
-    for (i, &p) in pts.iter().enumerate() {
-        if i == 0 || i == 1 || i == k {
-            continue;
-        }
-        let v = insert_with_growth(&mut mesh, p, hint);
-        if let Some(t) = mesh.triangle_of_vertex(v) {
-            hint = t;
-        }
-    }
+    let rest: Vec<Point2> = pts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != 0 && i != 1 && i != k)
+        .map(|(_, &p)| p)
+        .collect();
+    mesh.insert_batch(&rest);
     Some(mesh)
+}
+
+impl Mesh {
+    /// Bulk insertion: inserts `pts` in BRIO order (Hilbert-sorted rounds,
+    /// see [`crate::brio`]), chaining the locate hint from one insertion
+    /// to the next so the point-location walk stays short and
+    /// cache-resident. Points outside the hull grow it; exact duplicates
+    /// resolve to the existing vertex.
+    ///
+    /// Returns the mesh vertex of each input point, in **input** order.
+    /// On point sets in general position the result is bit-identical to
+    /// inserting the points one at a time in any order (the Delaunay
+    /// triangulation is unique); with cocircular degeneracies the diagonal
+    /// choices follow the deterministic BRIO order.
+    ///
+    /// The mesh must already contain at least one triangle.
+    pub fn insert_batch(&mut self, pts: &[Point2]) -> Vec<u32> {
+        let mut out = vec![NIL; pts.len()];
+        let mut hint = self
+            .any_triangle()
+            .expect("insert_batch needs a seeded mesh");
+        for &i in &brio_order(pts) {
+            let v = insert_with_growth(self, pts[i as usize], hint);
+            out[i as usize] = v;
+            if let Some(t) = self.triangle_of_vertex(v) {
+                hint = t;
+            }
+        }
+        out
+    }
 }
 
 /// Inserts `p`, growing the hull if `p` lies outside. Returns the vertex.
@@ -69,14 +99,14 @@ pub fn insert_with_growth(mesh: &mut Mesh, p: Point2, hint: u32) -> u32 {
 /// the conflict cavity is exact by construction.
 fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     let (eu, ev) = mesh.edge_vertices(exit_t, exit_i);
-    debug_assert!(orient2d(mesh.vertices[eu as usize], mesh.vertices[ev as usize], p) < 0.0);
+    debug_assert!(orient2d(mesh.vertex(eu as usize), mesh.vertex(ev as usize), p) < 0.0);
 
     // Boundary successor/predecessor by walking each endpoint's star
     // (allocation-free).
     let next_boundary = |mesh: &Mesh, v: u32| -> Option<(u32, u32)> {
         for t in mesh.star(v) {
             for j in 0..3u8 {
-                if mesh.neighbors[t as usize][j as usize] == NIL {
+                if mesh.tris[t as usize].n[j as usize] == NIL {
                     let (x, y) = mesh.edge_vertices(t, j);
                     if x == v {
                         return Some((v, y));
@@ -89,7 +119,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     let prev_boundary = |mesh: &Mesh, v: u32| -> Option<(u32, u32)> {
         for t in mesh.star(v) {
             for j in 0..3u8 {
-                if mesh.neighbors[t as usize][j as usize] == NIL {
+                if mesh.tris[t as usize].n[j as usize] == NIL {
                     let (x, y) = mesh.edge_vertices(t, j);
                     if y == v {
                         return Some((x, y));
@@ -100,7 +130,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         None
     };
     let visible = |mesh: &Mesh, u: u32, v: u32| -> bool {
-        orient2d(mesh.vertices[u as usize], mesh.vertices[v as usize], p) < 0.0
+        orient2d_one(mesh.vertex(u as usize), mesh.vertex(v as usize), p) < 0.0
     };
 
     // The contiguous visible hull arc through the exit edge: the forward
@@ -138,7 +168,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         .map(|&(u, v)| {
             for bt in mesh.star(u) {
                 for j in 0..3u8 {
-                    if mesh.neighbors[bt as usize][j as usize] == NIL
+                    if mesh.tris[bt as usize].n[j as usize] == NIL
                         && mesh.edge_vertices(bt, j) == (u, v)
                     {
                         return (bt, j);
@@ -153,16 +183,16 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     // contains p. Epoch stamps replace the membership hash set; push and
     // pop orders are unchanged.
     let conflicts = |mesh: &Mesh, t: u32| -> bool {
-        let tri = mesh.triangles[t as usize];
-        incircle(
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+        let tri = mesh.tris[t as usize].v;
+        incircle_one(
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
             p,
         ) > 0.0
     };
     let mut s = std::mem::take(&mut mesh.scratch);
-    let (active, _evicted) = s.begin(mesh.triangles.len());
+    let (active, _evicted) = s.begin(mesh.tris.len());
     for &(bt, _) in &owners {
         if s.stamp(bt) != active && conflicts(mesh, bt) {
             s.set_stamp(bt, active);
@@ -172,7 +202,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     while let Some(t) = s.stack.pop() {
         s.cavity.push(t);
         for j in 0..3u8 {
-            let n = mesh.neighbors[t as usize][j as usize];
+            let n = mesh.tris[t as usize].n[j as usize];
             if n == NIL || s.stamp(n) == active {
                 continue;
             }
@@ -194,7 +224,7 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     for ti in 0..s.cavity.len() {
         let t = s.cavity[ti];
         for j in 0..3u8 {
-            let n = mesh.neighbors[t as usize][j as usize];
+            let n = mesh.tris[t as usize].n[j as usize];
             if n != NIL && s.stamp(n) == active {
                 continue;
             }
@@ -220,17 +250,17 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
     let pv = mesh.push_vertex(p);
     for bi in 0..s.border.len() {
         let (u, v, n) = s.border[bi];
-        if orient2d(p, mesh.vertices[u as usize], mesh.vertices[v as usize]) <= 0.0 {
+        if orient2d_one(p, mesh.vertex(u as usize), mesh.vertex(v as usize)) <= 0.0 {
             debug_assert_eq!(n, NIL, "degenerate fan edge with internal neighbor");
             continue;
         }
         let t = mesh.alloc_triangle([pv, u, v]);
-        mesh.neighbors[t as usize][0] = n;
+        mesh.tris[t as usize].n[0] = n;
         if n != NIL {
             for j in 0..3u8 {
                 let (x, y) = mesh.edge_vertices(n, j);
                 if (x, y) == (v, u) || (x, y) == (u, v) {
-                    mesh.neighbors[n as usize][j as usize] = t;
+                    mesh.tris[n as usize].n[j as usize] = t;
                     if mesh.is_constrained_tri(n, j) {
                         mesh.set_con_bit(t, 0);
                     }
@@ -241,8 +271,8 @@ fn grow_hull(mesh: &mut Mesh, p: Point2, exit_t: u32, exit_i: u8) -> u32 {
         }
         for (other, outgoing, idx) in [(v, false, 1u8), (u, true, 2u8)] {
             if let Some((t2, j)) = s.match_spoke(other, outgoing, t, idx) {
-                mesh.neighbors[t as usize][idx as usize] = t2;
-                mesh.neighbors[t2 as usize][j as usize] = t;
+                mesh.tris[t as usize].n[idx as usize] = t2;
+                mesh.tris[t2 as usize].n[j as usize] = t;
             }
         }
     }
@@ -263,13 +293,14 @@ mod tests {
     fn assert_delaunay(mesh: &Mesh) {
         mesh.check_consistency();
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tris[t as usize].v;
             let (a, b, c) = (
-                mesh.vertices[tri[0] as usize],
-                mesh.vertices[tri[1] as usize],
-                mesh.vertices[tri[2] as usize],
+                mesh.vertex(tri[0] as usize),
+                mesh.vertex(tri[1] as usize),
+                mesh.vertex(tri[2] as usize),
             );
-            for (i, &q) in mesh.vertices.iter().enumerate() {
+            for i in 0..mesh.num_vertices() {
+                let q = mesh.vertex(i);
                 if tri.contains(&(i as u32)) {
                     continue;
                 }
@@ -362,11 +393,11 @@ mod tests {
         let mut v: Vec<Vec<(u64, u64)>> = mesh
             .live_triangles()
             .map(|t| {
-                let tri = mesh.triangles[t as usize];
+                let tri = mesh.tris[t as usize].v;
                 let mut c: Vec<(u64, u64)> = tri
                     .iter()
                     .map(|&i| {
-                        let q = mesh.vertices[i as usize];
+                        let q = mesh.vertex(i as usize);
                         (q.x.to_bits(), q.y.to_bits())
                     })
                     .collect();

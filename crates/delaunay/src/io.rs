@@ -18,12 +18,13 @@ use std::io::{self, BufRead, BufWriter, Read, Write};
 pub fn write_ascii<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     writeln!(w, "{} 2 0 0", mesh.num_vertices())?;
-    for (i, v) in mesh.vertices.iter().enumerate() {
+    for i in 0..mesh.num_vertices() {
+        let v = mesh.vertex(i);
         writeln!(w, "{} {:.17} {:.17}", i, v.x, v.y)?;
     }
     writeln!(w, "{} 3 0", mesh.num_triangles())?;
     for (k, t) in mesh.live_triangles().enumerate() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tris[t as usize].v;
         writeln!(w, "{} {} {} {}", k, tri[0], tri[1], tri[2])?;
     }
     w.flush()
@@ -41,13 +42,13 @@ pub fn write_ascii_canonical<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()>
     // entries (carved/super-triangle leftovers) differ by history.
     let mut used: Vec<u32> = mesh
         .live_triangles()
-        .flat_map(|t| mesh.triangles[t as usize])
+        .flat_map(|t| mesh.tris[t as usize].v)
         .collect();
     used.sort_unstable();
     used.dedup();
     let mut order: Vec<u32> = used.clone();
     order.sort_unstable_by(|&a, &b| {
-        let (pa, pb) = (mesh.vertices[a as usize], mesh.vertices[b as usize]);
+        let (pa, pb) = (mesh.vertex(a as usize), mesh.vertex(b as usize));
         pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
     });
     let mut new_id = vec![u32::MAX; mesh.num_vertices()];
@@ -57,7 +58,7 @@ pub fn write_ascii_canonical<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()>
     let mut tris: Vec<[u32; 3]> = mesh
         .live_triangles()
         .map(|t| {
-            let tri = mesh.triangles[t as usize].map(|v| new_id[v as usize]);
+            let tri = mesh.tris[t as usize].v.map(|v| new_id[v as usize]);
             // Rotate the cycle (a,b,c) so the smallest index leads; this
             // keeps winding, unlike sorting the corners.
             let lead = (0..3).min_by_key(|&i| tri[i]).expect("3 corners");
@@ -68,7 +69,7 @@ pub fn write_ascii_canonical<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()>
     let mut w = BufWriter::new(w);
     writeln!(w, "{} 2 0 0", order.len())?;
     for (i, &old) in order.iter().enumerate() {
-        let v = mesh.vertices[old as usize];
+        let v = mesh.vertex(old as usize);
         writeln!(w, "{} {:.17} {:.17}", i, v.x, v.y)?;
     }
     writeln!(w, "{} 3 0", tris.len())?;
@@ -137,7 +138,8 @@ pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     })?;
     w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
     w.write_all(&(mesh.num_triangles() as u64).to_le_bytes())?;
-    for v in &mesh.vertices {
+    for i in 0..mesh.num_vertices() {
+        let v = mesh.vertex(i);
         w.write_all(&v.x.to_le_bytes())?;
         w.write_all(&v.y.to_le_bytes())?;
     }
@@ -150,7 +152,7 @@ pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
         }
     }
     for t in mesh.live_triangles() {
-        for &vi in &mesh.triangles[t as usize] {
+        for &vi in &mesh.tris[t as usize].v {
             w.write_all(&vi.to_le_bytes())?;
         }
     }
@@ -212,9 +214,10 @@ pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()>
     let mut w = BufWriter::new(w);
     let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
     let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
-    for v in &mesh.vertices {
-        min = min.min(*v);
-        max = max.max(*v);
+    for i in 0..mesh.num_vertices() {
+        let v = mesh.vertex(i);
+        min = min.min(v);
+        max = max.max(v);
     }
     let span_x = (max.x - min.x).max(1e-12);
     let span_y = (max.y - min.y).max(1e-12);
@@ -227,10 +230,10 @@ pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()>
     writeln!(w, "<g stroke=\"#456\" stroke-width=\"0.4\" fill=\"none\">")?;
     let tx = |p: Point2| ((p.x - min.x) * scale, (max.y - p.y) * scale);
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
-        let (x0, y0) = tx(mesh.vertices[tri[0] as usize]);
-        let (x1, y1) = tx(mesh.vertices[tri[1] as usize]);
-        let (x2, y2) = tx(mesh.vertices[tri[2] as usize]);
+        let tri = mesh.tris[t as usize].v;
+        let (x0, y0) = tx(mesh.vertex(tri[0] as usize));
+        let (x1, y1) = tx(mesh.vertex(tri[1] as usize));
+        let (x2, y2) = tx(mesh.vertex(tri[2] as usize));
         writeln!(
             w,
             "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2} L{x2:.2} {y2:.2} Z\"/>"
@@ -244,8 +247,8 @@ pub fn write_svg<W: Write>(mesh: &Mesh, w: &mut W, width: f64) -> io::Result<()>
     let mut constrained: Vec<(u32, u32)> = mesh.constrained_edges().collect();
     constrained.sort_unstable();
     for (a, b) in constrained {
-        let (x0, y0) = tx(mesh.vertices[a as usize]);
-        let (x1, y1) = tx(mesh.vertices[b as usize]);
+        let (x0, y0) = tx(mesh.vertex(a as usize));
+        let (x1, y1) = tx(mesh.vertex(b as usize));
         writeln!(w, "<path d=\"M{x0:.2} {y0:.2} L{x1:.2} {y1:.2}\"/>")?;
     }
     writeln!(w, "</g>")?;
@@ -280,7 +283,7 @@ mod tests {
         let back = read_ascii(&mut buf.as_slice()).unwrap();
         assert_eq!(back.num_vertices(), mesh.num_vertices());
         assert_eq!(back.num_triangles(), mesh.num_triangles());
-        assert_eq!(back.vertices, mesh.vertices);
+        assert_eq!(back.points(), mesh.points());
         back.check_consistency();
     }
 
@@ -292,7 +295,7 @@ mod tests {
         let back = read_binary(&mut buf.as_slice()).unwrap();
         assert_eq!(back.num_vertices(), mesh.num_vertices());
         assert_eq!(back.num_triangles(), mesh.num_triangles());
-        assert_eq!(back.vertices, mesh.vertices);
+        assert_eq!(back.points(), mesh.points());
         back.check_consistency();
     }
 
@@ -333,7 +336,7 @@ mod tests {
         write_binary(&mesh, &mut buf).unwrap();
         assert_eq!(&buf[..8], b"ADM2DM02");
         let back = read_binary(&mut buf.as_slice()).unwrap();
-        assert_eq!(back.vertices, mesh.vertices);
+        assert_eq!(back.points(), mesh.points());
         assert_eq!(back.global_id(0), Some(GlobalVertexId(7)));
         assert_eq!(back.global_id(1), None);
         assert_eq!(back.global_id(3), Some(GlobalVertexId(42)));

@@ -7,6 +7,8 @@
 //!   vertical cuts and a pre-sorted input fast path (paper §III);
 //! * [`mesh`] — adjacency-carrying triangle mesh with exact point location
 //!   and Bowyer–Watson cavity insertion;
+//! * [`brio`] — Hilbert-sorted biased randomized insertion order feeding
+//!   the bulk-insertion path (`Mesh::insert_batch`);
 //! * [`cdt`] — constraint segment insertion and Triangle-style carving of
 //!   concavities/holes;
 //! * [`mod@refine`] — Ruppert refinement with the `sqrt(2)` quality bound and
@@ -14,6 +16,8 @@
 //! * [`quality`] / [`io`] / [`triangulator`] — metrics, Triangle-format
 //!   I/O + SVG, and the switch-style facade.
 
+pub mod bitset;
+pub mod brio;
 pub mod cdt;
 pub mod divconq;
 pub mod incremental;

@@ -11,8 +11,9 @@
 //! would fall outside the domain are intercepted as segment encroachment
 //! before they are inserted).
 
+use crate::bitset::BitSet;
 use adm_geom::point::Point2;
-use adm_geom::predicates::{incircle, orient2d};
+use adm_geom::predicates::{incircle, incircle_batch, orient2d, orient2d_batch, orient2d_one};
 use adm_kernel::GlobalVertexId;
 use std::collections::{HashMap, HashSet};
 
@@ -125,36 +126,54 @@ impl InsertScratch {
     }
 }
 
+/// One triangle slot, fused: corner vertices, neighbor adjacency,
+/// incident-list next pointers, and the constraint bitmask live in a
+/// single 40-byte record, so a cavity BFS step or star walk touches one
+/// cache line per triangle instead of three or four parallel arrays.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TriRec {
+    /// CCW corner vertices; garbage while the slot is dead.
+    pub v: [u32; 3],
+    /// `n[i]` = triangle across the edge opposite corner `i` (NIL = hull).
+    pub n: [u32; 3],
+    /// Per-corner next pointer of the vertex incident-corner lists.
+    pub inc: [u32; 3],
+    /// Constraint bitmask: bit `i` set iff edge `i` is constrained.
+    /// Mirrors the `constrained` set for all live triangle edges so the
+    /// hot paths never hash; the set remains the source of truth for
+    /// edges that do not (yet) exist in the triangulation.
+    pub con: u8,
+}
+
 /// A triangle mesh with neighbor adjacency and constrained-edge bookkeeping.
+///
+/// Coordinates are stored as separate x/y arrays (SoA): the batched
+/// predicate filters read contiguous coordinate lanes, and the layout is
+/// exposed raw via [`Mesh::coords`]. All per-triangle state is fused in
+/// [`TriRec`]; liveness is one bit per slot in a packed [`BitSet`].
 #[derive(Debug, Clone, Default)]
 pub struct Mesh {
-    /// Vertex coordinates (never removed).
-    pub vertices: Vec<Point2>,
-    /// CCW vertex triples; slots of dead triangles are garbage until reused.
-    pub triangles: Vec<[u32; 3]>,
-    /// `neighbors[t][i]` = triangle across the edge opposite vertex `i`.
-    pub neighbors: Vec<[u32; 3]>,
-    alive: Vec<bool>,
+    /// Vertex x coordinates (vertices are never removed).
+    coords_x: Vec<f64>,
+    /// Vertex y coordinates, parallel to `coords_x`.
+    coords_y: Vec<f64>,
+    /// Fused triangle records; slots of dead triangles are garbage until
+    /// reused through the free list.
+    pub(crate) tris: Vec<TriRec>,
+    alive: BitSet,
     live_count: usize,
     free: Vec<u32>,
     /// Some live triangle incident to each vertex (NIL if none yet).
     vert_tri: Vec<u32>,
     /// Head of each vertex's intrusive incident-corner list: encoded
-    /// `3*t + i` where the vertex is `triangles[t][i]`, or NIL.
+    /// `3*t + i` where the vertex is `tris[t].v[i]`, or NIL.
     first_inc: Vec<u32>,
-    /// Per-corner next pointer of the incident-corner lists.
-    inc_next: Vec<[u32; 3]>,
-    /// Per-triangle constraint bitmask: bit `i` set iff edge `i` is
-    /// constrained. Mirrors `constrained` for all live triangle edges so
-    /// the hot paths never hash; the set remains the source of truth for
-    /// edges that do not (yet) exist in the triangulation.
-    con: Vec<u8>,
     /// Constrained (fixed) edges as canonical vertex pairs.
     constrained: HashSet<(u32, u32)>,
     /// Arena identity stamps per vertex (raw [`GlobalVertexId`] values,
     /// [`GlobalVertexId::NONE_RAW`] = unstamped). May be *shorter* than
-    /// `vertices`: refinement Steiner points appended after stamping carry
-    /// no identity and simply fall off the end of this table.
+    /// the vertex count: refinement Steiner points appended after stamping
+    /// carry no identity and simply fall off the end of this table.
     global: Vec<u32>,
     pub(crate) scratch: InsertScratch,
 }
@@ -170,26 +189,32 @@ impl Mesh {
         let mut mesh = Mesh {
             vert_tri: vec![NIL; vertices.len()],
             first_inc: vec![NIL; vertices.len()],
-            vertices,
-            triangles: tris,
+            coords_x: vertices.iter().map(|p| p.x).collect(),
+            coords_y: vertices.iter().map(|p| p.y).collect(),
+            tris: tris
+                .into_iter()
+                .map(|v| TriRec {
+                    v,
+                    n: [NIL; 3],
+                    inc: [NIL; 3],
+                    con: 0,
+                })
+                .collect(),
             ..Default::default()
         };
-        mesh.alive = vec![true; mesh.triangles.len()];
-        mesh.live_count = mesh.triangles.len();
-        mesh.neighbors = vec![[NIL; 3]; mesh.triangles.len()];
-        mesh.inc_next = vec![[NIL; 3]; mesh.triangles.len()];
-        mesh.con = vec![0; mesh.triangles.len()];
+        mesh.alive = BitSet::with_len(mesh.tris.len(), true);
+        mesh.live_count = mesh.tris.len();
         let mut half: HashMap<(u32, u32), (u32, u8)> = HashMap::new();
-        for t in 0..mesh.triangles.len() as u32 {
-            let tri = mesh.triangles[t as usize];
+        for t in 0..mesh.tris.len() as u32 {
+            let tri = mesh.tris[t as usize].v;
             mesh.link_corners(t);
             for i in 0..3u8 {
                 let (a, b) = (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3]);
                 mesh.vert_tri[a as usize] = t;
                 // The twin half-edge runs b -> a.
                 if let Some((n, j)) = half.remove(&(b, a)) {
-                    mesh.neighbors[t as usize][i as usize] = n;
-                    mesh.neighbors[n as usize][j as usize] = t;
+                    mesh.tris[t as usize].n[i as usize] = n;
+                    mesh.tris[n as usize].n[j as usize] = t;
                 } else {
                     let prev = half.insert((a, b), (t, i));
                     assert!(prev.is_none(), "non-manifold edge ({a},{b})");
@@ -203,16 +228,14 @@ impl Mesh {
     /// insertion scratch) for `add_vertices` / `add_triangles` more
     /// entries, so a subsequent bounded insertion loop allocates nothing.
     pub fn reserve(&mut self, add_vertices: usize, add_triangles: usize) {
-        self.vertices.reserve(add_vertices);
+        self.coords_x.reserve(add_vertices);
+        self.coords_y.reserve(add_vertices);
         self.vert_tri.reserve(add_vertices);
         self.first_inc.reserve(add_vertices);
-        self.triangles.reserve(add_triangles);
-        self.neighbors.reserve(add_triangles);
+        self.tris.reserve(add_triangles);
         self.alive.reserve(add_triangles);
-        self.inc_next.reserve(add_triangles);
-        self.con.reserve(add_triangles);
         self.free.reserve(add_triangles);
-        let slots = self.triangles.len() + add_triangles;
+        let slots = self.tris.len() + add_triangles;
         if self.scratch.visited.len() < slots {
             self.scratch.visited.resize(slots, 0);
         }
@@ -227,9 +250,61 @@ impl Mesh {
         self.live_count
     }
 
+    /// Number of triangle slots (live + dead); slot ids are `0..num_slots`.
+    pub fn num_slots(&self) -> usize {
+        self.tris.len()
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.vertices.len()
+        self.coords_x.len()
+    }
+
+    /// The coordinates of vertex `i`.
+    #[inline]
+    pub fn vertex(&self, i: usize) -> Point2 {
+        Point2::new(self.coords_x[i], self.coords_y[i])
+    }
+
+    /// Overwrites the coordinates of vertex `i` (no topology change; the
+    /// caller is responsible for keeping the triangulation valid).
+    pub fn set_vertex(&mut self, i: usize, p: Point2) {
+        self.coords_x[i] = p.x;
+        self.coords_y[i] = p.y;
+    }
+
+    /// All vertex coordinates, materialized as a `Point2` list.
+    pub fn points(&self) -> Vec<Point2> {
+        self.coords_x
+            .iter()
+            .zip(&self.coords_y)
+            .map(|(&x, &y)| Point2::new(x, y))
+            .collect()
+    }
+
+    /// The raw SoA coordinate arrays `(x, y)` — the layout the batched
+    /// predicate filters consume directly.
+    #[inline]
+    pub fn coords(&self) -> (&[f64], &[f64]) {
+        (&self.coords_x, &self.coords_y)
+    }
+
+    /// The corner vertices of triangle slot `t` (CCW).
+    #[inline]
+    pub fn tri(&self, t: usize) -> [u32; 3] {
+        self.tris[t].v
+    }
+
+    /// The three neighbors of triangle slot `t` (`n[i]` faces corner `i`).
+    #[inline]
+    pub fn tri_neighbors(&self, t: usize) -> [u32; 3] {
+        self.tris[t].n
+    }
+
+    /// The neighbor of triangle `t` across the edge opposite corner `i`.
+    #[inline]
+    pub fn neighbor(&self, t: usize, i: usize) -> u32 {
+        self.tris[t].n[i]
     }
 
     /// Stamps vertex `v` with the arena identity `id`.
@@ -271,18 +346,18 @@ impl Mesh {
     /// `true` if triangle slot `t` is live.
     #[inline]
     pub fn is_alive(&self, t: u32) -> bool {
-        self.alive[t as usize]
+        self.alive.get(t as usize)
     }
 
     /// Iterator over live triangle ids.
     pub fn live_triangles(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.triangles.len() as u32).filter(move |&t| self.alive[t as usize])
+        (0..self.tris.len() as u32).filter(move |&t| self.alive.get(t as usize))
     }
 
     /// The two endpoints of edge `i` of triangle `t` (CCW direction).
     #[inline]
     pub fn edge_vertices(&self, t: u32, i: u8) -> (u32, u32) {
-        let tri = self.triangles[t as usize];
+        let tri = self.tris[t as usize].v;
         (tri[(i as usize + 1) % 3], tri[(i as usize + 2) % 3])
     }
 
@@ -291,13 +366,13 @@ impl Mesh {
     pub fn constrain_edge(&mut self, a: u32, b: u32) {
         self.constrained.insert(edge_key(a, b));
         if let Some((t, i)) = self.find_edge(a, b) {
-            self.con[t as usize] |= 1 << i;
-            let n = self.neighbors[t as usize][i as usize];
+            self.tris[t as usize].con |= 1 << i;
+            let n = self.tris[t as usize].n[i as usize];
             if n != NIL {
                 for j in 0..3u8 {
                     let (x, y) = self.edge_vertices(n, j);
                     if (x == a && y == b) || (x == b && y == a) {
-                        self.con[n as usize] |= 1 << j;
+                        self.tris[n as usize].con |= 1 << j;
                         break;
                     }
                 }
@@ -310,13 +385,13 @@ impl Mesh {
     pub fn unconstrain_edge(&mut self, a: u32, b: u32) {
         self.constrained.remove(&edge_key(a, b));
         if let Some((t, i)) = self.find_edge(a, b) {
-            self.con[t as usize] &= !(1 << i);
-            let n = self.neighbors[t as usize][i as usize];
+            self.tris[t as usize].con &= !(1 << i);
+            let n = self.tris[t as usize].n[i as usize];
             if n != NIL {
                 for j in 0..3u8 {
                     let (x, y) = self.edge_vertices(n, j);
                     if (x == a && y == b) || (x == b && y == a) {
-                        self.con[n as usize] &= !(1 << j);
+                        self.tris[n as usize].con &= !(1 << j);
                         break;
                     }
                 }
@@ -334,14 +409,14 @@ impl Mesh {
     /// lookup — the hash-free fast path when `(t, i)` is already known).
     #[inline]
     pub fn is_constrained_tri(&self, t: u32, i: u8) -> bool {
-        (self.con[t as usize] >> i) & 1 != 0
+        (self.tris[t as usize].con >> i) & 1 != 0
     }
 
     /// Sets the constraint bit of edge `i` of triangle `t` (bit only; the
     /// caller guarantees the edge is in the constrained set).
     #[inline]
     pub(crate) fn set_con_bit(&mut self, t: u32, i: u8) {
-        self.con[t as usize] |= 1 << i;
+        self.tris[t as usize].con |= 1 << i;
     }
 
     /// All constrained edges (canonical pairs).
@@ -363,7 +438,7 @@ impl Mesh {
     /// if it went stale.
     pub fn triangle_of_vertex(&self, v: u32) -> Option<u32> {
         let t = self.vert_tri[v as usize];
-        if t != NIL && self.alive[t as usize] && self.triangles[t as usize].contains(&v) {
+        if t != NIL && self.alive.get(t as usize) && self.tris[t as usize].v.contains(&v) {
             return Some(t);
         }
         // Stale hint: O(deg) walk of the incident-corner list, returning
@@ -373,11 +448,11 @@ impl Mesh {
         let mut cur = self.first_inc[v as usize];
         while cur != NIL {
             let (t, i) = (cur / 3, (cur % 3) as usize);
-            debug_assert!(self.alive[t as usize], "dead corner in incident list");
+            debug_assert!(self.alive.get(t as usize), "dead corner in incident list");
             if t < best {
                 best = t;
             }
-            cur = self.inc_next[t as usize][i];
+            cur = self.tris[t as usize].inc[i];
         }
         if best == NIL {
             None
@@ -388,7 +463,8 @@ impl Mesh {
 
     /// Index (0..3) of vertex `v` within triangle `t`.
     pub fn vertex_index_in(&self, t: u32, v: u32) -> Option<u8> {
-        self.triangles[t as usize]
+        self.tris[t as usize]
+            .v
             .iter()
             .position(|&x| x == v)
             .map(|i| i as u8)
@@ -442,32 +518,42 @@ impl Mesh {
     /// is reached, the mesh boundary is exited, or (when
     /// `stop_at_constraints`) a constrained edge must be crossed.
     pub fn walk_from(&self, from: u32, target: Point2, stop_at_constraints: bool) -> Location {
-        debug_assert!(self.alive[from as usize]);
+        debug_assert!(self.alive.get(from as usize));
         let mut cur = from;
         let mut prev = NIL;
         // Upper bound on steps to guarantee termination even if the line
         // walk degenerates; a straight walk visits each triangle at most
         // once.
-        let max_steps = 4 * self.triangles.len() + 16;
+        let max_steps = 4 * self.tris.len() + 16;
         for _ in 0..max_steps {
-            let tri = self.triangles[cur as usize];
+            let tri = self.tris[cur as usize].v;
             let (a, b, c) = (
-                self.vertices[tri[0] as usize],
-                self.vertices[tri[1] as usize],
-                self.vertices[tri[2] as usize],
+                self.vertex(tri[0] as usize),
+                self.vertex(tri[1] as usize),
+                self.vertex(tri[2] as usize),
             );
-            // On-vertex check first.
-            for (k, &vi) in tri.iter().enumerate() {
-                let _ = k;
-                if self.vertices[vi as usize] == target {
-                    return Location::OnVertex(vi, cur);
-                }
-            }
-            let d0 = orient2d(b, c, target); // edge 0 (opposite vertex 0)
-            let d1 = orient2d(c, a, target); // edge 1
-            let d2 = orient2d(a, b, target); // edge 2
+            // All three edge orientations through one batched stage-A pass
+            // (lane k is the edge opposite vertex k).
+            let ex = [b.x, c.x, a.x];
+            let ey = [b.y, c.y, a.y];
+            let fx = [c.x, a.x, b.x];
+            let fy = [c.y, a.y, b.y];
+            let tx = [target.x; 3];
+            let ty = [target.y; 3];
+            let mut d = [0.0f64; 3];
+            orient2d_batch(&ex, &ey, &fx, &fy, &tx, &ty, &mut d);
+            let [d0, d1, d2] = d;
             if d0 >= 0.0 && d1 >= 0.0 && d2 >= 0.0 {
-                // Inside or on an edge.
+                // Inside, on an edge, or on a vertex. A target coinciding
+                // with a corner always lands in this branch (its two
+                // incident edge orientations are exactly zero and the third
+                // is the triangle's own CCW orientation), so the coordinate
+                // comparison runs once per walk instead of once per step.
+                for &vi in tri.iter() {
+                    if self.vertex(vi as usize) == target {
+                        return Location::OnVertex(vi, cur);
+                    }
+                }
                 if d0 == 0.0 {
                     return Location::OnEdge(cur, 0);
                 }
@@ -480,14 +566,24 @@ impl Mesh {
                 return Location::InTriangle(cur);
             }
             // Move through the most violated edge not returning to `prev`.
+            // Stable 3-element insertion network: identical permutation
+            // (including tie order) to the stable library sort it replaces.
             let mut order = [(d0, 0u8), (d1, 1u8), (d2, 2u8)];
-            order.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            if order[1].0 < order[0].0 {
+                order.swap(0, 1);
+            }
+            if order[2].0 < order[1].0 {
+                order.swap(1, 2);
+                if order[1].0 < order[0].0 {
+                    order.swap(0, 1);
+                }
+            }
             let mut moved = false;
             for &(d, i) in &order {
                 if d >= 0.0 {
                     break;
                 }
-                let n = self.neighbors[cur as usize][i as usize];
+                let n = self.tris[cur as usize].n[i as usize];
                 if n == prev && n != NIL {
                     continue;
                 }
@@ -507,7 +603,7 @@ impl Mesh {
                 // impossible for a straight walk, treat conservatively.
                 let (d, i) = order[0];
                 debug_assert!(d < 0.0);
-                let n = self.neighbors[cur as usize][i as usize];
+                let n = self.tris[cur as usize].n[i as usize];
                 if n == NIL {
                     return Location::Outside(cur, i);
                 }
@@ -528,15 +624,15 @@ impl Mesh {
     /// when the greedy walk exhausts its step budget.
     fn locate_by_scan(&self, target: Point2, stop_at_constraints: bool, last: u32) -> Location {
         for t in self.live_triangles() {
-            let tri = self.triangles[t as usize];
+            let tri = self.tris[t as usize].v;
             let (a, b, c) = (
-                self.vertices[tri[0] as usize],
-                self.vertices[tri[1] as usize],
-                self.vertices[tri[2] as usize],
+                self.vertex(tri[0] as usize),
+                self.vertex(tri[1] as usize),
+                self.vertex(tri[2] as usize),
             );
             for (k, &vi) in tri.iter().enumerate() {
                 let _ = k;
-                if self.vertices[vi as usize] == target {
+                if self.vertex(vi as usize) == target {
                     return Location::OnVertex(vi, t);
                 }
             }
@@ -559,11 +655,11 @@ impl Mesh {
         // Outside every triangle. Report the boundary edge of the last
         // walk triangle that faces the target; with `stop_at_constraints`
         // a constrained facing edge reports Blocked.
-        let tri = self.triangles[last as usize];
+        let tri = self.tris[last as usize].v;
         let (a, b, c) = (
-            self.vertices[tri[0] as usize],
-            self.vertices[tri[1] as usize],
-            self.vertices[tri[2] as usize],
+            self.vertex(tri[0] as usize),
+            self.vertex(tri[1] as usize),
+            self.vertex(tri[2] as usize),
         );
         let ds = [
             orient2d(b, c, target),
@@ -591,17 +687,18 @@ impl Mesh {
     /// Appends a new vertex (no topology change). Used by construction
     /// engines that manage their own triangle creation.
     pub(crate) fn push_vertex(&mut self, p: Point2) -> u32 {
-        self.vertices.push(p);
+        self.coords_x.push(p.x);
+        self.coords_y.push(p.y);
         self.vert_tri.push(NIL);
         self.first_inc.push(NIL);
-        (self.vertices.len() - 1) as u32
+        (self.coords_x.len() - 1) as u32
     }
 
     /// Pushes `t`'s three corners onto their vertices' incident lists.
     fn link_corners(&mut self, t: u32) {
-        let tri = self.triangles[t as usize];
+        let tri = self.tris[t as usize].v;
         for (i, &v) in tri.iter().enumerate() {
-            self.inc_next[t as usize][i] = self.first_inc[v as usize];
+            self.tris[t as usize].inc[i] = self.first_inc[v as usize];
             self.first_inc[v as usize] = 3 * t + i as u32;
         }
     }
@@ -609,20 +706,20 @@ impl Mesh {
     /// Removes `t`'s three corners from their vertices' incident lists
     /// (O(deg) list walk per corner).
     fn unlink_corners(&mut self, t: u32) {
-        let tri = self.triangles[t as usize];
+        let tri = self.tris[t as usize].v;
         for (i, &v) in tri.iter().enumerate() {
             let target = 3 * t + i as u32;
             let mut cur = self.first_inc[v as usize];
             if cur == target {
-                self.first_inc[v as usize] = self.inc_next[t as usize][i];
+                self.first_inc[v as usize] = self.tris[t as usize].inc[i];
                 continue;
             }
             loop {
                 debug_assert_ne!(cur, NIL, "corner missing from incident list");
                 let (ct, ci) = ((cur / 3) as usize, (cur % 3) as usize);
-                let next = self.inc_next[ct][ci];
+                let next = self.tris[ct].inc[ci];
                 if next == target {
-                    self.inc_next[ct][ci] = self.inc_next[t as usize][i];
+                    self.tris[ct].inc[ci] = self.tris[t as usize].inc[i];
                     break;
                 }
                 cur = next;
@@ -632,18 +729,21 @@ impl Mesh {
 
     pub(crate) fn alloc_triangle(&mut self, verts: [u32; 3]) -> u32 {
         let t = if let Some(t) = self.free.pop() {
-            self.triangles[t as usize] = verts;
-            self.neighbors[t as usize] = [NIL; 3];
-            self.alive[t as usize] = true;
-            self.con[t as usize] = 0;
+            let rec = &mut self.tris[t as usize];
+            rec.v = verts;
+            rec.n = [NIL; 3];
+            rec.con = 0;
+            self.alive.set(t as usize, true);
             t
         } else {
-            let t = self.triangles.len() as u32;
-            self.triangles.push(verts);
-            self.neighbors.push([NIL; 3]);
+            let t = self.tris.len() as u32;
+            self.tris.push(TriRec {
+                v: verts,
+                n: [NIL; 3],
+                inc: [NIL; 3],
+                con: 0,
+            });
             self.alive.push(true);
-            self.inc_next.push([NIL; 3]);
-            self.con.push(0);
             t
         };
         self.live_count += 1;
@@ -655,9 +755,9 @@ impl Mesh {
     }
 
     pub(crate) fn kill_triangle(&mut self, t: u32) {
-        debug_assert!(self.alive[t as usize]);
+        debug_assert!(self.alive.get(t as usize));
         self.unlink_corners(t);
-        self.alive[t as usize] = false;
+        self.alive.set(t as usize, false);
         self.live_count -= 1;
         self.free.push(t);
     }
@@ -673,7 +773,7 @@ impl Mesh {
                 bits |= 1 << i;
             }
         }
-        self.con[t as usize] = bits;
+        self.tris[t as usize].con = bits;
     }
 
     /// Inserts point `p` into the mesh with the Bowyer–Watson cavity
@@ -718,17 +818,14 @@ impl Mesh {
     /// contains `p` (its containing triangle). `on_edge` carries the edge
     /// `p` lies on, whose two adjacent triangles seed the cavity.
     fn insert_in_cavity(&mut self, p: Point2, seed: u32, on_edge: Option<(u32, u8)>) -> u32 {
-        let pv = self.vertices.len() as u32;
-        self.vertices.push(p);
-        self.vert_tri.push(NIL);
-        self.first_inc.push(NIL);
+        let pv = self.push_vertex(p);
 
         // Grow the conflict cavity by BFS. Constrained edges are opaque.
         // Scratch buffers + epoch stamps replace the per-insert hash sets;
         // the BFS pop/push order is unchanged, so the kill order — and with
         // it the free-list state and every downstream slot id — is too.
         let mut s = std::mem::take(&mut self.scratch);
-        let (active, evicted) = s.begin(self.triangles.len());
+        let (active, evicted) = s.begin(self.tris.len());
         s.set_stamp(seed, active);
         s.stack.push(seed);
         // When splitting an edge, both adjacent triangles seed the cavity
@@ -738,7 +835,7 @@ impl Mesh {
         let mut seed2 = NIL;
         if let Some((t, i)) = on_edge {
             skip_pair = Some(self.edge_vertices(t, i));
-            let n = self.neighbors[t as usize][i as usize];
+            let n = self.tris[t as usize].n[i as usize];
             if n != NIL && s.stamp(n) != active {
                 s.set_stamp(n, active);
                 s.stack.push(n);
@@ -747,23 +844,59 @@ impl Mesh {
         }
         while let Some(t) = s.stack.pop() {
             s.cavity.push(t);
+            // Gather the untested neighbors of `t`, then judge them with one
+            // batched stage-A incircle pass. Lane values are bit-identical to
+            // per-neighbor scalar calls, and stamping/pushing stays in edge
+            // order, so the BFS — and the kill order downstream — is
+            // unchanged.
+            let mut lanes = 0usize;
+            let mut cand = [NIL; 3];
+            let (mut ax, mut ay) = ([0.0f64; 3], [0.0f64; 3]);
+            let (mut bx, mut by) = ([0.0f64; 3], [0.0f64; 3]);
+            let (mut cx, mut cy) = ([0.0f64; 3], [0.0f64; 3]);
             for i in 0..3u8 {
-                let n = self.neighbors[t as usize][i as usize];
+                let n = self.tris[t as usize].n[i as usize];
                 if n == NIL || s.stamp(n) == active {
                     continue;
                 }
                 if self.is_constrained_tri(t, i) {
                     continue;
                 }
-                let tri = self.triangles[n as usize];
+                let tri = self.tris[n as usize].v;
                 let (a, b, c) = (
-                    self.vertices[tri[0] as usize],
-                    self.vertices[tri[1] as usize],
-                    self.vertices[tri[2] as usize],
+                    self.vertex(tri[0] as usize),
+                    self.vertex(tri[1] as usize),
+                    self.vertex(tri[2] as usize),
                 );
-                if incircle(a, b, c, p) > 0.0 {
-                    s.set_stamp(n, active);
-                    s.stack.push(n);
+                cand[lanes] = n;
+                ax[lanes] = a.x;
+                ay[lanes] = a.y;
+                bx[lanes] = b.x;
+                by[lanes] = b.y;
+                cx[lanes] = c.x;
+                cy[lanes] = c.y;
+                lanes += 1;
+            }
+            if lanes == 0 {
+                continue;
+            }
+            let (px, py) = ([p.x; 3], [p.y; 3]);
+            let mut det = [0.0f64; 3];
+            incircle_batch(
+                &ax[..lanes],
+                &ay[..lanes],
+                &bx[..lanes],
+                &by[..lanes],
+                &cx[..lanes],
+                &cy[..lanes],
+                &px[..lanes],
+                &py[..lanes],
+                &mut det[..lanes],
+            );
+            for k in 0..lanes {
+                if det[k] > 0.0 {
+                    s.set_stamp(cand[k], active);
+                    s.stack.push(cand[k]);
                 }
             }
         }
@@ -786,7 +919,7 @@ impl Mesh {
                     continue;
                 }
                 for i in 0..3u8 {
-                    let n = self.neighbors[t as usize][i as usize];
+                    let n = self.tris[t as usize].n[i as usize];
                     if n != NIL && s.stamp(n) == active {
                         continue;
                     }
@@ -796,7 +929,7 @@ impl Mesh {
                             .map(|(sa, sb)| (u == sa && v == sb) || (u == sb && v == sa))
                             .unwrap_or(false);
                         !skip
-                            && orient2d(p, self.vertices[u as usize], self.vertices[v as usize])
+                            && orient2d_one(p, self.vertex(u as usize), self.vertex(v as usize))
                                 <= 0.0
                     };
                     if degenerate && n != NIL && t != seed && t != seed2 {
@@ -830,29 +963,29 @@ impl Mesh {
                     continue;
                 }
             }
-            if orient2d(p, self.vertices[u as usize], self.vertices[v as usize]) <= 0.0 {
+            if orient2d_one(p, self.vertex(u as usize), self.vertex(v as usize)) <= 0.0 {
                 debug_assert!(
                     n == NIL,
                     "degenerate fan edge with internal neighbor {n}: p={p:?} u={:?} v={:?} orient={}",
-                    self.vertices[u as usize],
-                    self.vertices[v as usize],
-                    orient2d(p, self.vertices[u as usize], self.vertices[v as usize]),
+                    self.vertex(u as usize),
+                    self.vertex(v as usize),
+                    orient2d(p, self.vertex(u as usize), self.vertex(v as usize)),
                 );
                 continue;
             }
             let t = self.alloc_triangle([pv, u, v]);
             // Edge 0 (opposite p) is (u, v): pairs with external n, whose
             // matched edge also carries the constraint bit to inherit.
-            self.neighbors[t as usize][0] = n;
+            self.tris[t as usize].n[0] = n;
             if n != NIL {
                 // Find n's edge matching (v, u).
                 let mut fixed = false;
                 for j in 0..3u8 {
                     let (x, y) = self.edge_vertices(n, j);
                     if (x == v && y == u) || (x == u && y == v) {
-                        self.neighbors[n as usize][j as usize] = t;
+                        self.tris[n as usize].n[j as usize] = t;
                         if self.is_constrained_tri(n, j) {
-                            self.con[t as usize] |= 1;
+                            self.tris[t as usize].con |= 1;
                         }
                         fixed = true;
                         break;
@@ -860,15 +993,15 @@ impl Mesh {
                 }
                 debug_assert!(fixed, "external neighbor lost its border edge");
             } else if self.is_constrained(u, v) {
-                self.con[t as usize] |= 1;
+                self.tris[t as usize].con |= 1;
             }
             // Edge 1 (opposite u) is (v, p); edge 2 (opposite v) is (p, u).
             // Both touch the brand-new vertex, so neither can be
             // constrained; they pair up with their twin spokes.
             for (other, outgoing, idx) in [(v, false, 1u8), (u, true, 2u8)] {
                 if let Some((t2, j)) = s.match_spoke(other, outgoing, t, idx) {
-                    self.neighbors[t as usize][idx as usize] = t2;
-                    self.neighbors[t2 as usize][j as usize] = t;
+                    self.tris[t as usize].n[idx as usize] = t2;
+                    self.tris[t2 as usize].n[j as usize] = t;
                 }
             }
         }
@@ -884,28 +1017,28 @@ impl Mesh {
     /// # Panics
     /// Panics (debug) if the edge is on the boundary or constrained.
     pub fn flip_edge(&mut self, t: u32, i: u8) -> (u32, u32) {
-        let n = self.neighbors[t as usize][i as usize];
+        let n = self.tris[t as usize].n[i as usize];
         debug_assert_ne!(n, NIL, "cannot flip a boundary edge");
         let (u, v) = self.edge_vertices(t, i);
         debug_assert!(
             !self.is_constrained_tri(t, i),
             "cannot flip a constrained edge"
         );
-        let apex_t = self.triangles[t as usize][i as usize];
+        let apex_t = self.tris[t as usize].v[i as usize];
         let nj = (0..3u8)
             .find(|&j| {
                 let (x, y) = self.edge_vertices(n, j);
                 (x, y) == (v, u)
             })
             .expect("neighbor shares the edge");
-        let apex_n = self.triangles[n as usize][nj as usize];
+        let apex_n = self.tris[n as usize].v[nj as usize];
 
         // External neighbors of the quadrilateral (by the edges they face).
         let find_nb = |mesh: &Mesh, tri: u32, a: u32, b: u32| -> u32 {
             for j in 0..3u8 {
                 let (x, y) = mesh.edge_vertices(tri, j);
                 if (x == a && y == b) || (x == b && y == a) {
-                    return mesh.neighbors[tri as usize][j as usize];
+                    return mesh.tris[tri as usize].n[j as usize];
                 }
             }
             unreachable!("edge not in triangle")
@@ -924,10 +1057,10 @@ impl Mesh {
         self.refresh_con_bits(t2);
         // t1 edges: opp apex_t = (u, apex_n) -> n_nu; opp u = (apex_n,
         // apex_t) -> t2; opp apex_n = (apex_t, u) -> n_tu.
-        self.neighbors[t1 as usize] = [n_nu, t2, n_tu];
+        self.tris[t1 as usize].n = [n_nu, t2, n_tu];
         // t2 edges: opp apex_n = (v, apex_t) -> n_tv; opp v = (apex_t,
         // apex_n) -> t1; opp apex_t = (apex_n, v) -> n_nv.
-        self.neighbors[t2 as usize] = [n_tv, t1, n_nv];
+        self.tris[t2 as usize].n = [n_tv, t1, n_nv];
         // Patch the externals.
         let mut patch = |ext: u32, old_a: u32, old_b: u32, new_t: u32| {
             if ext == NIL {
@@ -936,7 +1069,7 @@ impl Mesh {
             for j in 0..3u8 {
                 let (x, y) = self.edge_vertices(ext, j);
                 if (x == old_a && y == old_b) || (x == old_b && y == old_a) {
-                    self.neighbors[ext as usize][j as usize] = new_t;
+                    self.tris[ext as usize].n[j as usize] = new_t;
                 }
             }
         };
@@ -955,13 +1088,13 @@ impl Mesh {
         let mut dead_sorted: Vec<u32> = dead.iter().copied().collect();
         dead_sorted.sort_unstable();
         for &t in &dead_sorted {
-            debug_assert!(self.alive[t as usize]);
+            debug_assert!(self.alive.get(t as usize));
             for i in 0..3u8 {
-                let n = self.neighbors[t as usize][i as usize];
+                let n = self.tris[t as usize].n[i as usize];
                 if n != NIL && !dead.contains(&n) {
                     for j in 0..3u8 {
-                        if self.neighbors[n as usize][j as usize] == t {
-                            self.neighbors[n as usize][j as usize] = NIL;
+                        if self.tris[n as usize].n[j as usize] == t {
+                            self.tris[n as usize].n[j as usize] = NIL;
                         }
                     }
                 }
@@ -971,13 +1104,13 @@ impl Mesh {
         // Refresh hints for vertices that pointed at dead triangles.
         for v in 0..self.vert_tri.len() {
             let t = self.vert_tri[v];
-            if t != NIL && !self.alive[t as usize] {
+            if t != NIL && !self.alive.get(t as usize) {
                 self.vert_tri[v] = NIL;
             }
         }
-        for t in 0..self.triangles.len() as u32 {
-            if self.alive[t as usize] {
-                for &v in &self.triangles[t as usize] {
+        for t in 0..self.tris.len() as u32 {
+            if self.alive.get(t as usize) {
+                for &v in &self.tris[t as usize].v {
                     if self.vert_tri[v as usize] == NIL {
                         self.vert_tri[v as usize] = t;
                     }
@@ -1006,15 +1139,15 @@ impl Mesh {
             for i in 0..3u8 {
                 let (u, v) = self.edge_vertices(t, i);
                 if let Some((t2, j)) = pending.remove(&(v, u)) {
-                    self.neighbors[t as usize][i as usize] = t2;
-                    self.neighbors[t2 as usize][j as usize] = t;
+                    self.tris[t as usize].n[i as usize] = t2;
+                    self.tris[t2 as usize].n[j as usize] = t;
                 } else if let Some(&n) = border.get(&(u, v)) {
-                    self.neighbors[t as usize][i as usize] = n;
+                    self.tris[t as usize].n[i as usize] = n;
                     if n != NIL {
                         for j in 0..3u8 {
                             let (x, y) = self.edge_vertices(n, j);
                             if (x, y) == (v, u) {
-                                self.neighbors[n as usize][j as usize] = t;
+                                self.tris[n as usize].n[j as usize] = t;
                             }
                         }
                     }
@@ -1031,11 +1164,11 @@ impl Mesh {
     /// tests and debug assertions.
     pub fn check_consistency(&self) {
         for t in self.live_triangles() {
-            let tri = self.triangles[t as usize];
+            let tri = self.tris[t as usize].v;
             let (a, b, c) = (
-                self.vertices[tri[0] as usize],
-                self.vertices[tri[1] as usize],
-                self.vertices[tri[2] as usize],
+                self.vertex(tri[0] as usize),
+                self.vertex(tri[1] as usize),
+                self.vertex(tri[2] as usize),
             );
             assert!(
                 orient2d(a, b, c) > 0.0,
@@ -1048,14 +1181,17 @@ impl Mesh {
                     self.is_constrained(u, v),
                     "constraint bit/set mismatch on edge ({u},{v}) of {t}"
                 );
-                let n = self.neighbors[t as usize][i as usize];
+                let n = self.tris[t as usize].n[i as usize];
                 if n == NIL {
                     continue;
                 }
-                assert!(self.alive[n as usize], "triangle {t} has dead neighbor {n}");
+                assert!(
+                    self.alive.get(n as usize),
+                    "triangle {t} has dead neighbor {n}"
+                );
                 let found = (0..3u8).any(|j| {
                     let (x, y) = self.edge_vertices(n, j);
-                    self.neighbors[n as usize][j as usize] == t && ((x, y) == (v, u))
+                    self.tris[n as usize].n[j as usize] == t && ((x, y) == (v, u))
                 });
                 assert!(found, "neighbor symmetry broken between {t} and {n}");
             }
@@ -1063,17 +1199,17 @@ impl Mesh {
         // Incident-corner lists: every entry references a live corner of
         // its vertex, and every live corner appears in exactly one list.
         let mut listed = 0usize;
-        for v in 0..self.vertices.len() as u32 {
+        for v in 0..self.num_vertices() as u32 {
             let mut cur = self.first_inc[v as usize];
             let mut steps = 0usize;
             while cur != NIL {
                 let (t, i) = (cur / 3, (cur % 3) as usize);
-                assert!(self.alive[t as usize], "dead corner {t} in list of {v}");
-                assert_eq!(self.triangles[t as usize][i], v, "corner/vertex mismatch");
+                assert!(self.alive.get(t as usize), "dead corner {t} in list of {v}");
+                assert_eq!(self.tris[t as usize].v[i], v, "corner/vertex mismatch");
                 listed += 1;
                 steps += 1;
-                assert!(steps <= self.triangles.len() * 3, "incident list cycle");
-                cur = self.inc_next[t as usize][i];
+                assert!(steps <= self.tris.len() * 3, "incident list cycle");
+                cur = self.tris[t as usize].inc[i];
             }
         }
         assert_eq!(listed, 3 * self.live_count, "incident list count mismatch");
@@ -1085,7 +1221,7 @@ impl Mesh {
     pub fn is_constrained_delaunay(&self) -> bool {
         for t in self.live_triangles() {
             for i in 0..3u8 {
-                let n = self.neighbors[t as usize][i as usize];
+                let n = self.tris[t as usize].n[i as usize];
                 if n == NIL || n < t {
                     continue;
                 }
@@ -1093,20 +1229,20 @@ impl Mesh {
                 if self.is_constrained_tri(t, i) {
                     continue;
                 }
-                let tri = self.triangles[t as usize];
+                let tri = self.tris[t as usize].v;
                 let (a, b, c) = (
-                    self.vertices[tri[0] as usize],
-                    self.vertices[tri[1] as usize],
-                    self.vertices[tri[2] as usize],
+                    self.vertex(tri[0] as usize),
+                    self.vertex(tri[1] as usize),
+                    self.vertex(tri[2] as usize),
                 );
                 // Apex of the neighbor across edge i.
-                let ntri = self.triangles[n as usize];
+                let ntri = self.tris[n as usize].v;
                 let apex = ntri
                     .iter()
                     .copied()
                     .find(|&x| x != u && x != v)
                     .expect("neighbor shares edge");
-                if incircle(a, b, c, self.vertices[apex as usize]) > 0.0 {
+                if incircle(a, b, c, self.vertex(apex as usize)) > 0.0 {
                     return false;
                 }
             }
@@ -1146,7 +1282,7 @@ impl Iterator for StarIter<'_> {
                         .expect("vertex in triangle");
                     // CCW neighbor around v: across the edge opposite the
                     // vertex at position (i+1) — the edge (v, next_ccw).
-                    let n = self.mesh.neighbors[self.cur as usize][((i + 1) % 3) as usize];
+                    let n = self.mesh.tris[self.cur as usize].n[((i + 1) % 3) as usize];
                     if n == NIL {
                         self.phase = 2;
                         self.cur = self.start;
@@ -1164,7 +1300,7 @@ impl Iterator for StarIter<'_> {
                         .mesh
                         .vertex_index_in(self.cur, self.v)
                         .expect("vertex in triangle");
-                    let n = self.mesh.neighbors[self.cur as usize][((i + 2) % 3) as usize];
+                    let n = self.mesh.tris[self.cur as usize].n[((i + 2) % 3) as usize];
                     if n == NIL || n == self.start {
                         self.phase = 3;
                         return None;
@@ -1202,13 +1338,48 @@ mod tests {
     }
 
     #[test]
+    fn free_list_reuse_across_bitset_pack_boundary() {
+        // Slots 63 and 64 straddle the packed-u64 word boundary of the
+        // alive bitset. Kill one triangle on each side, then let the free
+        // list hand both slots back, and check the bits land in the right
+        // words both times.
+        let mut rng = 7u64;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..60).map(|_| p(next() * 10.0, next() * 10.0)).collect();
+        let mut m = mesh_from_dc(&pts);
+        assert!(m.num_slots() > 65, "need slots on both sides of 63/64");
+
+        let before = m.num_triangles();
+        let (t63, t64) = (63u32, 64u32);
+        let (v63, v64) = (m.tris[63].v, m.tris[64].v);
+        m.kill_triangle(t63);
+        m.kill_triangle(t64);
+        assert!(!m.is_alive(t63) && !m.is_alive(t64));
+        assert!(m.is_alive(62) && m.is_alive(65), "neighbors must survive");
+        assert_eq!(m.num_triangles(), before - 2);
+
+        // LIFO free list: 64 comes back first, then 63 — each allocation
+        // must flip exactly its own bit back on.
+        let r64 = m.alloc_triangle(v64);
+        assert_eq!(r64, t64);
+        assert!(m.is_alive(t64) && !m.is_alive(t63));
+        let r63 = m.alloc_triangle(v63);
+        assert_eq!(r63, t63);
+        assert!(m.is_alive(t63) && m.is_alive(t64));
+        assert_eq!(m.num_triangles(), before);
+    }
+
+    #[test]
     fn adjacency_from_soup() {
         let m = square_mesh();
         m.check_consistency();
         assert_eq!(m.num_triangles(), 2);
         // Shared edge (0, 2).
-        assert_eq!(m.neighbors[0][1], 1); // edge opposite vertex 1 of tri 0 is (2,0)
-        assert_eq!(m.neighbors[1][2], 0);
+        assert_eq!(m.neighbor(0, 1), 1); // edge opposite vertex 1 of tri 0 is (2,0)
+        assert_eq!(m.neighbor(1, 2), 0);
     }
 
     #[test]

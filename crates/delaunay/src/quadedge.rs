@@ -7,16 +7,28 @@
 //! face-walking identity `lnext(e) = oprev(sym(e))` run without the dual
 //! subdivision.
 
+use crate::bitset::BitSet;
+
 /// Sentinel for "no edge".
 pub const NIL: u32 = u32::MAX;
+
+/// One directed edge: origin vertex plus both origin-ring pointers, fused
+/// into a single 12-byte record so every Guibas–Stolfi primitive touches
+/// one cache line per half-edge instead of three parallel arrays. The two
+/// halves of an undirected edge sit at consecutive slots, so `sym` loads
+/// usually land on the same line too.
+#[derive(Debug, Clone, Copy)]
+struct EdgeRec {
+    org: u32,
+    onext: u32,
+    oprev: u32,
+}
 
 /// Pool of directed edges.
 #[derive(Debug, Default)]
 pub struct EdgePool {
-    org: Vec<u32>,
-    onext: Vec<u32>,
-    oprev: Vec<u32>,
-    alive: Vec<bool>,
+    recs: Vec<EdgeRec>,
+    alive: BitSet,
     /// Reusable slots from deleted edges (pair indices).
     free: Vec<u32>,
 }
@@ -25,29 +37,29 @@ impl EdgePool {
     /// Creates an empty pool with capacity for `n_edges` undirected edges.
     pub fn with_capacity(n_edges: usize) -> Self {
         let n = 2 * n_edges;
+        let mut alive = BitSet::new();
+        alive.reserve(n);
         EdgePool {
-            org: Vec::with_capacity(n),
-            onext: Vec::with_capacity(n),
-            oprev: Vec::with_capacity(n),
-            alive: Vec::with_capacity(n),
+            recs: Vec::with_capacity(n),
+            alive,
             free: Vec::new(),
         }
     }
 
     /// Number of live directed edges.
     pub fn live_count(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive.count_ones()
     }
 
     /// Total allocated directed-edge slots (including dead ones).
     pub fn slots(&self) -> usize {
-        self.org.len()
+        self.recs.len()
     }
 
     /// `true` if the directed edge is live.
     #[inline]
     pub fn is_alive(&self, e: u32) -> bool {
-        self.alive[e as usize]
+        self.alive.get(e as usize)
     }
 
     /// The oppositely-directed half of the same edge.
@@ -59,25 +71,25 @@ impl EdgePool {
     /// Origin vertex of `e`.
     #[inline]
     pub fn org(&self, e: u32) -> u32 {
-        self.org[e as usize]
+        self.recs[e as usize].org
     }
 
     /// Destination vertex of `e`.
     #[inline]
     pub fn dest(&self, e: u32) -> u32 {
-        self.org[(e ^ 1) as usize]
+        self.recs[(e ^ 1) as usize].org
     }
 
     /// Next edge counter-clockwise around the origin of `e`.
     #[inline]
     pub fn onext(&self, e: u32) -> u32 {
-        self.onext[e as usize]
+        self.recs[e as usize].onext
     }
 
     /// Next edge clockwise around the origin of `e`.
     #[inline]
     pub fn oprev(&self, e: u32) -> u32 {
-        self.oprev[e as usize]
+        self.recs[e as usize].oprev
     }
 
     /// Next edge counter-clockwise around the **left face** of `e`
@@ -105,23 +117,31 @@ impl EdgePool {
         let e = if let Some(slot) = self.free.pop() {
             let e = slot;
             let s = (e ^ 1) as usize;
-            self.org[e as usize] = a;
-            self.org[s] = b;
-            self.onext[e as usize] = e;
-            self.oprev[e as usize] = e;
-            self.onext[s] = e ^ 1;
-            self.oprev[s] = e ^ 1;
-            self.alive[e as usize] = true;
-            self.alive[s] = true;
+            self.recs[e as usize] = EdgeRec {
+                org: a,
+                onext: e,
+                oprev: e,
+            };
+            self.recs[s] = EdgeRec {
+                org: b,
+                onext: e ^ 1,
+                oprev: e ^ 1,
+            };
+            self.alive.set(e as usize, true);
+            self.alive.set(s, true);
             e
         } else {
-            let e = self.org.len() as u32;
-            self.org.push(a);
-            self.org.push(b);
-            self.onext.push(e);
-            self.onext.push(e + 1);
-            self.oprev.push(e);
-            self.oprev.push(e + 1);
+            let e = self.recs.len() as u32;
+            self.recs.push(EdgeRec {
+                org: a,
+                onext: e,
+                oprev: e,
+            });
+            self.recs.push(EdgeRec {
+                org: b,
+                onext: e + 1,
+                oprev: e + 1,
+            });
             self.alive.push(true);
             self.alive.push(true);
             e
@@ -134,12 +154,12 @@ impl EdgePool {
     /// `onext` successors of `a` and `b` (splitting one ring into two or
     /// merging two rings into one) and patches `oprev` back-pointers.
     pub fn splice(&mut self, a: u32, b: u32) {
-        let an = self.onext[a as usize];
-        let bn = self.onext[b as usize];
-        self.onext[a as usize] = bn;
-        self.onext[b as usize] = an;
-        self.oprev[an as usize] = b;
-        self.oprev[bn as usize] = a;
+        let an = self.recs[a as usize].onext;
+        let bn = self.recs[b as usize].onext;
+        self.recs[a as usize].onext = bn;
+        self.recs[b as usize].onext = an;
+        self.recs[an as usize].oprev = b;
+        self.recs[bn as usize].oprev = a;
     }
 
     /// Adds a new edge from `dest(a)` to `org(b)` joining the two into a
@@ -160,8 +180,8 @@ impl EdgePool {
         let ops = self.oprev(s);
         self.splice(s, ops);
         let base = e & !1;
-        self.alive[base as usize] = false;
-        self.alive[(base + 1) as usize] = false;
+        self.alive.set(base as usize, false);
+        self.alive.set((base + 1) as usize, false);
         self.free.push(base);
     }
 
@@ -172,27 +192,32 @@ impl EdgePool {
     /// topologically disjoint until the caller splices them, which is
     /// exactly what the forked divide-and-conquer hull merge needs.
     pub fn graft(&mut self, other: EdgePool) -> u32 {
-        let off = self.org.len() as u32;
+        let off = self.recs.len() as u32;
         // Slots allocate in pairs, so the offset preserves `sym(e) == e ^ 1`.
         debug_assert_eq!(off & 1, 0);
-        self.org.extend(other.org);
-        self.onext.extend(other.onext.into_iter().map(|e| e + off));
-        self.oprev.extend(other.oprev.into_iter().map(|e| e + off));
-        self.alive.extend(other.alive);
+        self.recs.extend(other.recs.into_iter().map(|r| EdgeRec {
+            org: r.org,
+            onext: r.onext + off,
+            oprev: r.oprev + off,
+        }));
+        self.alive.reserve(other.alive.len());
+        for i in 0..other.alive.len() {
+            self.alive.push(other.alive.get(i));
+        }
         self.free.extend(other.free.into_iter().map(|e| e + off));
         off
     }
 
     /// Iterates over one representative (the even half) of every live edge.
     pub fn live_edges(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.org.len() as u32)
+        (0..self.recs.len() as u32)
             .step_by(2)
-            .filter(move |&e| self.alive[e as usize])
+            .filter(move |&e| self.alive.get(e as usize))
     }
 
     /// Iterates over all live *directed* edges.
     pub fn live_directed_edges(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.org.len() as u32).filter(move |&e| self.alive[e as usize])
+        (0..self.recs.len() as u32).filter(move |&e| self.alive.get(e as usize))
     }
 }
 

@@ -129,11 +129,11 @@ pub fn mesh_quality(mesh: &Mesh) -> MeshQuality {
         angle_histogram: [0; 6],
     };
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tris[t as usize].v;
         let tq = tri_quality(
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         );
         q.triangles += 1;
         q.min_angle = q.min_angle.min(tq.min_angle);

@@ -16,7 +16,7 @@
 //!    which case the offending subsegment is split instead.
 
 use crate::mesh::{Location, Mesh, NIL};
-use crate::quality::{circumcenter, tri_quality};
+use crate::quality::circumcenter;
 use adm_geom::point::Point2;
 use std::collections::VecDeque;
 
@@ -116,7 +116,7 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
     }
     for t in mesh.live_triangles().collect::<Vec<_>>() {
         if is_bad(mesh, t, sizing, params, &acute) {
-            tri_queue.push_back((t, mesh.triangles[t as usize]));
+            tri_queue.push_back((t, mesh.tris[t as usize].v));
         }
     }
 
@@ -166,17 +166,17 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
             break;
         };
         // Stale: the triangle may have been destroyed.
-        if !mesh.is_alive(t) || mesh.triangles[t as usize] != verts {
+        if !mesh.is_alive(t) || mesh.tris[t as usize].v != verts {
             continue;
         }
         if !is_bad(mesh, t, sizing, params, &acute) {
             continue;
         }
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tris[t as usize].v;
         let (pa, pb, pc) = (
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         );
         let Some(cc) = circumcenter(pa, pb, pc) else {
             stats.skipped += 1;
@@ -205,7 +205,7 @@ pub fn refine(mesh: &mut Mesh, sizing: Option<SizingFn<'_>>, params: &RefinePara
                         &mut tri_queue,
                     );
                     // The original triangle may still be bad; requeue.
-                    if mesh.is_alive(t) && mesh.triangles[t as usize] == verts {
+                    if mesh.is_alive(t) && mesh.tris[t as usize].v == verts {
                         tri_queue.push_back((t, verts));
                     }
                 } else {
@@ -264,11 +264,11 @@ fn acute_apexes(mesh: &Mesh) -> std::collections::HashSet<u32> {
         if others.len() < 2 {
             continue;
         }
-        let pv = mesh.vertices[v as usize];
+        let pv = mesh.vertex(v as usize);
         'outer: for i in 0..others.len() {
             for j in (i + 1)..others.len() {
-                let d1 = mesh.vertices[others[i] as usize] - pv;
-                let d2 = mesh.vertices[others[j] as usize] - pv;
+                let d1 = mesh.vertex(others[i] as usize) - pv;
+                let d2 = mesh.vertex(others[j] as usize) - pv;
                 if d1.angle_between(d2) < threshold {
                     acute.insert(v);
                     break 'outer;
@@ -289,8 +289,8 @@ fn shell_split_point(
     b: u32,
     acute: &std::collections::HashSet<u32>,
 ) -> Point2 {
-    let pa = mesh.vertices[a as usize];
-    let pb = mesh.vertices[b as usize];
+    let pa = mesh.vertex(a as usize);
+    let pb = mesh.vertex(b as usize);
     let apex = match (acute.contains(&a), acute.contains(&b)) {
         (true, false) => Some((pa, pb)),
         (false, true) => Some((pb, pa)),
@@ -323,12 +323,24 @@ fn after_insert(
 ) {
     for t in mesh.star(v) {
         if is_bad(mesh, t, sizing, params, acute) {
-            tri_queue.push_back((t, mesh.triangles[t as usize]));
+            tri_queue.push_back((t, mesh.tris[t as usize].v));
         }
         for i in 0..3u8 {
             if mesh.is_constrained_tri(t, i) {
+                // `(t, i)` already spans the edge, so the diametral test
+                // runs directly on it and its neighbor — no find_edge
+                // rescan of the star.
                 let (a, b) = mesh.edge_vertices(t, i);
-                if is_encroached(mesh, a, b) {
+                let pa = mesh.vertex(a as usize);
+                let pb = mesh.vertex(b as usize);
+                let apex_inside = |t: u32| {
+                    let tri = mesh.tris[t as usize].v;
+                    let apex = tri.iter().copied().find(|&x| x != a && x != b).unwrap();
+                    let pv = mesh.vertex(apex as usize);
+                    (pa - pv).dot(pb - pv) < 0.0
+                };
+                let n = mesh.tris[t as usize].n[i as usize];
+                if apex_inside(t) || (n != NIL && apex_inside(n)) {
                     seg_queue.push_back((a, b));
                 }
             }
@@ -347,29 +359,46 @@ fn is_bad(
     params: &RefineParams,
     acute: &std::collections::HashSet<u32>,
 ) -> bool {
-    let tri = mesh.triangles[t as usize];
+    let tri = mesh.tris[t as usize].v;
     let (a, b, c) = (
-        mesh.vertices[tri[0] as usize],
-        mesh.vertices[tri[1] as usize],
-        mesh.vertices[tri[2] as usize],
+        mesh.vertex(tri[0] as usize),
+        mesh.vertex(tri[1] as usize),
+        mesh.vertex(tri[2] as usize),
     );
-    let q = tri_quality(a, b, c);
-    let exempt = tri.iter().any(|v| acute.contains(v));
-    if q.ratio > params.max_ratio && !exempt {
-        return true;
-    }
+    // Cheapest bound first: the area tests need no square roots, and in
+    // area-driven refinement they decide almost every call. The values
+    // computed here are arithmetic-identical to `tri_quality`'s, so the
+    // split decisions — and therefore the meshes — are unchanged.
+    let area = 0.5 * (b - a).cross(c - a);
     if let Some(maxa) = params.max_area {
-        if q.area > maxa {
+        if area > maxa {
             return true;
         }
     }
     if let Some(f) = sizing {
         let centroid = Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
-        if q.area > f(centroid) {
+        if area > f(centroid) {
             return true;
         }
     }
-    false
+    if !acute.is_empty() && tri.iter().any(|v| acute.contains(v)) {
+        return false;
+    }
+    let la = b.distance(c);
+    let lb = c.distance(a);
+    let lc = a.distance(b);
+    let shortest = la.min(lb).min(lc);
+    let circumradius = if area.abs() > 0.0 {
+        la * lb * lc / (4.0 * area.abs())
+    } else {
+        f64::INFINITY
+    };
+    let ratio = if shortest > 0.0 {
+        circumradius / shortest
+    } else {
+        f64::INFINITY
+    };
+    ratio > params.max_ratio
 }
 
 /// Subsegment encroachment test: a constrained edge is encroached when the
@@ -380,18 +409,18 @@ fn is_encroached(mesh: &Mesh, a: u32, b: u32) -> bool {
     let Some((t, i)) = mesh.find_edge(a, b) else {
         return false;
     };
-    let pa = mesh.vertices[a as usize];
-    let pb = mesh.vertices[b as usize];
+    let pa = mesh.vertex(a as usize);
+    let pb = mesh.vertex(b as usize);
     let check_apex = |t: u32| {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tris[t as usize].v;
         let apex = tri.iter().copied().find(|&x| x != a && x != b).unwrap();
-        let pv = mesh.vertices[apex as usize];
+        let pv = mesh.vertex(apex as usize);
         (pa - pv).dot(pb - pv) < 0.0
     };
     if check_apex(t) {
         return true;
     }
-    let n = mesh.neighbors[t as usize][i as usize];
+    let n = mesh.tris[t as usize].n[i as usize];
     n != NIL && check_apex(n)
 }
 
@@ -401,7 +430,7 @@ fn segments_encroached_by(mesh: &Mesh, p: Point2, at: u32) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     // Examine the conflict region's border conservatively: triangles around
     // the located triangle's vertices.
-    let tri = mesh.triangles[at as usize];
+    let tri = mesh.tris[at as usize].v;
     for &v in &tri {
         for t in mesh.star(v) {
             for i in 0..3u8 {
@@ -409,8 +438,8 @@ fn segments_encroached_by(mesh: &Mesh, p: Point2, at: u32) -> Vec<(u32, u32)> {
                     continue;
                 }
                 let (a, b) = mesh.edge_vertices(t, i);
-                let pa = mesh.vertices[a as usize];
-                let pb = mesh.vertices[b as usize];
+                let pa = mesh.vertex(a as usize);
+                let pb = mesh.vertex(b as usize);
                 if (pa - p).dot(pb - p) < 0.0 && !out.contains(&(a, b)) {
                     out.push((a, b));
                 }
@@ -424,7 +453,7 @@ fn segments_encroached_by(mesh: &Mesh, p: Point2, at: u32) -> Vec<(u32, u32)> {
 pub fn boundary_fully_constrained(mesh: &Mesh) -> bool {
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == NIL && !mesh.is_constrained_tri(t, i) {
+            if mesh.tris[t as usize].n[i as usize] == NIL && !mesh.is_constrained_tri(t, i) {
                 return false;
             }
         }
@@ -436,7 +465,7 @@ pub fn boundary_fully_constrained(mesh: &Mesh) -> bool {
 mod tests {
     use super::*;
     use crate::cdt::{carve, constrained_delaunay};
-    use crate::quality::mesh_quality;
+    use crate::quality::{mesh_quality, tri_quality};
 
     fn p(x: f64, y: f64) -> Point2 {
         Point2::new(x, y)
@@ -485,11 +514,11 @@ mod tests {
         assert!(mesh.is_constrained_delaunay());
         // Every triangle obeys its local bound.
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tris[t as usize].v;
             let (a, b, c) = (
-                mesh.vertices[tri[0] as usize],
-                mesh.vertices[tri[1] as usize],
-                mesh.vertices[tri[2] as usize],
+                mesh.vertex(tri[0] as usize),
+                mesh.vertex(tri[1] as usize),
+                mesh.vertex(tri[2] as usize),
             );
             let q = tri_quality(a, b, c);
             let centroid = Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
@@ -500,11 +529,11 @@ mod tests {
         let mut near = (0.0, 0usize);
         let mut far = (0.0, 0usize);
         for t in mesh.live_triangles() {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tris[t as usize].v;
             let (a, b, c) = (
-                mesh.vertices[tri[0] as usize],
-                mesh.vertices[tri[1] as usize],
-                mesh.vertices[tri[2] as usize],
+                mesh.vertex(tri[0] as usize),
+                mesh.vertex(tri[1] as usize),
+                mesh.vertex(tri[2] as usize),
             );
             let centroid = Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
             let area = tri_quality(a, b, c).area;

@@ -76,7 +76,7 @@ pub fn triangulate(points: &[Point2], opts: &TriOptions<'_>) -> Result<TriOutput
             let boundary: Vec<(u32, u32)> = mesh
                 .live_triangles()
                 .flat_map(|t| (0..3u8).map(move |i| (t, i)))
-                .filter(|&(t, i)| mesh.neighbors[t as usize][i as usize] == crate::mesh::NIL)
+                .filter(|&(t, i)| mesh.tris[t as usize].n[i as usize] == crate::mesh::NIL)
                 .map(|(t, i)| mesh.edge_vertices(t, i))
                 .collect();
             for (a, b) in boundary {

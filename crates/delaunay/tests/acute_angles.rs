@@ -46,7 +46,7 @@ fn acute_wedges_terminate_without_nano_segments() {
         // shortest segment within a sane factor of the local feature size.
         let mut min_seg = f64::INFINITY;
         for (a, b) in mesh.constrained_edges() {
-            min_seg = min_seg.min(mesh.vertices[a as usize].distance(mesh.vertices[b as usize]));
+            min_seg = min_seg.min(mesh.vertex(a as usize).distance(mesh.vertex(b as usize)));
         }
         assert!(
             min_seg > 1e-4,
@@ -92,7 +92,7 @@ fn star_of_acute_spokes() {
     mesh.check_consistency();
     let mut min_seg = f64::INFINITY;
     for (a, b) in mesh.constrained_edges() {
-        min_seg = min_seg.min(mesh.vertices[a as usize].distance(mesh.vertices[b as usize]));
+        min_seg = min_seg.min(mesh.vertex(a as usize).distance(mesh.vertex(b as usize)));
     }
     assert!(min_seg > 1e-4, "spoke cascade: {min_seg:.3e}");
 }

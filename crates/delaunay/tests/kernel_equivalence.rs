@@ -24,11 +24,11 @@ fn canon_mesh(mesh: &Mesh) -> Vec<Vec<(u64, u64)>> {
     let mut v: Vec<Vec<(u64, u64)>> = mesh
         .live_triangles()
         .map(|t| {
-            let tri = mesh.triangles[t as usize];
+            let tri = mesh.tri(t as usize);
             let mut c: Vec<(u64, u64)> = tri
                 .iter()
                 .map(|&i| {
-                    let q = mesh.vertices[i as usize];
+                    let q = mesh.vertex(i as usize);
                     (q.x.to_bits(), q.y.to_bits())
                 })
                 .collect();
@@ -64,13 +64,14 @@ fn canon_dc(points: &[Point2], tris: &[[u32; 3]]) -> Vec<Vec<(u64, u64)>> {
 /// the Delaunay triangulation non-unique.
 fn assert_empty_circle(mesh: &Mesh) {
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         let (a, b, c) = (
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         );
-        for (i, &q) in mesh.vertices.iter().enumerate() {
+        for i in 0..mesh.num_vertices() {
+            let q = mesh.vertex(i);
             if tri.contains(&(i as u32)) {
                 continue;
             }

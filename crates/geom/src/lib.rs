@@ -24,5 +24,8 @@ pub use aabb::Aabb;
 pub use adt::{extent_key, Adt, Point4};
 pub use hull::{convex_hull, lower_hull_indices_sorted, lower_hull_sorted};
 pub use point::{Point2, Vec2};
-pub use predicates::{in_circle, incircle, orient2d, orientation, Orientation};
+pub use predicates::{
+    in_circle, incircle, incircle_batch, incircle_one, orient2d, orient2d_batch, orient2d_one,
+    orientation, Orientation,
+};
 pub use segment::{SegIntersection, Segment};

@@ -59,6 +59,15 @@ pub mod stats {
     pub static INCIRCLE_C: AtomicU64 = AtomicU64::new(0);
     pub static INCIRCLE_EXACT: AtomicU64 = AtomicU64::new(0);
 
+    /// Lanes evaluated through [`crate::predicates::orient2d_batch`] /
+    /// [`crate::predicates::incircle_batch`], and how many of those lanes
+    /// the vectorizable stage-A filter could *not* certify (each fallback
+    /// also bumps the scalar ladder counters above as usual).
+    pub static ORIENT_BATCH: AtomicU64 = AtomicU64::new(0);
+    pub static ORIENT_BATCH_FALLBACK: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_BATCH: AtomicU64 = AtomicU64::new(0);
+    pub static INCIRCLE_BATCH_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
     /// Snapshot of the counters as
     /// `(orient [A, B, C, exact], incircle [A, B, C, exact])`.
     pub fn snapshot() -> ([u64; 4], [u64; 4]) {
@@ -78,6 +87,21 @@ pub mod stats {
         )
     }
 
+    /// Snapshot of the batch counters as
+    /// `(orient [lanes, fallbacks], incircle [lanes, fallbacks])`.
+    pub fn batch_snapshot() -> ([u64; 2], [u64; 2]) {
+        (
+            [
+                ORIENT_BATCH.load(Ordering::Relaxed),
+                ORIENT_BATCH_FALLBACK.load(Ordering::Relaxed),
+            ],
+            [
+                INCIRCLE_BATCH.load(Ordering::Relaxed),
+                INCIRCLE_BATCH_FALLBACK.load(Ordering::Relaxed),
+            ],
+        )
+    }
+
     /// Zeroes every counter.
     pub fn reset() {
         for c in [
@@ -89,6 +113,10 @@ pub mod stats {
             &INCIRCLE_B,
             &INCIRCLE_C,
             &INCIRCLE_EXACT,
+            &ORIENT_BATCH,
+            &ORIENT_BATCH_FALLBACK,
+            &INCIRCLE_BATCH,
+            &INCIRCLE_BATCH_FALLBACK,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -100,6 +128,7 @@ pub mod stats {
     /// is the reporting surface shared with every other subsystem.
     pub fn publish(tracer: &adm_trace::Tracer) {
         let (orient, incircle) = snapshot();
+        let (orient_batch, incircle_batch) = batch_snapshot();
         for (name, v) in [
             ("geom.orient2d.stage_a", orient[0]),
             ("geom.orient2d.stage_b", orient[1]),
@@ -109,6 +138,10 @@ pub mod stats {
             ("geom.incircle.stage_b", incircle[1]),
             ("geom.incircle.stage_c", incircle[2]),
             ("geom.incircle.exact", incircle[3]),
+            ("geom.orient2d.batch", orient_batch[0]),
+            ("geom.orient2d.batch_fallback", orient_batch[1]),
+            ("geom.incircle.batch", incircle_batch[0]),
+            ("geom.incircle.batch_fallback", incircle_batch[1]),
         ] {
             tracer.set_count(name, v);
         }
@@ -127,6 +160,21 @@ macro_rules! bump {
     ($counter:ident) => {};
 }
 
+#[cfg(feature = "predicate-stats")]
+macro_rules! bump_n {
+    ($counter:ident, $n:expr) => {
+        crate::predicates::stats::$counter
+            .fetch_add($n as u64, std::sync::atomic::Ordering::Relaxed)
+    };
+}
+
+#[cfg(not(feature = "predicate-stats"))]
+macro_rules! bump_n {
+    ($counter:ident, $n:expr) => {
+        let _ = $n;
+    };
+}
+
 /// Orientation of the triple `(a, b, c)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Orientation {
@@ -143,6 +191,7 @@ pub enum Orientation {
 ///
 /// The magnitude (when nonzero) is an approximation of twice the signed
 /// triangle area; only the **sign** is guaranteed exact.
+#[inline]
 pub fn orient2d(a: Point2, b: Point2, c: Point2) -> f64 {
     let detleft = (a.x - c.x) * (b.y - c.y);
     let detright = (a.y - c.y) * (b.x - c.x);
@@ -281,6 +330,7 @@ pub fn orientation(a: Point2, b: Point2, c: Point2) -> Orientation {
 ///
 /// If `a, b, c` are clockwise the sign is flipped, matching the standard
 /// determinant convention.
+#[inline]
 pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
     let adx = a.x - d.x;
     let bdx = b.x - d.x;
@@ -446,6 +496,227 @@ fn incircle_exact(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
 #[inline]
 pub fn in_circle(a: Point2, b: Point2, c: Point2, d: Point2) -> bool {
     incircle(a, b, c, d) > 0.0
+}
+
+/// Batched `orient2d` over coordinate lanes: `out[k] = orient2d(a_k, b_k, c_k)`
+/// with `a_k = (ax[k], ay[k])` and so on. Returns the number of lanes the
+/// stage-A filter could not certify (those fell back to the scalar ladder).
+///
+/// The first pass is straight-line branch-free arithmetic over all lanes —
+/// the compiler auto-vectorizes it — recording an uncertified-lane mask. A
+/// second pass replays only the masked lanes through [`orient2d`], so every
+/// lane of `out` is **bit-identical** to the per-lane scalar call. Inputs
+/// must be finite (no NaN/inf), which every mesh coordinate satisfies.
+///
+/// All seven slices must share one length; lane counts beyond 64 are
+/// processed in 64-lane chunks. Inline so fixed-small-lane callers (the
+/// point-location walk batches 3 edges at a time) compile to straight-line
+/// code with the chunk machinery stripped.
+#[inline]
+pub fn orient2d_batch(
+    ax: &[f64],
+    ay: &[f64],
+    bx: &[f64],
+    by: &[f64],
+    cx: &[f64],
+    cy: &[f64],
+    out: &mut [f64],
+) -> usize {
+    let n = out.len();
+    assert!(
+        ax.len() == n
+            && ay.len() == n
+            && bx.len() == n
+            && by.len() == n
+            && cx.len() == n
+            && cy.len() == n,
+        "orient2d_batch: slice length mismatch"
+    );
+    let mut fallbacks = 0usize;
+    let mut k0 = 0usize;
+    while k0 < n {
+        let m = (n - k0).min(64);
+        let mut mask = 0u64;
+        for j in 0..m {
+            let k = k0 + j;
+            let detleft = (ax[k] - cx[k]) * (by[k] - cy[k]);
+            let detright = (ay[k] - cy[k]) * (bx[k] - cx[k]);
+            let det = detleft - detright;
+            // Matches the scalar stage-A exactly: when the two products have
+            // strictly the same sign, |detleft + detright| equals
+            // |detleft| + |detright|, and the sign is certified iff
+            // |det| >= errbound (mixed signs or a zero certify for free).
+            // Signs are compared directly — a product of the two could
+            // underflow to zero and falsely certify subnormal-range lanes.
+            let detsum = detleft.abs() + detright.abs();
+            let same_sign =
+                ((detleft > 0.0) & (detright > 0.0)) | ((detleft < 0.0) & (detright < 0.0));
+            let uncertified = same_sign & (det.abs() < CCW_ERR_BOUND_A * detsum);
+            mask |= (uncertified as u64) << j;
+            out[k] = det;
+        }
+        let mut mm = mask;
+        while mm != 0 {
+            let j = mm.trailing_zeros() as usize;
+            mm &= mm - 1;
+            let k = k0 + j;
+            out[k] = orient2d(
+                Point2::new(ax[k], ay[k]),
+                Point2::new(bx[k], by[k]),
+                Point2::new(cx[k], cy[k]),
+            );
+            fallbacks += 1;
+        }
+        k0 += m;
+    }
+    bump_n!(ORIENT_BATCH, n);
+    bump_n!(ORIENT_BATCH_FALLBACK, fallbacks);
+    fallbacks
+}
+
+/// Batched `incircle` over coordinate lanes:
+/// `out[k] = incircle(a_k, b_k, c_k, d_k)`. Returns the number of lanes the
+/// stage-A filter could not certify. Same contract as [`orient2d_batch`]:
+/// pass 1 is branch-free and auto-vectorizable, pass 2 replays uncertified
+/// lanes through the scalar adaptive ladder, and every lane of `out` is
+/// bit-identical to the per-lane [`incircle`] call on finite inputs.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn incircle_batch(
+    ax: &[f64],
+    ay: &[f64],
+    bx: &[f64],
+    by: &[f64],
+    cx: &[f64],
+    cy: &[f64],
+    dx: &[f64],
+    dy: &[f64],
+    out: &mut [f64],
+) -> usize {
+    let n = out.len();
+    assert!(
+        ax.len() == n
+            && ay.len() == n
+            && bx.len() == n
+            && by.len() == n
+            && cx.len() == n
+            && cy.len() == n
+            && dx.len() == n
+            && dy.len() == n,
+        "incircle_batch: slice length mismatch"
+    );
+    let mut fallbacks = 0usize;
+    let mut k0 = 0usize;
+    while k0 < n {
+        let m = (n - k0).min(64);
+        let mut mask = 0u64;
+        for j in 0..m {
+            let k = k0 + j;
+            let adx = ax[k] - dx[k];
+            let bdx = bx[k] - dx[k];
+            let cdx = cx[k] - dx[k];
+            let ady = ay[k] - dy[k];
+            let bdy = by[k] - dy[k];
+            let cdy = cy[k] - dy[k];
+
+            let bdxcdy = bdx * cdy;
+            let cdxbdy = cdx * bdy;
+            let alift = adx * adx + ady * ady;
+
+            let cdxady = cdx * ady;
+            let adxcdy = adx * cdy;
+            let blift = bdx * bdx + bdy * bdy;
+
+            let adxbdy = adx * bdy;
+            let bdxady = bdx * ady;
+            let clift = cdx * cdx + cdy * cdy;
+
+            let det =
+                alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+            let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+                + (cdxady.abs() + adxcdy.abs()) * blift
+                + (adxbdy.abs() + bdxady.abs()) * clift;
+            // Scalar stage A certifies on det > errbound || -det > errbound;
+            // the complement (uncertified) is |det| <= errbound.
+            let uncertified = det.abs() <= ICC_ERR_BOUND_A * permanent;
+            mask |= (uncertified as u64) << j;
+            out[k] = det;
+        }
+        let mut mm = mask;
+        while mm != 0 {
+            let j = mm.trailing_zeros() as usize;
+            mm &= mm - 1;
+            let k = k0 + j;
+            out[k] = incircle(
+                Point2::new(ax[k], ay[k]),
+                Point2::new(bx[k], by[k]),
+                Point2::new(cx[k], cy[k]),
+                Point2::new(dx[k], dy[k]),
+            );
+            fallbacks += 1;
+        }
+        k0 += m;
+    }
+    bump_n!(INCIRCLE_BATCH, n);
+    bump_n!(INCIRCLE_BATCH_FALLBACK, fallbacks);
+    fallbacks
+}
+
+/// One-lane form of [`orient2d_batch`]: the same value as [`orient2d`]
+/// bit-for-bit, evaluated through the batched stage-A filter semantics
+/// (and counted as a batched lane under `predicate-stats`). The filter is
+/// restated inline rather than routed through the slice API so single-test
+/// call sites — the insert fan and cavity-repair checks fire once per
+/// spoke — compile to straight-line code with no chunk machinery.
+#[inline]
+pub fn orient2d_one(a: Point2, b: Point2, c: Point2) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+    // Same certification test as the batch pass; see `orient2d_batch` for
+    // the sign-comparison rationale (subnormal products must not falsely
+    // certify).
+    let same_sign = ((detleft > 0.0) & (detright > 0.0)) | ((detleft < 0.0) & (detright < 0.0));
+    bump_n!(ORIENT_BATCH, 1);
+    if same_sign && det.abs() < CCW_ERR_BOUND_A * (detleft.abs() + detright.abs()) {
+        bump_n!(ORIENT_BATCH_FALLBACK, 1);
+        return orient2d(a, b, c);
+    }
+    det
+}
+
+/// One-lane form of [`incircle_batch`]; same contract as [`orient2d_one`].
+#[inline]
+pub fn incircle_one(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    bump_n!(INCIRCLE_BATCH, 1);
+    if det.abs() <= ICC_ERR_BOUND_A * permanent {
+        bump_n!(INCIRCLE_BATCH_FALLBACK, 1);
+        return incircle(a, b, c, d);
+    }
+    det
 }
 
 #[cfg(test)]

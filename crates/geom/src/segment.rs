@@ -6,7 +6,7 @@
 //! boundary-layer point insertion, where an ulp of error is harmless.
 
 use crate::point::Point2;
-use crate::predicates::orient2d;
+use crate::predicates::{orient2d, orient2d_batch};
 
 /// A directed line segment from `a` to `b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,10 +85,7 @@ impl Segment {
     /// Uses only orientation signs — no constructed coordinates — so it is
     /// robust for touching, collinear, and shared-endpoint configurations.
     pub fn intersects(&self, other: &Segment) -> bool {
-        let d1 = orient2d(other.a, other.b, self.a);
-        let d2 = orient2d(other.a, other.b, self.b);
-        let d3 = orient2d(self.a, self.b, other.a);
-        let d4 = orient2d(self.a, self.b, other.b);
+        let [d1, d2, d3, d4] = self.cross_signs(other);
 
         if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
             && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
@@ -104,12 +101,27 @@ impl Segment {
     /// Exact test: do the segments cross at a point interior to **both**?
     /// Touching at endpoints or collinear overlap does not count.
     pub fn properly_intersects(&self, other: &Segment) -> bool {
-        let d1 = orient2d(other.a, other.b, self.a);
-        let d2 = orient2d(other.a, other.b, self.b);
-        let d3 = orient2d(self.a, self.b, other.a);
-        let d4 = orient2d(self.a, self.b, other.b);
+        let [d1, d2, d3, d4] = self.cross_signs(other);
         ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
             && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    }
+
+    /// The four orientation signs every intersection query starts from
+    /// (`self` endpoints against `other`, then `other` endpoints against
+    /// `self`), evaluated through one 4-lane batched stage-A pass.
+    #[inline]
+    fn cross_signs(&self, other: &Segment) -> [f64; 4] {
+        let mut d = [0.0f64; 4];
+        orient2d_batch(
+            &[other.a.x, other.a.x, self.a.x, self.a.x],
+            &[other.a.y, other.a.y, self.a.y, self.a.y],
+            &[other.b.x, other.b.x, self.b.x, self.b.x],
+            &[other.b.y, other.b.y, self.b.y, self.b.y],
+            &[self.a.x, self.b.x, other.a.x, other.b.x],
+            &[self.a.y, self.b.y, other.a.y, other.b.y],
+            &mut d,
+        );
+        d
     }
 
     /// Bounding-range containment assuming `p` is already known collinear.
@@ -124,10 +136,7 @@ impl Segment {
     /// crossing case. Detection is exact; the crossing coordinates carry
     /// ordinary floating-point rounding.
     pub fn intersection(&self, other: &Segment) -> SegIntersection {
-        let d1 = orient2d(other.a, other.b, self.a);
-        let d2 = orient2d(other.a, other.b, self.b);
-        let d3 = orient2d(self.a, self.b, other.a);
-        let d4 = orient2d(self.a, self.b, other.b);
+        let [d1, d2, d3, d4] = self.cross_signs(other);
 
         // Collinear configurations.
         if d1 == 0.0 && d2 == 0.0 && d3 == 0.0 && d4 == 0.0 {

@@ -1,0 +1,158 @@
+//! Property tests for the batched stage-A predicate filters.
+//!
+//! The batched filters promise *bit-identical* results to the scalar
+//! adaptive ladder on every lane: a lane the straight-line stage-A bound
+//! certifies returns the same `det` the scalar stage-A would, and an
+//! uncertified lane replays through the scalar ladder itself. These tests
+//! drive both filters with deliberately near-degenerate inputs — almost
+//! collinear triples and almost cocircular quadruples, built by
+//! perturbing exact configurations at machine-epsilon scale — where the
+//! stage-A error bound cannot certify and the fallback path does the
+//! work.
+
+use adm_geom::point::Point2;
+use adm_geom::predicates::{incircle, incircle_batch, orient2d, orient2d_batch};
+use proptest::prelude::*;
+
+/// Perturbation sizes from exactly-degenerate down to sub-ulp: zero keeps
+/// the configuration exactly degenerate, the tiny magnitudes land inside
+/// the stage-A uncertainty band.
+fn eps() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        -1e-9f64..1e-9,
+        -1e-14f64..1e-14,
+        -1e-18f64..1e-18,
+    ]
+}
+
+/// A triple that is collinear up to `e`: `c = a + t (b - a)` plus a
+/// normal offset of size `e`.
+fn near_collinear() -> impl Strategy<Value = (Point2, Point2, Point2)> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        -2.0f64..3.0,
+        eps(),
+    )
+        .prop_map(|(ax, ay, bx, by, t, e)| {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(
+                ax + t * (bx - ax) - e * (by - ay),
+                ay + t * (by - ay) + e * (bx - ax),
+            );
+            (a, b, c)
+        })
+}
+
+/// Four points on (almost) one circle: angles on a common center/radius,
+/// with the fourth point's radius perturbed by `e`.
+#[allow(clippy::type_complexity)]
+fn near_cocircular() -> impl Strategy<Value = (Point2, Point2, Point2, Point2)> {
+    (
+        (-20.0f64..20.0, -20.0f64..20.0, 0.1f64..30.0),
+        (0.0f64..1.0, 0.3f64..1.0, 0.1f64..0.9),
+        eps(),
+    )
+        .prop_map(|((cx, cy, r), (a0, da1, da2), e)| {
+            let tau = std::f64::consts::TAU;
+            let at = |frac: f64, rr: f64| {
+                Point2::new(cx + rr * (tau * frac).cos(), cy + rr * (tau * frac).sin())
+            };
+            // Three CCW points on the circle, a fourth near it.
+            let t0 = a0;
+            let t1 = a0 + da1 * 0.4;
+            let t2 = a0 + 0.4 + da2 * 0.5;
+            (
+                at(t0, r),
+                at(t1, r),
+                at(t2, r),
+                at(a0 + 0.93, r * (1.0 + e)),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Batched orient2d is bit-identical to the scalar ladder on every
+    /// lane, even when every lane is near-degenerate.
+    #[test]
+    fn orient2d_batch_bitwise_agrees_with_scalar(
+        lanes in prop::collection::vec(near_collinear(), 1..80)
+    ) {
+        let ax: Vec<f64> = lanes.iter().map(|l| l.0.x).collect();
+        let ay: Vec<f64> = lanes.iter().map(|l| l.0.y).collect();
+        let bx: Vec<f64> = lanes.iter().map(|l| l.1.x).collect();
+        let by: Vec<f64> = lanes.iter().map(|l| l.1.y).collect();
+        let cx: Vec<f64> = lanes.iter().map(|l| l.2.x).collect();
+        let cy: Vec<f64> = lanes.iter().map(|l| l.2.y).collect();
+        let mut out = vec![0.0f64; lanes.len()];
+        orient2d_batch(&ax, &ay, &bx, &by, &cx, &cy, &mut out);
+        for (k, &(a, b, c)) in lanes.iter().enumerate() {
+            let scalar = orient2d(a, b, c);
+            prop_assert_eq!(
+                out[k].to_bits(),
+                scalar.to_bits(),
+                "lane {}: batch {} vs scalar {}",
+                k,
+                out[k],
+                scalar
+            );
+        }
+    }
+
+    /// Batched incircle is bit-identical to the scalar ladder on every
+    /// lane of near-cocircular quadruples.
+    #[test]
+    fn incircle_batch_bitwise_agrees_with_scalar(
+        lanes in prop::collection::vec(near_cocircular(), 1..80)
+    ) {
+        let ax: Vec<f64> = lanes.iter().map(|l| l.0.x).collect();
+        let ay: Vec<f64> = lanes.iter().map(|l| l.0.y).collect();
+        let bx: Vec<f64> = lanes.iter().map(|l| l.1.x).collect();
+        let by: Vec<f64> = lanes.iter().map(|l| l.1.y).collect();
+        let cx: Vec<f64> = lanes.iter().map(|l| l.2.x).collect();
+        let cy: Vec<f64> = lanes.iter().map(|l| l.2.y).collect();
+        let dx: Vec<f64> = lanes.iter().map(|l| l.3.x).collect();
+        let dy: Vec<f64> = lanes.iter().map(|l| l.3.y).collect();
+        let mut out = vec![0.0f64; lanes.len()];
+        incircle_batch(&ax, &ay, &bx, &by, &cx, &cy, &dx, &dy, &mut out);
+        for (k, &(a, b, c, d)) in lanes.iter().enumerate() {
+            let scalar = incircle(a, b, c, d);
+            prop_assert_eq!(
+                out[k].to_bits(),
+                scalar.to_bits(),
+                "lane {}: batch {} vs scalar {}",
+                k,
+                out[k],
+                scalar
+            );
+        }
+    }
+
+    /// Exactly degenerate lanes (duplicate points, zero-length edges)
+    /// agree with the scalar ladder too: sign is exactly zero on both.
+    #[test]
+    fn degenerate_lanes_are_exactly_zero(x in -50.0f64..50.0, y in -50.0f64..50.0) {
+        let p = Point2::new(x, y);
+        let q = Point2::new(x + 1.0, y - 2.0);
+        let mut out = [0.0f64; 3];
+        // (p, p, q), (p, q, p), (q, p, p): all exactly degenerate.
+        orient2d_batch(
+            &[p.x, p.x, q.x],
+            &[p.y, p.y, q.y],
+            &[p.x, q.x, p.x],
+            &[p.y, q.y, p.y],
+            &[q.x, p.x, p.x],
+            &[q.y, p.y, p.y],
+            &mut out,
+        );
+        for (k, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, 0.0, "lane {} not exactly zero", k);
+        }
+    }
+}

@@ -52,7 +52,7 @@ pub fn assemble(mesh: &Mesh, conv: Vec2, f: impl Fn(Point2) -> f64, bc: &Dirichl
     // Only vertices used by live triangles become dofs.
     let mut used = vec![false; nv];
     for t in mesh.live_triangles() {
-        for &v in &mesh.triangles[t as usize] {
+        for &v in &mesh.tri(t as usize) {
             used[v as usize] = true;
         }
     }
@@ -67,11 +67,11 @@ pub fn assemble(mesh: &Mesh, conv: Vec2, f: impl Fn(Point2) -> f64, bc: &Dirichl
     let mut rhs = vec![0.0; nfree];
 
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         let p: [Point2; 3] = [
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         ];
         let area2 = (p[1] - p[0]).cross(p[2] - p[0]);
         if area2 <= 0.0 {
@@ -148,10 +148,10 @@ pub fn dirichlet_on_boundary(mesh: &Mesh, value: impl Fn(Point2) -> f64) -> Diri
     let mut bc = Dirichlet::default();
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == adm_delaunay::mesh::NIL {
+            if mesh.neighbor(t as usize, i as usize) == adm_delaunay::mesh::NIL {
                 let (a, b) = mesh.edge_vertices(t, i);
                 for v in [a, b] {
-                    bc.fix(v, value(mesh.vertices[v as usize]));
+                    bc.fix(v, value(mesh.vertex(v as usize)));
                 }
             }
         }
@@ -197,8 +197,8 @@ mod tests {
         let (u, _res) = cg(&sys.matrix, &sys.rhs, &CgOptions::default());
         let full = sys.expand(&u, &bc, mesh.num_vertices());
         for t in mesh.live_triangles() {
-            for &v in &mesh.triangles[t as usize] {
-                let p = mesh.vertices[v as usize];
+            for &v in &mesh.tri(t as usize) {
+                let p = mesh.vertex(v as usize);
                 assert!(
                     (full[v as usize] - exact(p)).abs() < 1e-8,
                     "vertex {v}: {} vs {}",
@@ -224,7 +224,7 @@ mod tests {
             let full = sys.expand(&u, &bc, mesh.num_vertices());
             let mut max_err = 0.0f64;
             for (v, &val) in full.iter().enumerate() {
-                let p = mesh.vertices[v];
+                let p = mesh.vertex(v);
                 max_err = max_err.max((val - exact(p)).abs());
             }
             errs.push(max_err);
@@ -262,7 +262,7 @@ mod tests {
         'row: for (k, &v) in sys.free_to_vertex.iter().enumerate() {
             // Skip rows whose stencil touches the boundary.
             for t in mesh.triangles_around_vertex(v) {
-                for &w in &mesh.triangles[t as usize] {
+                for &w in &mesh.tri(t as usize) {
                     if fixed.contains(&w) {
                         continue 'row;
                     }

@@ -55,9 +55,10 @@ pub struct FlowSolution {
 fn classify_boundaries(mesh: &Mesh) -> (Vec<u32>, Vec<u32>) {
     let mut bmin = Point2::new(f64::INFINITY, f64::INFINITY);
     let mut bmax = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
-    for v in &mesh.vertices {
-        bmin = bmin.min(*v);
-        bmax = bmax.max(*v);
+    for i in 0..mesh.num_vertices() {
+        let v = mesh.vertex(i);
+        bmin = bmin.min(v);
+        bmax = bmax.max(v);
     }
     let eps = 1e-9 * (bmax.x - bmin.x).max(bmax.y - bmin.y);
     let mut far = Vec::new();
@@ -65,13 +66,13 @@ fn classify_boundaries(mesh: &Mesh) -> (Vec<u32>, Vec<u32>) {
     let mut seen = std::collections::HashSet::new();
     for t in mesh.live_triangles() {
         for i in 0..3u8 {
-            if mesh.neighbors[t as usize][i as usize] == NIL {
+            if mesh.neighbor(t as usize, i as usize) == NIL {
                 let (a, b) = mesh.edge_vertices(t, i);
                 for v in [a, b] {
                     if !seen.insert(v) {
                         continue;
                     }
-                    let p = mesh.vertices[v as usize];
+                    let p = mesh.vertex(v as usize);
                     let on_box = (p.x - bmin.x).abs() < eps
                         || (p.x - bmax.x).abs() < eps
                         || (p.y - bmin.y).abs() < eps
@@ -98,14 +99,14 @@ pub fn solve_potential_flow(mesh: &Mesh, cond: &FlowConditions) -> FlowSolution 
     let (far, body) = classify_boundaries(mesh);
     let mut bc = Dirichlet::default();
     for v in far {
-        bc.fix(v, psi_inf(mesh.vertices[v as usize]));
+        bc.fix(v, psi_inf(mesh.vertex(v as usize)));
     }
     // Body streamline: psi = psi_inf at the body reference point keeps
     // zero net circulation; use the mean free-stream value over the body.
     if !body.is_empty() {
         let mean: f64 = body
             .iter()
-            .map(|&v| psi_inf(mesh.vertices[v as usize]))
+            .map(|&v| psi_inf(mesh.vertex(v as usize)))
             .sum::<f64>()
             / body.len() as f64;
         for v in &body {
@@ -130,11 +131,11 @@ pub fn solve_potential_flow(mesh: &Mesh, cond: &FlowConditions) -> FlowSolution 
     let mut cp = Vec::new();
     let mut mach = Vec::new();
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         let (a, b, c) = (
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         );
         let area2 = (b - a).cross(c - a);
         if area2 <= 0.0 {
@@ -179,9 +180,10 @@ pub fn write_field_svg<W: Write>(
         None => {
             let mut mn = Point2::new(f64::INFINITY, f64::INFINITY);
             let mut mx = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
-            for v in &mesh.vertices {
-                mn = mn.min(*v);
-                mx = mx.max(*v);
+            for i in 0..mesh.num_vertices() {
+                let v = mesh.vertex(i);
+                mn = mn.min(v);
+                mx = mx.max(v);
             }
             (mn, mx)
         }
@@ -203,11 +205,11 @@ pub fn write_field_svg<W: Write>(
     )?;
     let tx = |p: Point2| ((p.x - min.x) * scale, (max.y - p.y) * scale);
     for &(t, f) in field {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         let (a, b, c) = (
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         );
         // Skip triangles fully outside the clip window.
         let inside = [a, b, c]
@@ -280,11 +282,11 @@ mod tests {
         assert!(!far.is_empty());
         assert!(!body.is_empty());
         for &v in &far {
-            let p = mesh.vertices[v as usize];
+            let p = mesh.vertex(v as usize);
             assert!(p.x.abs() > 3.99 || p.y.abs() > 3.99);
         }
         for &v in &body {
-            let p = mesh.vertices[v as usize];
+            let p = mesh.vertex(v as usize);
             assert!(p.x.abs() < 1.0 && p.y.abs() < 1.0);
         }
     }

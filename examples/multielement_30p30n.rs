@@ -31,11 +31,11 @@ fn write_window_svg(mesh: &Mesh, min: Point2, max: Point2, path: &str) -> std::i
     writeln!(f, "<g stroke=\"#346\" stroke-width=\"0.35\" fill=\"none\">")?;
     let tx = |p: Point2| ((p.x - min.x) * scale, (max.y - p.y) * scale);
     for t in mesh.live_triangles() {
-        let tri = mesh.triangles[t as usize];
+        let tri = mesh.tri(t as usize);
         let pts = [
-            mesh.vertices[tri[0] as usize],
-            mesh.vertices[tri[1] as usize],
-            mesh.vertices[tri[2] as usize],
+            mesh.vertex(tri[0] as usize),
+            mesh.vertex(tri[1] as usize),
+            mesh.vertex(tri[2] as usize),
         ];
         if pts
             .iter()
@@ -71,11 +71,11 @@ fn main() -> std::io::Result<()> {
     let mut max_aspect = 0.0f64;
     let mut high_aspect = 0usize;
     for t in result.mesh.live_triangles() {
-        let tri = result.mesh.triangles[t as usize];
+        let tri = result.mesh.tri(t as usize);
         let q = tri_quality(
-            result.mesh.vertices[tri[0] as usize],
-            result.mesh.vertices[tri[1] as usize],
-            result.mesh.vertices[tri[2] as usize],
+            result.mesh.vertex(tri[0] as usize),
+            result.mesh.vertex(tri[1] as usize),
+            result.mesh.vertex(tri[2] as usize),
         );
         if q.aspect.is_finite() {
             if q.aspect > 10.0 {

@@ -30,7 +30,7 @@ fn mesh_roundtrips_through_both_formats() {
     write_binary(mesh, &mut bin).unwrap();
     let back = read_binary(&mut bin.as_slice()).unwrap();
     assert_eq!(back.num_triangles(), mesh.num_triangles());
-    assert_eq!(back.vertices, mesh.vertices);
+    assert_eq!(back.points(), mesh.points());
     // The binary format is denser than ASCII (the paper's §IV point about
     // output costs).
     assert!(bin.len() < ascii.len() / 2);
@@ -85,5 +85,5 @@ fn push_button_determinism() {
     let a = generate(&test_config());
     let b = generate(&test_config());
     assert_eq!(a.stats.total_triangles, b.stats.total_triangles);
-    assert_eq!(a.mesh.vertices, b.mesh.vertices);
+    assert_eq!(a.mesh.points(), b.mesh.points());
 }

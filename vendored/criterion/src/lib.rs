@@ -8,7 +8,87 @@
 //! a statistics suite; numbers are comparable across runs on one machine,
 //! which is what the regression gates need.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// When set, benchmarks run in smoke mode: no warm-up, two samples, a
+/// millisecond of measurement budget. The point is to execute every
+/// benchmark body once or twice so CI catches panics and API drift
+/// without paying for real measurement.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Destination for the machine-readable run summary, if requested.
+static JSON_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// One finished benchmark: its id and the sample distribution summary in
+/// nanoseconds per iteration.
+struct Record {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Parses the bench binary's CLI. Recognized flags: `--test` (smoke mode)
+/// and `--json <path>` / `--json=<path>` (write a JSON summary of all
+/// benchmarks on exit). Unrecognized flags — including the `--bench` that
+/// cargo always appends — are ignored. Called by [`criterion_main!`].
+pub fn init_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--test" {
+            TEST_MODE.store(true, Ordering::Relaxed);
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            *JSON_PATH.lock().unwrap() = Some(p.to_string());
+        } else if a == "--json" {
+            if let Some(p) = args.get(i + 1) {
+                *JSON_PATH.lock().unwrap() = Some(p.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    if std::env::var_os("CRITERION_TEST_MODE").is_some() {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+    if let Some(p) = std::env::var_os("CRITERION_JSON") {
+        *JSON_PATH.lock().unwrap() = Some(p.to_string_lossy().into_owned());
+    }
+}
+
+/// Writes the JSON summary if one was requested. Called by
+/// [`criterion_main!`] after all groups finish.
+pub fn finish_run() {
+    let path = JSON_PATH.lock().unwrap().take();
+    let Some(path) = path else { return };
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"max_ns\": {:.1}}}{comma}\n",
+            r.id.replace('"', "\\\""),
+            r.min_ns,
+            r.median_ns,
+            r.max_ns,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("[criterion] wrote {path}"),
+        Err(e) => eprintln!("[criterion] cannot write {path}: {e}"),
+    }
+}
 
 /// Per-iteration batching hints (accepted for API compatibility; batches
 /// here are always per-iteration so setup cost never pollutes timing).
@@ -99,10 +179,19 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnOnce(&mut Bencher)>(c: &Criterion, id: &str, f: F) {
+    let quick = TEST_MODE.load(Ordering::Relaxed);
     let mut b = Bencher {
-        sample_size: c.sample_size,
-        measurement_time: c.measurement_time,
-        warm_up_time: c.warm_up_time,
+        sample_size: if quick { 2 } else { c.sample_size },
+        measurement_time: if quick {
+            Duration::from_millis(1)
+        } else {
+            c.measurement_time
+        },
+        warm_up_time: if quick {
+            Duration::ZERO
+        } else {
+            c.warm_up_time
+        },
         samples: Vec::new(),
     };
     f(&mut b);
@@ -192,6 +281,12 @@ impl Bencher {
             fmt_time(max),
             median * 1e9,
         );
+        RECORDS.lock().unwrap().push(Record {
+            id: id.to_string(),
+            min_ns: min * 1e9,
+            median_ns: median * 1e9,
+            max_ns: max * 1e9,
+        });
     }
 }
 
@@ -231,9 +326,11 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // cargo bench passes harness flags (e.g. `--bench`); this
-            // harness has no CLI surface, so they are ignored.
+            // Recognizes `--test` and `--json <path>`; other harness
+            // flags cargo appends (e.g. `--bench`) are ignored.
+            $crate::init_from_args();
             $( $group(); )+
+            $crate::finish_run();
         }
     };
 }
