@@ -8,6 +8,7 @@
 use adm_geom::aabb::Aabb;
 use adm_geom::point::Point2;
 use adm_geom::polygon::{centroid, is_ccw, is_simple, signed_area};
+use adm_geom::pslg::{Pslg as GeneralPslg, PslgError, ValidPslg};
 
 /// One closed component (airfoil element) of the configuration.
 #[derive(Debug, Clone)]
@@ -103,7 +104,51 @@ impl Pslg {
             chord = chord.max(l.chord());
         }
         let farfield = bbox.inflated(margin_chords * chord);
-        Pslg { loops, farfield }
+        let pslg = Pslg { loops, farfield };
+        // Route the whole-domain checks through the general PSLG front
+        // door: unlike the per-loop `is_simple` assert above, this also
+        // rejects loops that cross *each other* (overlapping elements).
+        if let Err(e) = pslg.validate_general() {
+            panic!("airfoil domain rejected by PSLG validation: {e}");
+        }
+        pslg
+    }
+
+    /// Lowers the airfoil domain to the general PSLG front door: loop
+    /// edges plus the far-field rectangle as constraint segments, one
+    /// hole seed per component (the fluid region is outside the bodies).
+    pub fn to_general(&self) -> GeneralPslg {
+        let mut points = Vec::with_capacity(self.surface_vertex_count() + 4);
+        let mut segments = Vec::new();
+        for l in &self.loops {
+            let base = points.len() as u32;
+            let n = l.points.len() as u32;
+            points.extend_from_slice(&l.points);
+            for i in 0..n {
+                segments.push((base + i, base + (i + 1) % n));
+            }
+        }
+        let base = points.len() as u32;
+        points.extend([
+            Point2::new(self.farfield.min.x, self.farfield.min.y),
+            Point2::new(self.farfield.max.x, self.farfield.min.y),
+            Point2::new(self.farfield.max.x, self.farfield.max.y),
+            Point2::new(self.farfield.min.x, self.farfield.max.y),
+        ]);
+        for i in 0..4 {
+            segments.push((base + i, base + (i + 1) % 4));
+        }
+        GeneralPslg {
+            points,
+            segments,
+            holes: self.hole_seeds(),
+        }
+    }
+
+    /// Validates the lowered domain through the general front door's
+    /// typed checks (crossing segments, duplicate points, ...).
+    pub fn validate_general(&self) -> Result<ValidPslg, PslgError> {
+        self.to_general().validate()
     }
 
     /// Total number of surface vertices across all loops.
@@ -197,6 +242,30 @@ mod tests {
             &pslg.loops[1].points,
             seeds[1]
         ));
+    }
+
+    #[test]
+    fn lowering_to_general_pslg_validates_cleanly() {
+        let l1 = SurfaceLoop::new("a", square_loop(0.0, 0.0, 0.5));
+        let l2 = SurfaceLoop::new("b", square_loop(5.0, 0.0, 0.5));
+        let pslg = Pslg::with_farfield_margin(vec![l1, l2], 10.0);
+        let g = pslg.to_general();
+        // 8 surface vertices + 4 far-field corners; one segment each.
+        assert_eq!(g.points.len(), 12);
+        assert_eq!(g.segments.len(), 12);
+        assert_eq!(g.holes.len(), 2);
+        let v = pslg.validate_general().expect("clean domain");
+        assert!(v.report.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "PSLG validation")]
+    fn rejects_crossing_loops() {
+        // Two squares overlapping: each simple on its own, so only the
+        // general front-door crossing check can catch this.
+        let l1 = SurfaceLoop::new("a", square_loop(0.0, 0.0, 1.0));
+        let l2 = SurfaceLoop::new("b", square_loop(0.7, 0.3, 1.0));
+        let _ = Pslg::with_farfield_margin(vec![l1, l2], 10.0);
     }
 
     #[test]

@@ -14,6 +14,8 @@ pub mod hash;
 pub mod inviscid;
 pub mod merge;
 pub mod pipeline;
+pub mod pslg_pipeline;
+pub mod sizing;
 pub mod tasklog;
 
 pub use blmesh::{mesh_boundary_layer, BlMesh};
@@ -26,4 +28,6 @@ pub use pipeline::{
     generate, generate_parallel, generate_parallel_with, generate_undecomposed, PipelineResult,
     PipelineStats,
 };
+pub use pslg_pipeline::{mesh_pslg, mesh_pslg_parallel, PslgMeshError, PslgMeshResult};
+pub use sizing::{AsSizingField, FnSizing, GradationLimited, GradedSizing, SizingFn, UniformH};
 pub use tasklog::{TaskKind, TaskLog, TaskRecord};

@@ -1,0 +1,256 @@
+//! Pluggable mesh-spacing functions (`hfun` style) with gradation control.
+//!
+//! The refinement stack consumes target *areas* (Triangle `-a` semantics,
+//! [`adm_decouple::SizingField`]), but users think in target *edge
+//! lengths* h(x, y). [`SizingFn`] is the user-facing contract: a callable
+//! edge-length field; the area view is derived (`A = sqrt(3)/4 · h²`,
+//! equilateral). The near-body graded spacing that drives the airfoil
+//! pipeline is re-expressed as one instance ([`GradedSizing`] implements
+//! the trait), so the general `.poly` front door and the airfoil path
+//! share one sizing vocabulary.
+//!
+//! [`GradationLimited`] caps how fast any sizing function may vary:
+//! Lipschitz-limiting against a set of anchor points bounds the size
+//! ratio of adjacent elements by roughly `1 + g·h/d ≈ 1 + g` per element
+//! step, the standard mesh-gradation control. The construction is a
+//! fixed point — limiting an already-limited field changes nothing —
+//! which the gradation property test gates.
+
+use adm_decouple::{SizingField, EQUILATERAL};
+use adm_geom::point::Point2;
+
+pub use adm_decouple::GradedSizing;
+
+/// A user mesh-spacing function: target edge length at a point.
+///
+/// Contract: `h(p)` must be finite and strictly positive for every query
+/// point inside the domain, and implementations must be `Sync` (queried
+/// concurrently from refinement workers).
+pub trait SizingFn: Sync {
+    /// Target edge length at `p`.
+    fn h(&self, p: Point2) -> f64;
+
+    /// Target triangle area at `p`: equilateral-triangle area for edge
+    /// length `h(p)`.
+    fn target_area(&self, p: Point2) -> f64 {
+        let h = self.h(p);
+        EQUILATERAL * h * h
+    }
+}
+
+impl<S: SizingFn + ?Sized> SizingFn for &S {
+    fn h(&self, p: Point2) -> f64 {
+        (**self).h(p)
+    }
+
+    fn target_area(&self, p: Point2) -> f64 {
+        (**self).target_area(p)
+    }
+}
+
+impl<S: SizingFn + ?Sized> SizingFn for Box<S> {
+    fn h(&self, p: Point2) -> f64 {
+        (**self).h(p)
+    }
+
+    fn target_area(&self, p: Point2) -> f64 {
+        (**self).target_area(p)
+    }
+}
+
+/// Uniform edge length everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformH(pub f64);
+
+impl SizingFn for UniformH {
+    fn h(&self, _p: Point2) -> f64 {
+        self.0
+    }
+}
+
+/// The near-body graded spacing as a [`SizingFn`]: `h` grows linearly
+/// with distance from the body samples and is capped where the area cap
+/// bites, exactly matching [`GradedSizing`]'s area field.
+impl SizingFn for GradedSizing {
+    fn h(&self, p: Point2) -> f64 {
+        let h = self.h0 + self.rate * self.distance(p);
+        h.min((self.max_area / EQUILATERAL).sqrt())
+    }
+
+    fn target_area(&self, p: Point2) -> f64 {
+        SizingField::target_area(self, p)
+    }
+}
+
+/// Adapts a plain closure `h(x, y)` into a [`SizingFn`].
+pub struct FnSizing<F: Fn(Point2) -> f64 + Sync>(pub F);
+
+impl<F: Fn(Point2) -> f64 + Sync> SizingFn for FnSizing<F> {
+    fn h(&self, p: Point2) -> f64 {
+        (self.0)(p)
+    }
+}
+
+/// Adapts any [`SizingFn`] into the refinement stack's
+/// [`adm_decouple::SizingField`] (target-area) view.
+pub struct AsSizingField<S: SizingFn>(pub S);
+
+impl<S: SizingFn> SizingField for AsSizingField<S> {
+    fn target_area(&self, p: Point2) -> f64 {
+        self.0.target_area(p)
+    }
+}
+
+/// Gradation limiter: the largest field below `base` whose value cannot
+/// grow faster than `gradation` per unit distance across the anchor set.
+///
+/// Anchors are the points where small features pin the size down —
+/// typically the input PSLG vertices. Limited anchor values are the
+/// Lipschitz regularization `a_i = min_j (base.h(p_j) + g·d(p_i, p_j))`,
+/// and a query point takes the smallest bound any anchor imposes on it:
+/// `h(p) = min(base.h(p), min_i (a_i + g·d(p, p_i)))`.
+///
+/// Two properties follow from the min-form (and are property-tested):
+/// the cap `h(p_i) ≤ h(p_j) + g·d(p_i, p_j)` holds for every anchor
+/// pair, and limiting is idempotent — the anchor values are already
+/// `g`-Lipschitz, so a second pass reproduces them.
+pub struct GradationLimited<S: SizingFn> {
+    base: S,
+    anchors: Vec<Point2>,
+    limited: Vec<f64>,
+    gradation: f64,
+}
+
+impl<S: SizingFn> GradationLimited<S> {
+    /// Limits `base` against `anchors` with growth rate `gradation`
+    /// (edge-length increase per unit distance; 0.1–0.5 is typical).
+    pub fn new(base: S, anchors: &[Point2], gradation: f64) -> Self {
+        assert!(
+            gradation > 0.0 && gradation.is_finite(),
+            "gradation must be a positive finite growth rate"
+        );
+        let raw: Vec<f64> = anchors.iter().map(|&p| base.h(p)).collect();
+        let limited = lipschitz_limit(anchors, &raw, gradation);
+        GradationLimited {
+            base,
+            anchors: anchors.to_vec(),
+            limited,
+            gradation,
+        }
+    }
+
+    /// The limited value at anchor `i` (what `h` returns there).
+    pub fn anchor_h(&self, i: usize) -> f64 {
+        self.limited[i]
+    }
+
+    /// Anchor count.
+    pub fn anchor_len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// The growth rate this field is limited to.
+    pub fn gradation(&self) -> f64 {
+        self.gradation
+    }
+}
+
+/// One Lipschitz regularization pass: `out_i = min_j (v_j + g·d_ij)`.
+/// Quadratic in the anchor count — anchors are input vertices, a few
+/// hundred at most, and this runs once per mesh.
+fn lipschitz_limit(pts: &[Point2], values: &[f64], g: f64) -> Vec<f64> {
+    (0..pts.len())
+        .map(|i| {
+            let mut best = values[i];
+            for (j, &v) in values.iter().enumerate() {
+                let bound = v + g * pts[i].distance(pts[j]);
+                if bound < best {
+                    best = bound;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+impl<S: SizingFn> SizingFn for GradationLimited<S> {
+    fn h(&self, p: Point2) -> f64 {
+        let mut best = self.base.h(p);
+        for (a, &v) in self.anchors.iter().zip(&self.limited) {
+            let bound = v + self.gradation * p.distance(*a);
+            if bound < best {
+                best = bound;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn uniform_h_and_area() {
+        let s = UniformH(2.0);
+        assert_eq!(s.h(p(3.0, -1.0)), 2.0);
+        assert!((s.target_area(p(0.0, 0.0)) - EQUILATERAL * 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn graded_sizing_h_matches_area_field() {
+        let s = GradedSizing::new(&[p(0.0, 0.0)], 0.01, 0.1, 1e9, 10);
+        let q = p(3.0, 4.0);
+        let h = SizingFn::h(&s, q);
+        assert!((h - (0.01 + 0.1 * 5.0)).abs() < 1e-12);
+        assert!((SizingFn::target_area(&s, q) - EQUILATERAL * h * h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_sizing_h_respects_area_cap() {
+        let s = GradedSizing::new(&[p(0.0, 0.0)], 0.01, 1.0, 2.0, 10);
+        let far = SizingFn::h(&s, p(1000.0, 0.0));
+        assert!((EQUILATERAL * far * far - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fn_sizing_wraps_closures() {
+        let s = FnSizing(|q: Point2| 0.1 + 0.01 * q.x.abs());
+        assert!((s.h(p(10.0, 0.0)) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn as_sizing_field_adapts() {
+        let f = AsSizingField(UniformH(1.0));
+        assert!((f.target_area(p(0.0, 0.0)) - EQUILATERAL).abs() < 1e-15);
+    }
+
+    #[test]
+    fn limiter_caps_a_jump() {
+        // Base: tiny at the origin, huge everywhere else. The limiter
+        // must pull nearby anchors down to tiny + g·d.
+        let anchors = [p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)];
+        let base = FnSizing(|q: Point2| if q.x == 0.0 && q.y == 0.0 { 0.1 } else { 10.0 });
+        let lim = GradationLimited::new(base, &anchors, 0.5);
+        assert!((lim.anchor_h(0) - 0.1).abs() < 1e-12);
+        assert!((lim.anchor_h(1) - 0.6).abs() < 1e-12);
+        assert!((lim.anchor_h(2) - 1.1).abs() < 1e-12);
+        // Query points interpolate the same bound.
+        assert!((lim.h(p(0.5, 0.0)) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limiter_never_raises() {
+        let anchors = [p(0.0, 0.0), p(5.0, 0.0)];
+        let base = UniformH(0.3);
+        let lim = GradationLimited::new(base, &anchors, 0.2);
+        for q in [p(0.0, 0.0), p(2.5, 0.0), p(7.0, 3.0)] {
+            assert!(lim.h(q) <= UniformH(0.3).h(q) + 1e-15);
+            assert!(lim.h(q) > 0.0);
+        }
+    }
+}

@@ -468,4 +468,88 @@ mod tests {
             }
         }
     }
+
+    /// Regression: constraining between two *Steiner* vertices — points
+    /// refinement inserted, not input points — must work exactly like
+    /// constraining between input vertices. Exercises the case where a
+    /// late constraint's endpoints coincide with existing refinement
+    /// vertices (e.g. re-constraining an interface after refinement).
+    #[test]
+    fn constraint_between_steiner_points_after_refinement() {
+        use crate::refine::{refine, RefineParams};
+
+        let pts = vec![p(0.0, 0.0), p(8.0, 0.0), p(8.0, 8.0), p(0.0, 8.0)];
+        let segs = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let (mut mesh, _) = constrained_delaunay(&pts, &segs, false).unwrap();
+        let input_vertices = mesh.num_vertices();
+        let params = RefineParams {
+            max_area: Some(2.0),
+            ..Default::default()
+        };
+        let stats = refine(&mut mesh, None, &params);
+        assert!(
+            stats.circumcenters > 0,
+            "refinement added no Steiner points"
+        );
+        assert!(mesh.num_vertices() > input_vertices + 2);
+
+        // Two interior Steiner vertices, far apart (extreme x + y), so
+        // the constraint corridor crosses several triangles.
+        let steiner: Vec<u32> = (input_vertices as u32..mesh.num_vertices() as u32)
+            .filter(|&v| {
+                let q = mesh.vertex(v as usize);
+                q.x > 0.0 && q.x < 8.0 && q.y > 0.0 && q.y < 8.0
+            })
+            .collect();
+        let &a = steiner
+            .iter()
+            .min_by(|&&u, &&v| {
+                let (pu, pv) = (mesh.vertex(u as usize), mesh.vertex(v as usize));
+                (pu.x + pu.y).total_cmp(&(pv.x + pv.y))
+            })
+            .expect("interior Steiner vertices exist");
+        let &b = steiner
+            .iter()
+            .max_by(|&&u, &&v| {
+                let (pu, pv) = (mesh.vertex(u as usize), mesh.vertex(v as usize));
+                (pu.x + pu.y).total_cmp(&(pv.x + pv.y))
+            })
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(
+            mesh.find_edge(a, b).is_none(),
+            "want a non-trivial corridor"
+        );
+
+        insert_constraint(&mut mesh, a, b).unwrap();
+        mesh.check_consistency();
+        assert!(mesh.is_constrained_delaunay());
+        // The segment is present as a constrained chain from a to b:
+        // either the direct edge, or pieces split at collinear vertices.
+        let (pa, pb) = (mesh.vertex(a as usize), mesh.vertex(b as usize));
+        if mesh.find_edge(a, b).is_some() {
+            assert!(mesh.is_constrained(a, b));
+        } else {
+            let dir = pb - pa;
+            let mut cur = a;
+            let mut hops = 0;
+            while cur != b {
+                hops += 1;
+                assert!(hops <= mesh.num_vertices(), "constrained chain broken");
+                let here = (mesh.vertex(cur as usize) - pa).dot(dir);
+                cur = mesh
+                    .constrained_edges()
+                    .flat_map(|(u, v)| [(u, v), (v, u)])
+                    .filter(|&(u, _)| u == cur)
+                    .map(|(_, v)| v)
+                    .find(|&w| {
+                        let pw = mesh.vertex(w as usize);
+                        adm_geom::predicates::orient2d(pa, pb, pw) == 0.0
+                            && (pw - pa).dot(dir) > here
+                            && (pw - pa).dot(dir) <= dir.dot(dir)
+                    })
+                    .expect("next constrained piece along the segment");
+            }
+        }
+    }
 }

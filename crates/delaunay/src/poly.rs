@@ -16,6 +16,7 @@
 //! Ids may be 0- or 1-based; both are accepted and normalized to 0-based.
 
 use adm_geom::point::Point2;
+use adm_geom::pslg::Pslg;
 use std::io::{self, BufRead, Write};
 
 /// A parsed PSLG file.
@@ -30,6 +31,26 @@ pub struct PolyFile {
 }
 
 impl PolyFile {
+    /// The file's content as an (unvalidated) general PSLG domain — the
+    /// front-door conversion; run [`Pslg::validate`] on the result.
+    pub fn to_pslg(&self) -> Pslg {
+        Pslg::new(
+            self.points.clone(),
+            self.segments.clone(),
+            self.holes.clone(),
+        )
+    }
+
+    /// Packages a PSLG for `.poly` serialization (fuzz-failure artifacts,
+    /// example files).
+    pub fn from_pslg(pslg: &Pslg) -> PolyFile {
+        PolyFile {
+            points: pslg.points.clone(),
+            segments: pslg.segments.clone(),
+            holes: pslg.holes.clone(),
+        }
+    }
+
     /// Reconstructs the closed loops of the segment graph (every vertex
     /// must have degree 2 within a loop). Returns loops as point lists;
     /// vertices not on any segment are ignored.

@@ -18,6 +18,8 @@ pub mod hull;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
+pub mod pslg;
+pub mod pslg_gen;
 pub mod segment;
 
 pub use aabb::Aabb;
@@ -28,4 +30,6 @@ pub use predicates::{
     in_circle, incircle, incircle_batch, incircle_one, orient2d, orient2d_batch, orient2d_one,
     orientation, Orientation,
 };
+pub use pslg::{Pslg, PslgError, RepairReport, ValidPslg};
+pub use pslg_gen::{generate_pslg, GeneratedPslg};
 pub use segment::{SegIntersection, Segment};

@@ -1,0 +1,461 @@
+//! General planar straight-line graph (PSLG) domains with validation.
+//!
+//! The front door for arbitrary multi-part polygonal input: a point set,
+//! undirected constraint segments (closed loops, open chains, isolated
+//! interior points are all legal), and Triangle-style hole seeds. The
+//! meshable region is defined exactly as Triangle's `-p` switch defines
+//! it: the constrained Delaunay triangulation of everything, carved from
+//! the outside and from each hole seed.
+//!
+//! [`Pslg::validate`] is the single admission gate: configurations a CDT
+//! handles are *repaired* in place (duplicate points merged, degenerate
+//! and duplicate segments dropped), configurations no CDT can represent
+//! are *rejected* with a typed [`PslgError`]. Everything downstream — the
+//! pipeline, the fuzz harness, the `.poly` reader — goes through it, so
+//! "accepted by validate" is the robustness contract the fuzz gate
+//! enforces.
+
+use crate::aabb::Aabb;
+use crate::point::Point2;
+use crate::segment::Segment;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A general PSLG domain: points, undirected constraint segments (by
+/// point index), and hole seed points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pslg {
+    /// Vertex coordinates.
+    pub points: Vec<Point2>,
+    /// Constraint segments as point-index pairs. Closed loops, open
+    /// chains, and shared endpoints are all allowed; crossings are not.
+    pub segments: Vec<(u32, u32)>,
+    /// Hole seeds: one point strictly inside each region to carve out.
+    pub holes: Vec<Point2>,
+}
+
+/// Why a PSLG cannot be meshed. Repairable defects never reach this —
+/// [`Pslg::validate`] fixes them and reports the fixes in
+/// [`RepairReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PslgError {
+    /// The PSLG has no points at all.
+    Empty,
+    /// A coordinate is NaN or infinite.
+    NonFinitePoint(usize),
+    /// A hole seed coordinate is NaN or infinite.
+    NonFiniteHole(usize),
+    /// A segment references a point index that does not exist.
+    SegmentOutOfRange { segment: usize, vertex: u32 },
+    /// Two constraint segments cross at a point interior to both. The
+    /// pairs are the (repaired) endpoint indices of the two segments.
+    SegmentsCross { a: (u32, u32), b: (u32, u32) },
+    /// Fewer than three distinct points survive repair — no triangulation
+    /// exists.
+    TooFewPoints,
+}
+
+impl fmt::Display for PslgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PslgError::Empty => write!(f, "PSLG has no points"),
+            PslgError::NonFinitePoint(i) => write!(f, "point {i} is not finite"),
+            PslgError::NonFiniteHole(i) => write!(f, "hole seed {i} is not finite"),
+            PslgError::SegmentOutOfRange { segment, vertex } => {
+                write!(f, "segment {segment} references missing point {vertex}")
+            }
+            PslgError::SegmentsCross { a, b } => write!(
+                f,
+                "segments ({},{}) and ({},{}) properly cross",
+                a.0, a.1, b.0, b.1
+            ),
+            PslgError::TooFewPoints => write!(f, "fewer than 3 distinct points"),
+        }
+    }
+}
+
+impl std::error::Error for PslgError {}
+
+/// What [`Pslg::validate`] repaired on the way to a valid PSLG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Points merged into an earlier exact duplicate (`-0.0` and `0.0`
+    /// coordinates count as the same position).
+    pub merged_points: usize,
+    /// Segments dropped because both endpoints merged to one point.
+    pub dropped_degenerate: usize,
+    /// Segments dropped as exact (undirected) duplicates of an earlier
+    /// segment.
+    pub dropped_duplicate: usize,
+}
+
+impl RepairReport {
+    /// `true` when validation changed nothing.
+    pub fn is_clean(&self) -> bool {
+        *self == RepairReport::default()
+    }
+}
+
+/// A PSLG that passed [`Pslg::validate`]: duplicate-free points, no
+/// degenerate or duplicate segments, no proper segment crossings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidPslg {
+    /// The repaired PSLG.
+    pub pslg: Pslg,
+    /// What repair did.
+    pub report: RepairReport,
+}
+
+/// Coordinate key with `-0.0` normalized to `0.0`, so duplicate detection
+/// agrees with f64 `==` (matching the mesh kernel's canonical interning).
+#[inline]
+fn coord_key(p: Point2) -> (u64, u64) {
+    let norm = |v: f64| if v == 0.0 { 0.0f64 } else { v }.to_bits();
+    (norm(p.x), norm(p.y))
+}
+
+impl Pslg {
+    /// Builds a PSLG; no validation happens until [`Pslg::validate`].
+    pub fn new(points: Vec<Point2>, segments: Vec<(u32, u32)>, holes: Vec<Point2>) -> Self {
+        Pslg {
+            points,
+            segments,
+            holes,
+        }
+    }
+
+    /// Bounding box of all points.
+    pub fn bbox(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for &p in &self.points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Validates and repairs the PSLG.
+    ///
+    /// **Repaired** (CDT-representable, fixed silently and reported):
+    /// exact duplicate points are merged, segments whose endpoints merged
+    /// are dropped, duplicate undirected segments are dropped.
+    ///
+    /// **Accepted as-is**: shared endpoints, T-junctions at a vertex,
+    /// vertices lying exactly on a segment (the CDT splits the constraint
+    /// there), collinear overlapping segments whose overlap ends at
+    /// vertices, touching parts, open chains, isolated points.
+    ///
+    /// **Rejected** with a typed error: non-finite coordinates,
+    /// out-of-range indices, segments that properly cross (no CDT
+    /// contains both as edges), fewer than three distinct points.
+    pub fn validate(&self) -> Result<ValidPslg, PslgError> {
+        if self.points.is_empty() {
+            return Err(PslgError::Empty);
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(PslgError::NonFinitePoint(i));
+            }
+        }
+        for (i, h) in self.holes.iter().enumerate() {
+            if !h.is_finite() {
+                return Err(PslgError::NonFiniteHole(i));
+            }
+        }
+        let n = self.points.len() as u32;
+        for (i, &(a, b)) in self.segments.iter().enumerate() {
+            for v in [a, b] {
+                if v >= n {
+                    return Err(PslgError::SegmentOutOfRange {
+                        segment: i,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+
+        let mut report = RepairReport::default();
+
+        // Merge exact duplicate points (first occurrence wins) and remap.
+        let mut canon: HashMap<(u64, u64), u32> = HashMap::with_capacity(self.points.len());
+        let mut remap: Vec<u32> = Vec::with_capacity(self.points.len());
+        let mut points: Vec<Point2> = Vec::with_capacity(self.points.len());
+        for &p in &self.points {
+            let next = points.len() as u32;
+            let id = *canon.entry(coord_key(p)).or_insert(next);
+            if id == next {
+                points.push(p);
+            } else {
+                report.merged_points += 1;
+            }
+            remap.push(id);
+        }
+        if points.len() < 3 {
+            return Err(PslgError::TooFewPoints);
+        }
+
+        // Remap segments; drop degenerate and duplicate ones.
+        let mut seen: HashMap<(u32, u32), ()> = HashMap::with_capacity(self.segments.len());
+        let mut segments: Vec<(u32, u32)> = Vec::with_capacity(self.segments.len());
+        for &(a, b) in &self.segments {
+            let (a, b) = (remap[a as usize], remap[b as usize]);
+            if a == b {
+                report.dropped_degenerate += 1;
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key, ()).is_some() {
+                report.dropped_duplicate += 1;
+                continue;
+            }
+            segments.push((a, b));
+        }
+
+        // Proper crossings are unrepairable: no triangulation of this
+        // point set contains both segments as edges. Exact predicate via
+        // Segment::properly_intersects (touching and collinear overlap
+        // pass — the CDT splits constraints at vertices on them).
+        for i in 0..segments.len() {
+            let (a0, a1) = segments[i];
+            let sa = Segment::new(points[a0 as usize], points[a1 as usize]);
+            for &(b0, b1) in &segments[i + 1..] {
+                let sb = Segment::new(points[b0 as usize], points[b1 as usize]);
+                if sa.properly_intersects(&sb) {
+                    return Err(PslgError::SegmentsCross {
+                        a: (a0, a1),
+                        b: (b0, b1),
+                    });
+                }
+            }
+        }
+
+        Ok(ValidPslg {
+            pslg: Pslg {
+                points,
+                segments,
+                holes: self.holes.clone(),
+            },
+            report,
+        })
+    }
+}
+
+impl ValidPslg {
+    /// Closed loops of the segment graph, each returned as a CCW-oriented
+    /// point cycle (orientation is *repaired*, never rejected: undirected
+    /// segments carry no orientation, so normalizing to CCW is free).
+    /// Vertices of open chains and isolated points appear in no loop.
+    /// Vertices with degree > 2 (loops sharing a vertex) stop loop
+    /// extraction at that vertex — such configurations still mesh, they
+    /// just have no unambiguous loop decomposition.
+    pub fn closed_loops(&self) -> Vec<Vec<Point2>> {
+        let n = self.pslg.points.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &self.pslg.segments {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut visited = vec![false; n];
+        let mut loops = Vec::new();
+        for start in 0..n as u32 {
+            if visited[start as usize] || adj[start as usize].len() != 2 {
+                continue;
+            }
+            // Walk the degree-2 chain; it is a loop iff it returns to
+            // `start` through degree-2 vertices only.
+            let mut cycle: Vec<u32> = vec![start];
+            let mut prev = u32::MAX;
+            let mut cur = start;
+            let closed = loop {
+                let nbrs = &adj[cur as usize];
+                if nbrs.len() != 2 {
+                    break false;
+                }
+                let next = if nbrs[0] != prev { nbrs[0] } else { nbrs[1] };
+                if next == start {
+                    break true;
+                }
+                if cycle.len() > n {
+                    break false;
+                }
+                prev = cur;
+                cur = next;
+                cycle.push(cur);
+            };
+            if !closed || cycle.len() < 3 {
+                continue;
+            }
+            for &v in &cycle {
+                visited[v as usize] = true;
+            }
+            let mut pts: Vec<Point2> = cycle
+                .iter()
+                .map(|&v| self.pslg.points[v as usize])
+                .collect();
+            if !crate::polygon::is_ccw(&pts) {
+                pts.reverse();
+            }
+            loops.push(pts);
+        }
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn square(x0: f64, y0: f64, s: f64, base: u32) -> (Vec<Point2>, Vec<(u32, u32)>) {
+        (
+            vec![p(x0, y0), p(x0 + s, y0), p(x0 + s, y0 + s), p(x0, y0 + s)],
+            vec![
+                (base, base + 1),
+                (base + 1, base + 2),
+                (base + 2, base + 3),
+                (base + 3, base),
+            ],
+        )
+    }
+
+    #[test]
+    fn clean_pslg_validates_unchanged() {
+        let (pts, segs) = square(0.0, 0.0, 1.0, 0);
+        let pslg = Pslg::new(pts.clone(), segs.clone(), vec![]);
+        let v = pslg.validate().unwrap();
+        assert!(v.report.is_clean());
+        assert_eq!(v.pslg.points, pts);
+        assert_eq!(v.pslg.segments, segs);
+    }
+
+    #[test]
+    fn duplicate_points_merge_and_remap() {
+        // Point 4 duplicates point 0 (one as -0.0); a segment to it must
+        // remap to 0 and a (4,0) segment becomes degenerate and drops.
+        let pslg = Pslg::new(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0), p(-0.0, 0.0)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            vec![],
+        );
+        let v = pslg.validate().unwrap();
+        assert_eq!(v.report.merged_points, 1);
+        assert_eq!(v.report.dropped_degenerate, 1);
+        assert_eq!(v.pslg.points.len(), 3);
+        assert_eq!(v.pslg.segments, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn duplicate_segments_drop() {
+        let (pts, mut segs) = square(0.0, 0.0, 1.0, 0);
+        segs.push((1, 0)); // reversed duplicate of (0, 1)
+        let v = Pslg::new(pts, segs, vec![]).validate().unwrap();
+        assert_eq!(v.report.dropped_duplicate, 1);
+        assert_eq!(v.pslg.segments.len(), 4);
+    }
+
+    #[test]
+    fn proper_crossing_rejected() {
+        let pslg = Pslg::new(
+            vec![p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0)],
+            vec![(0, 1), (2, 3)],
+            vec![],
+        );
+        match pslg.validate() {
+            Err(PslgError::SegmentsCross { a, b }) => {
+                assert_eq!(a, (0, 1));
+                assert_eq!(b, (2, 3));
+            }
+            other => panic!("expected SegmentsCross, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touching_parts_and_t_junctions_accepted() {
+        // Two squares sharing corner (1,1); a T-junction vertex exactly on
+        // the first square's bottom edge.
+        let (mut pts, mut segs) = square(0.0, 0.0, 1.0, 0);
+        let (pts2, segs2) = square(1.0, 1.0, 1.0, 4);
+        pts.extend(pts2);
+        segs.extend(segs2);
+        pts.push(p(0.5, 0.0)); // exactly on segment (0,1)
+        pts.push(p(0.5, -1.0));
+        segs.push((8, 9));
+        let v = Pslg::new(pts, segs, vec![]).validate().unwrap();
+        // The shared corner is listed once per square; repair merges the
+        // two copies and nothing else changes.
+        assert_eq!(v.report.merged_points, 1);
+        assert_eq!(v.report.dropped_degenerate, 0);
+        assert_eq!(v.report.dropped_duplicate, 0);
+        assert_eq!(v.pslg.points.len(), 9);
+        assert_eq!(v.pslg.segments.len(), 9);
+    }
+
+    #[test]
+    fn collinear_overlap_accepted() {
+        // (0,1) and (2,3) overlap along y = 0 between x = 1 and x = 2; the
+        // overlap ends at vertices, which the CDT splits at.
+        let pslg = Pslg::new(
+            vec![
+                p(0.0, 0.0),
+                p(2.0, 0.0),
+                p(1.0, 0.0),
+                p(3.0, 0.0),
+                p(1.5, 1.0),
+            ],
+            vec![(0, 1), (2, 3)],
+            vec![],
+        );
+        assert!(pslg.validate().is_ok());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let pslg = Pslg::new(
+            vec![p(0.0, 0.0), p(f64::NAN, 0.0), p(1.0, 1.0)],
+            vec![],
+            vec![],
+        );
+        assert_eq!(pslg.validate().unwrap_err(), PslgError::NonFinitePoint(1));
+    }
+
+    #[test]
+    fn out_of_range_segment_rejected() {
+        let pslg = Pslg::new(
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)],
+            vec![(0, 7)],
+            vec![],
+        );
+        assert!(matches!(
+            pslg.validate(),
+            Err(PslgError::SegmentOutOfRange {
+                segment: 0,
+                vertex: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let pslg = Pslg::new(vec![p(0.0, 0.0), p(0.0, 0.0), p(-0.0, 0.0)], vec![], vec![]);
+        assert_eq!(pslg.validate().unwrap_err(), PslgError::TooFewPoints);
+    }
+
+    #[test]
+    fn closed_loops_extracted_ccw() {
+        let (mut pts, mut segs) = square(0.0, 0.0, 1.0, 0);
+        // Second square listed clockwise; plus an open chain.
+        pts.extend([p(3.0, 0.0), p(3.0, 1.0), p(4.0, 1.0), p(4.0, 0.0)]);
+        segs.extend([(4, 5), (5, 6), (6, 7), (7, 4)]);
+        pts.extend([p(10.0, 0.0), p(11.0, 0.0)]);
+        segs.push((8, 9));
+        let v = Pslg::new(pts, segs, vec![]).validate().unwrap();
+        let loops = v.closed_loops();
+        assert_eq!(loops.len(), 2);
+        for l in &loops {
+            assert!(crate::polygon::is_ccw(l));
+            assert_eq!(l.len(), 4);
+        }
+    }
+}

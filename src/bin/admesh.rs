@@ -11,9 +11,13 @@
 //! ```
 
 use adm2d::blayer::{Geometric, GrowthSpec};
-use adm2d::core::{generate, generate_parallel, MeshConfig, PipelineResult};
+use adm2d::core::{
+    generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, GradationLimited, GradedSizing,
+    MeshConfig, PipelineResult, PslgMeshResult, SizingFn, UniformH,
+};
 use adm2d::delaunay::io::{write_ascii, write_binary, write_svg};
 use adm2d::delaunay::quality::mesh_quality;
+use adm2d::delaunay::RefineParams;
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -27,7 +31,17 @@ USAGE:
 GEOMETRY (choose one):
     --naca <DIGITS>        NACA 4-digit airfoil, e.g. --naca 0012 [default]
     --three-element        synthetic slat/main/flap high-lift configuration
-    --poly <PATH>          Triangle-format .poly PSLG (closed loops)
+    --poly <PATH>          general Triangle-format .poly PSLG: multiple parts,
+                           holes, open chains; validated, refined against the
+                           sizing function, no boundary layer
+    --poly-airfoil <PATH>  treat each closed .poly loop as an airfoil body and
+                           run the full boundary-layer pipeline
+
+PSLG SIZING (with --poly):
+    --sizing <H0,RATE>     edge length h = H0 + RATE * distance-to-boundary
+                           (default: uniform h = bbox diagonal / 30)
+    --gradation <G>        cap sizing growth at G per unit distance
+                           (Lipschitz limit anchored at the input vertices)
 
 OPTIONS:
     --points <N>           surface points per airfoil side        [default: 80]
@@ -54,6 +68,9 @@ struct Args {
     naca: String,
     three_element: bool,
     poly: Option<String>,
+    poly_airfoil: Option<String>,
+    sizing: Option<(f64, f64)>,
+    gradation: Option<f64>,
     points: usize,
     farfield: f64,
     height: f64,
@@ -75,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
         naca: "0012".to_string(),
         three_element: false,
         poly: None,
+        poly_airfoil: None,
+        sizing: None,
+        gradation: None,
         points: 80,
         farfield: 30.0,
         height: 0.05,
@@ -104,6 +124,27 @@ fn parse_args() -> Result<Args, String> {
             "--naca" => args.naca = value(&argv, &mut i, "--naca")?,
             "--three-element" => args.three_element = true,
             "--poly" => args.poly = Some(value(&argv, &mut i, "--poly")?),
+            "--poly-airfoil" => args.poly_airfoil = Some(value(&argv, &mut i, "--poly-airfoil")?),
+            "--sizing" => {
+                let v = value(&argv, &mut i, "--sizing")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    return Err("--sizing expects H0,RATE".to_string());
+                }
+                args.sizing = Some((
+                    parts[0].parse().map_err(|e| format!("--sizing h0: {e}"))?,
+                    parts[1]
+                        .parse()
+                        .map_err(|e| format!("--sizing rate: {e}"))?,
+                ));
+            }
+            "--gradation" => {
+                args.gradation = Some(
+                    value(&argv, &mut i, "--gradation")?
+                        .parse()
+                        .map_err(|e| format!("--gradation: {e}"))?,
+                )
+            }
             "--points" => {
                 args.points = value(&argv, &mut i, "--points")?
                     .parse()
@@ -164,7 +205,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn build_config(args: &Args) -> Result<MeshConfig, String> {
-    let mut config = if let Some(path) = &args.poly {
+    let mut config = if let Some(path) = &args.poly_airfoil {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let poly = adm2d::delaunay::read_poly(&mut std::io::BufReader::new(file))
             .map_err(|e| format!("{path}: {e}"))?;
@@ -220,12 +261,85 @@ fn build_config(args: &Args) -> Result<MeshConfig, String> {
     Ok(config)
 }
 
-fn run(args: &Args) -> Result<PipelineResult, String> {
+enum RunOutput {
+    /// The airfoil boundary-layer pipeline.
+    Pipeline(PipelineResult),
+    /// The general PSLG front door.
+    Pslg(PslgMeshResult),
+}
+
+impl RunOutput {
+    fn mesh(&self) -> &adm2d::delaunay::Mesh {
+        match self {
+            RunOutput::Pipeline(r) => &r.mesh,
+            RunOutput::Pslg(r) => &r.mesh,
+        }
+    }
+}
+
+/// Meshes a general `.poly` domain: validate, refine against the user
+/// sizing function, merge — serial and `--ranks N` runs are
+/// byte-identical.
+fn run_poly(args: &Args, path: &str) -> Result<PslgMeshResult, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let poly = adm2d::delaunay::read_poly(&mut std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let pslg = poly.to_pslg();
+    let bbox = pslg.bbox();
+    let base: Box<dyn SizingFn> = match args.sizing {
+        Some((h0, rate)) => {
+            if h0 <= 0.0 || rate < 0.0 {
+                return Err("--sizing needs H0 > 0 and RATE >= 0".to_string());
+            }
+            // Boundary = every vertex referenced by a constraint segment.
+            let mut on_boundary = vec![false; pslg.points.len()];
+            for &(a, b) in &pslg.segments {
+                for v in [a, b] {
+                    if let Some(f) = on_boundary.get_mut(v as usize) {
+                        *f = true;
+                    }
+                }
+            }
+            let body: Vec<_> = pslg
+                .points
+                .iter()
+                .zip(&on_boundary)
+                .filter(|(_, &ob)| ob)
+                .map(|(&p, _)| p)
+                .collect();
+            if body.is_empty() {
+                return Err(format!("{path}: no constraint segments to grade from"));
+            }
+            Box::new(GradedSizing::new(&body, h0, rate, args.max_area, 256))
+        }
+        None => Box::new(UniformH(bbox.min.distance(bbox.max) / 30.0)),
+    };
+    let sized: Box<dyn SizingFn> = match args.gradation {
+        Some(g) => {
+            if g <= 0.0 {
+                return Err("--gradation needs G > 0".to_string());
+            }
+            Box::new(GradationLimited::new(base, &pslg.points, g))
+        }
+        None => base,
+    };
+    let params = RefineParams::default();
+    let out = match args.ranks {
+        Some(r) if r > 1 => mesh_pslg_parallel(&pslg, &sized, &params, r),
+        _ => mesh_pslg(&pslg, &sized, &params),
+    };
+    out.map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &Args) -> Result<RunOutput, String> {
+    if let Some(path) = &args.poly {
+        return Ok(RunOutput::Pslg(run_poly(args, &path.clone())?));
+    }
     let config = build_config(args)?;
-    Ok(match args.ranks {
+    Ok(RunOutput::Pipeline(match args.ranks {
         Some(r) if r > 1 => generate_parallel(&config, r),
         _ => generate(&config),
-    })
+    }))
 }
 
 fn main() -> ExitCode {
@@ -248,25 +362,51 @@ fn main() -> ExitCode {
         }
     };
     if !args.quiet {
-        let s = &result.stats;
-        let q = mesh_quality(&result.mesh);
-        eprintln!("triangles        : {}", s.total_triangles);
-        eprintln!("vertices         : {}", s.total_vertices);
-        eprintln!(
-            "boundary layer   : {} points, {} triangles",
-            s.bl_points, s.bl_triangles
-        );
-        eprintln!("inviscid region  : {} triangles", s.inviscid_triangles);
-        eprintln!("border splits    : {}", s.border_splits);
-        eprintln!(
-            "angles           : {:.1} .. {:.1} degrees",
-            q.min_angle.to_degrees(),
-            q.max_angle.to_degrees()
-        );
-        eprintln!("wall time        : {:.2}s", s.total_s);
+        let q = mesh_quality(result.mesh());
+        match &result {
+            RunOutput::Pipeline(r) => {
+                let s = &r.stats;
+                eprintln!("triangles        : {}", s.total_triangles);
+                eprintln!("vertices         : {}", s.total_vertices);
+                eprintln!(
+                    "boundary layer   : {} points, {} triangles",
+                    s.bl_points, s.bl_triangles
+                );
+                eprintln!("inviscid region  : {} triangles", s.inviscid_triangles);
+                eprintln!("border splits    : {}", s.border_splits);
+                eprintln!(
+                    "angles           : {:.1} .. {:.1} degrees",
+                    q.min_angle.to_degrees(),
+                    q.max_angle.to_degrees()
+                );
+                eprintln!("wall time        : {:.2}s", s.total_s);
+            }
+            RunOutput::Pslg(r) => {
+                eprintln!("triangles        : {}", r.mesh.num_triangles());
+                eprintln!("vertices         : {}", r.mesh.num_vertices());
+                eprintln!("components       : {}", r.components);
+                if !r.report.is_clean() {
+                    eprintln!(
+                        "input repairs    : {} merged points, {} degenerate + {} duplicate segments dropped",
+                        r.report.merged_points,
+                        r.report.dropped_degenerate,
+                        r.report.dropped_duplicate
+                    );
+                }
+                eprintln!(
+                    "refinement       : {} segment splits, {} circumcenters",
+                    r.refine_stats.segment_splits, r.refine_stats.circumcenters
+                );
+                eprintln!(
+                    "angles           : {:.1} .. {:.1} degrees",
+                    q.min_angle.to_degrees(),
+                    q.max_angle.to_degrees()
+                );
+            }
+        }
     }
     if args.report {
-        let q = mesh_quality(&result.mesh);
+        let q = mesh_quality(result.mesh());
         eprintln!("--- quality report ---");
         eprintln!("triangles        : {}", q.triangles);
         eprintln!("total area       : {:.4}", q.total_area);
@@ -294,7 +434,7 @@ fn main() -> ExitCode {
     };
     let mut status = ExitCode::SUCCESS;
     if let Some(p) = &args.out {
-        if let Err(e) = write(p, &|w| write_ascii(&result.mesh, w)) {
+        if let Err(e) = write(p, &|w| write_ascii(result.mesh(), w)) {
             eprintln!("error: {e}");
             status = ExitCode::FAILURE;
         } else if !args.quiet {
@@ -302,7 +442,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(p) = &args.binary_out {
-        if let Err(e) = write(p, &|w| write_binary(&result.mesh, w)) {
+        if let Err(e) = write(p, &|w| write_binary(result.mesh(), w)) {
             eprintln!("error: {e}");
             status = ExitCode::FAILURE;
         } else if !args.quiet {
@@ -310,7 +450,7 @@ fn main() -> ExitCode {
         }
     }
     if let Some(p) = &args.svg {
-        if let Err(e) = write(p, &|w| write_svg(&result.mesh, w, 1600.0)) {
+        if let Err(e) = write(p, &|w| write_svg(result.mesh(), w, 1600.0)) {
             eprintln!("error: {e}");
             status = ExitCode::FAILURE;
         } else if !args.quiet {
@@ -318,15 +458,19 @@ fn main() -> ExitCode {
         }
     }
     if let Some(p) = &args.trace_out {
-        let snap = result.trace.snapshot();
-        if let Err(e) = write(p, &|w| adm2d::trace::chrome::write_chrome_trace(w, &snap)) {
-            eprintln!("error: {e}");
-            status = ExitCode::FAILURE;
-        } else if !args.quiet {
-            eprintln!("wrote {p}");
-            for row in result.trace.phase_totals() {
-                eprintln!("  {:<24} x{:<5} {:>9.3}s", row.name, row.count, row.total_s);
+        if let RunOutput::Pipeline(r) = &result {
+            let snap = r.trace.snapshot();
+            if let Err(e) = write(p, &|w| adm2d::trace::chrome::write_chrome_trace(w, &snap)) {
+                eprintln!("error: {e}");
+                status = ExitCode::FAILURE;
+            } else if !args.quiet {
+                eprintln!("wrote {p}");
+                for row in r.trace.phase_totals() {
+                    eprintln!("  {:<24} x{:<5} {:>9.3}s", row.name, row.count, row.total_s);
+                }
             }
+        } else {
+            eprintln!("note: --trace-out applies to the pipeline paths only, skipping");
         }
     }
     status

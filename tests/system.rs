@@ -1,8 +1,14 @@
 //! Workspace-level system tests through the public `adm2d` facade:
 //! mesh -> I/O roundtrip -> flow solve -> scaling simulation, end to end.
 
-use adm2d::core::{generate, MeshConfig};
-use adm2d::delaunay::io::{read_ascii, read_binary, write_ascii, write_binary};
+use adm2d::core::{
+    generate, mesh_pslg, mesh_pslg_parallel, GradationLimited, GradedSizing, MeshConfig, SizingFn,
+};
+use adm2d::delaunay::io::{
+    read_ascii, read_binary, write_ascii, write_ascii_canonical, write_binary,
+};
+use adm2d::delaunay::poly::read_poly;
+use adm2d::delaunay::refine::RefineParams;
 use adm2d::simnet::{simulate, InitialDist, SimConfig, Task};
 use adm2d::solver::{solve_potential_flow, FlowConditions};
 
@@ -86,4 +92,75 @@ fn push_button_determinism() {
     let b = generate(&test_config());
     assert_eq!(a.stats.total_triangles, b.stats.total_triangles);
     assert_eq!(a.mesh.points(), b.mesh.points());
+}
+
+/// The committed multi-part `.poly` example flows through the general
+/// PSLG front door with the documented user sizing function
+/// (`--sizing 0.08,0.15 --gradation 0.3`), and the serial and 4-rank
+/// runs are byte-identical — the README's `cmp` claim, as a test.
+#[test]
+fn committed_poly_example_is_rank_invariant() {
+    let file = std::fs::File::open(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/two_part_plate.poly"
+    ))
+    .expect("committed example present");
+    let pslg = read_poly(&mut std::io::BufReader::new(file))
+        .expect("committed example parses")
+        .to_pslg();
+    assert_eq!(pslg.holes.len(), 1, "example has one cooling hole");
+
+    // The same sizing run_poly builds for --sizing 0.08,0.15
+    // --gradation 0.3 (admesh's default --max-area is 1.0).
+    let (h0, rate) = (0.08, 0.15);
+    let body: Vec<_> = {
+        let mut on_boundary = vec![false; pslg.points.len()];
+        for &(a, b) in &pslg.segments {
+            on_boundary[a as usize] = true;
+            on_boundary[b as usize] = true;
+        }
+        pslg.points
+            .iter()
+            .zip(&on_boundary)
+            .filter(|(_, &ob)| ob)
+            .map(|(&p, _)| p)
+            .collect()
+    };
+    let graded = GradedSizing::new(&body, h0, rate, 1.0, 256);
+    let sized = GradationLimited::new(graded, &pslg.points, 0.3);
+    assert!(sized.h(pslg.points[0]) > 0.0);
+
+    let params = RefineParams::default();
+    let serial = mesh_pslg(&pslg, &sized, &params).expect("serial mesh");
+    assert_eq!(serial.components, 2, "plate + stiffener block");
+    assert!(serial.report.is_clean(), "example needs no repairs");
+    let canon = |m: &adm2d::delaunay::mesh::Mesh| {
+        let mut buf = Vec::new();
+        write_ascii_canonical(m, &mut buf).unwrap();
+        buf
+    };
+    let bytes = canon(&serial.mesh);
+    for ranks in [2, 4] {
+        let par = mesh_pslg_parallel(&pslg, &sized, &params, ranks).expect("parallel mesh");
+        assert_eq!(
+            canon(&par.mesh),
+            bytes,
+            "{ranks}-rank mesh diverged from serial"
+        );
+    }
+    // Sanity on the meshed area: plate (12 - chamfers 0.5 - hole 1) +
+    // block 6.
+    let area: f64 = serial
+        .mesh
+        .live_triangles()
+        .map(|t| {
+            let tri = serial.mesh.tri(t as usize);
+            adm2d::geom::polygon::signed_area(&[
+                serial.mesh.vertex(tri[0] as usize),
+                serial.mesh.vertex(tri[1] as usize),
+                serial.mesh.vertex(tri[2] as usize),
+            ])
+        })
+        .sum();
+    assert!((area - 16.5).abs() < 1e-9, "meshed area {area}");
 }
