@@ -17,6 +17,17 @@ maxima routinely spike 20-50% above the median under scheduler noise,
 while medians of quick `--test`-mode runs stay comparatively stable.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold=0.25]
+
+A second mode covers the fig11/12 scaling reports, which use the
+ScalingReport shape ({"speedup": {"points": [[ranks, s], ...]}, "mode":
+...}) instead of Criterion entries:
+
+    check_bench_regression.py --scaling <merged.json> <sharded.json>
+
+asserts the sharded run's speedup at the largest common rank count is
+strictly higher than the merged baseline's — the committed claim that
+distributed output kills the merge tail. Both files must cover the same
+rank axis and carry the expected "mode" tags.
 """
 
 import json
@@ -49,8 +60,57 @@ def load(path):
     return out
 
 
+def load_scaling(path, want_mode):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    # Pre-sharded reports carry no "mode" field; treat absence as merged.
+    mode = doc.get("mode", "merged")
+    if mode != want_mode:
+        fail(f"{path}: expected mode {want_mode!r}, found {mode!r}")
+    points = (doc.get("speedup") or {}).get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: 'speedup.points' missing or empty")
+    out = {}
+    for pt in points:
+        if not isinstance(pt, list) or len(pt) != 2:
+            fail(f"{path}: malformed speedup point {pt!r}")
+        out[float(pt[0])] = float(pt[1])
+    return out
+
+
+def check_scaling(merged_path, sharded_path):
+    merged = load_scaling(merged_path, "merged")
+    sharded = load_scaling(sharded_path, "sharded")
+    common = sorted(set(merged) & set(sharded))
+    if not common:
+        fail("scaling reports share no rank counts")
+    p = common[-1]
+    print(
+        f"  speedup @ {p:.0f} ranks: merged {merged[p]:.2f}, "
+        f"sharded {sharded[p]:.2f}"
+    )
+    if sharded[p] <= merged[p]:
+        fail(
+            f"sharded speedup at {p:.0f} ranks ({sharded[p]:.2f}) is not "
+            f"strictly above the merged baseline ({merged[p]:.2f}): the "
+            "distributed output mode no longer kills the merge tail"
+        )
+    print(
+        f"check_bench_regression: OK: sharded output beats the merged "
+        f"baseline at {p:.0f} ranks ({sharded[p]:.2f} > {merged[p]:.2f})"
+    )
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if "--scaling" in sys.argv[1:]:
+        if len(args) != 2:
+            fail("usage: check_bench_regression.py --scaling <merged.json> <sharded.json>")
+        check_scaling(args[0], args[1])
+        return
     threshold = 0.25
     for a in sys.argv[1:]:
         if a.startswith("--threshold"):

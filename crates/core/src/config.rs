@@ -34,6 +34,12 @@ pub struct MeshConfig {
     /// and forked divide-and-conquer triangulation). `0` runs the pool
     /// inline — still bitwise-identical output, just sequential.
     pub merge_threads: usize,
+    /// Distributed output: when set, every merge-input mesh is also
+    /// streamed to a per-subdomain shard (plus frontier sidecar and
+    /// manifest) in this directory — see `crate::shard`. The in-process
+    /// merge still runs; consumers that accept shards can skip it
+    /// entirely and reconstruct offline with `shard-cat`.
+    pub shard_out: Option<std::path::PathBuf>,
 }
 
 /// Default pool width: the `ADM_MERGE_THREADS` environment variable if
@@ -85,6 +91,7 @@ impl MeshConfig {
             bl_subdomains: 32,
             inviscid_subdomains: 32,
             merge_threads: default_merge_threads(),
+            shard_out: None,
         }
     }
 

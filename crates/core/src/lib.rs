@@ -15,6 +15,7 @@ pub mod inviscid;
 pub mod merge;
 pub mod pipeline;
 pub mod pslg_pipeline;
+pub mod shard;
 pub mod sizing;
 pub mod tasklog;
 
@@ -28,6 +29,12 @@ pub use pipeline::{
     generate, generate_parallel, generate_parallel_with, generate_undecomposed, PipelineResult,
     PipelineStats,
 };
-pub use pslg_pipeline::{mesh_pslg, mesh_pslg_parallel, PslgMeshError, PslgMeshResult};
+pub use pslg_pipeline::{
+    mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded, PslgMeshError, PslgMeshResult,
+};
+pub use shard::{
+    atomic_write, pairwise_frontier_digest, read_manifest, reconstruct, verify_shards,
+    write_manifest, write_shard_set, ConsistencyReport, ShardManifest, ShardMeta, MANIFEST_NAME,
+};
 pub use sizing::{AsSizingField, FnSizing, GradationLimited, GradedSizing, SizingFn, UniformH};
 pub use tasklog::{TaskKind, TaskLog, TaskRecord};

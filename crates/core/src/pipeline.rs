@@ -125,16 +125,30 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
             .iter()
             .map(|m| m.num_triangles())
             .sum::<usize>();
+    // Merge inputs in canonical order. With `shard_out` set, these same
+    // meshes stream to per-subdomain shards first — the shard set *is*
+    // the merge's input decomposition, so `shard-cat` can replay the
+    // reduction offline.
+    let mut meshes: Vec<&Mesh> = Vec::with_capacity(2 + inviscid.subdomain_meshes.len());
+    meshes.push(&bl.mesh);
+    meshes.push(&inviscid.nearbody);
+    meshes.extend(inviscid.subdomain_meshes.iter());
+    let paths: Vec<[u8; 2]> = (0..meshes.len() as u16).map(|i| i.to_be_bytes()).collect();
+    let path_refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
+    if let Some(dir) = &config.shard_out {
+        let span = tracer.span(Track::ROOT, "phase.shard_write");
+        let inputs: Vec<(&[u8], &Mesh)> = path_refs
+            .iter()
+            .copied()
+            .zip(meshes.iter().copied())
+            .collect();
+        crate::shard::write_shard_set(dir, &inputs, Some(&tracer)).expect("sharded output failed");
+        span.close();
+    }
     let mesh = log.measure(TaskKind::Merge, 0, || {
         // Tree-parallel reduction in mesh-list order: a balanced in-order
         // plan over an associative absorb is bitwise-identical to the old
         // sequential left fold at any pool width.
-        let mut meshes: Vec<&Mesh> = Vec::with_capacity(2 + inviscid.subdomain_meshes.len());
-        meshes.push(&bl.mesh);
-        meshes.push(&inviscid.nearbody);
-        meshes.extend(inviscid.subdomain_meshes.iter());
-        let paths: Vec<[u8; 2]> = (0..meshes.len() as u16).map(|i| i.to_be_bytes()).collect();
-        let path_refs: Vec<&[u8]> = paths.iter().map(|p| p.as_slice()).collect();
         let plan = reduction_plan(&path_refs);
         let merger = merge_tree_spliced(&meshes, &plan, &pool, Some(&tracer));
         let mesh = merger.finish();
@@ -568,6 +582,17 @@ pub fn generate_parallel_with(
     for (p, m) in &sub_meshes {
         meshes.push(m);
         paths.push(p.as_slice());
+    }
+    // Distributed output: stream each merge input to its shard before
+    // the merge. Shards are keyed by task path, so the shard set (and
+    // the manifest bytes) are identical at every rank count and under
+    // every schedule — the same invariant the merge itself relies on.
+    if let Some(dir) = &config.shard_out {
+        let span = tracer.span(Track::ROOT, "phase.shard_write");
+        let inputs: Vec<(&[u8], &Mesh)> =
+            paths.iter().copied().zip(meshes.iter().copied()).collect();
+        crate::shard::write_shard_set(dir, &inputs, Some(&tracer)).expect("sharded output failed");
+        span.close();
     }
     let plan = reduction_plan(&paths);
     let steals_before = pool.steals();

@@ -52,6 +52,9 @@ pub enum PslgMeshError {
         /// Number of components whose refinement was cut short.
         components: usize,
     },
+    /// Sharded output failed to write (message of the underlying
+    /// `std::io::Error`).
+    Io(String),
 }
 
 impl std::fmt::Display for PslgMeshError {
@@ -66,6 +69,7 @@ impl std::fmt::Display for PslgMeshError {
                     "refinement budget exhausted in {components} component(s)"
                 )
             }
+            PslgMeshError::Io(msg) => write!(f, "sharded output failed: {msg}"),
         }
     }
 }
@@ -268,6 +272,51 @@ pub fn mesh_pslg_parallel(
     params: &RefineParams,
     ranks: usize,
 ) -> Result<PslgMeshResult, PslgMeshError> {
+    let (components, stats, capped, report) =
+        refine_components_parallel(pslg, sizing, params, ranks)?;
+    collect(components, stats, capped, report)
+}
+
+/// [`mesh_pslg_parallel`] with distributed output: the refined
+/// components are streamed to per-component shards in `dir` (keyed by
+/// component index — the same path order `merge_components` reduces
+/// over) before the in-process merge, and the returned manifest names
+/// them. `shard-cat` reconstructs the identical mesh from `dir` alone.
+pub fn mesh_pslg_sharded(
+    pslg: &Pslg,
+    sizing: &dyn SizingFn,
+    params: &RefineParams,
+    ranks: usize,
+    dir: &std::path::Path,
+) -> Result<(PslgMeshResult, crate::shard::ShardManifest), PslgMeshError> {
+    let (components, stats, capped, report) =
+        refine_components_parallel(pslg, sizing, params, ranks)?;
+    if capped > 0 {
+        // Never publish shards of a truncated refinement.
+        return Err(PslgMeshError::BudgetExhausted { components: capped });
+    }
+    let paths: Vec<[u8; 2]> = (0..components.len() as u16)
+        .map(|i| i.to_be_bytes())
+        .collect();
+    let inputs: Vec<(&[u8], &Mesh)> = paths
+        .iter()
+        .map(|p| p.as_slice())
+        .zip(components.iter())
+        .collect();
+    let manifest = crate::shard::write_shard_set(dir, &inputs, None)
+        .map_err(|e| PslgMeshError::Io(e.to_string()))?;
+    let result = collect(components, stats, capped, report)?;
+    Ok((result, manifest))
+}
+
+/// The shared body of the parallel drivers: refine every component on
+/// `ranks` ranks and return them in canonical component order.
+fn refine_components_parallel(
+    pslg: &Pslg,
+    sizing: &dyn SizingFn,
+    params: &RefineParams,
+    ranks: usize,
+) -> Result<(Vec<Mesh>, RefineStats, usize, RepairReport), PslgMeshError> {
     assert!(ranks >= 1);
     let work = prepare(pslg)?;
     let report = work.report;
@@ -333,7 +382,7 @@ pub fn mesh_pslg_parallel(
         stats.absorb(&s);
         components.push(*mesh);
     }
-    collect(components, stats, capped, report)
+    Ok((components, stats, capped, report))
 }
 
 #[cfg(test)]

@@ -89,6 +89,68 @@ fn same_seed_replays_identical_trace_fingerprint() {
     assert_ne!(fp_a, fp_b, "distinct seeds produced identical traces");
 }
 
+/// Distributed output under fault injection: whatever the fault
+/// schedule does to the balancer, the shard directory — manifest bytes
+/// and every per-shard digest — must match the fault-free run's.
+/// Shards are keyed by task path, so a rank crash that migrates a task
+/// may only change *who* writes a shard, never *what* is written.
+#[test]
+fn chaos_schedules_produce_identical_shard_sets() {
+    let root = std::env::temp_dir().join(format!("adm-chaos-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let shard_run = |tag: &str, seed: u64, ranks: usize| -> (Vec<u8>, Vec<(String, String)>) {
+        let dir = root.join(tag);
+        let mut config = tiny_config();
+        config.shard_out = Some(dir.clone());
+        let sim = SimTransport::new(ranks, FaultPlan::chaos(seed));
+        let transport: Arc<dyn Transport> = Arc::new(sim);
+        let _ = generate_parallel_with(&config, transport, BalancerConfig::default());
+        let manifest_bytes =
+            std::fs::read(dir.join(adm_core::MANIFEST_NAME)).expect("manifest written");
+        let manifest = adm_core::read_manifest(&dir).expect("manifest parses");
+        let report = adm_core::verify_shards(&dir, &manifest).expect("shards readable");
+        assert!(report.is_consistent(), "[{tag}] {:?}", report.problems);
+        let digests = manifest
+            .shards
+            .iter()
+            .map(|s| (s.file.clone(), s.mesh_sha256.clone()))
+            .collect();
+        (manifest_bytes, digests)
+    };
+
+    // The fault-free reference: the production threaded transport with
+    // shard_out set, no fault plan at all.
+    let fault_free = {
+        let dir = root.join("fault-free");
+        let mut config = tiny_config();
+        config.shard_out = Some(dir.clone());
+        let _ = generate_parallel(&config, 2);
+        let manifest_bytes =
+            std::fs::read(dir.join(adm_core::MANIFEST_NAME)).expect("manifest written");
+        let manifest = adm_core::read_manifest(&dir).expect("manifest parses");
+        let digests: Vec<(String, String)> = manifest
+            .shards
+            .iter()
+            .map(|s| (s.file.clone(), s.mesh_sha256.clone()))
+            .collect();
+        (manifest_bytes, digests)
+    };
+
+    for (seed, ranks) in [(0u64, 2usize), (1, 4), (3, 2), (5, 3)] {
+        let (manifest_bytes, digests) = shard_run(&format!("s{seed}r{ranks}"), seed, ranks);
+        assert_eq!(
+            manifest_bytes, fault_free.0,
+            "manifest bytes diverged [seed {seed}, ranks {ranks}]"
+        );
+        assert_eq!(
+            digests, fault_free.1,
+            "shard digests diverged [seed {seed}, ranks {ranks}]"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// The full 64-seed × {1,2,4,8} sweep (the CI `chaos` job runs this in
 /// release mode; it is too slow for the debug tier-1 pass).
 #[test]

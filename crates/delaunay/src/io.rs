@@ -7,7 +7,7 @@
 
 use crate::mesh::Mesh;
 use adm_geom::point::Point2;
-use adm_kernel::GlobalVertexId;
+use adm_kernel::{canonicalize_frontier, FrontierEntry, GlobalVertexId};
 use std::io::{self, BufRead, BufWriter, Read, Write};
 
 /// Writes the mesh as Triangle-style ASCII: a `.node` section then a
@@ -123,21 +123,40 @@ const BINARY_MAGIC_V1: &[u8; 8] = b"ADM2DM01";
 /// vertex and triangle sections. Written only when the mesh carries
 /// stamps, so v1 readers keep working on unstamped meshes.
 const BINARY_MAGIC_V2: &[u8; 8] = b"ADM2DM02";
+/// Version-3 binary magic: adds a flags byte plus a sorted
+/// constrained-edge section after the triangles, so a binary round-trip
+/// preserves the constraint set (v1/v2 silently dropped it, which makes
+/// them unusable as shard formats — the spliced merge keys its shared
+/// vertices off constrained-edge endpoints). Written only when the mesh
+/// actually carries constraints, so unconstrained output stays
+/// byte-identical to the older versions.
+const BINARY_MAGIC_V3: &[u8; 8] = b"ADM2DM03";
+
+/// Stamp-table-present bit in the v3 flags byte.
+const V3_FLAG_STAMPS: u8 = 1;
 
 /// Writes the mesh in the compact binary format (little-endian). The
-/// writer is buffered internally. Meshes with arena identity stamps are
-/// written as version 2, which persists the stamps; unstamped meshes
-/// stay byte-identical to the original version-1 format.
+/// writer is buffered internally. Meshes with constrained edges are
+/// written as version 3 (stamps and constraints persisted); stamped
+/// but unconstrained meshes as version 2; plain meshes stay
+/// byte-identical to the original version-1 format.
 pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     let stamped = mesh.has_global_ids();
-    w.write_all(if stamped {
+    let constrained = mesh.num_constrained() > 0;
+    w.write_all(if constrained {
+        BINARY_MAGIC_V3
+    } else if stamped {
         BINARY_MAGIC_V2
     } else {
         BINARY_MAGIC_V1
     })?;
     w.write_all(&(mesh.num_vertices() as u64).to_le_bytes())?;
     w.write_all(&(mesh.num_triangles() as u64).to_le_bytes())?;
+    if constrained {
+        w.write_all(&(mesh.num_constrained() as u64).to_le_bytes())?;
+        w.write_all(&[if stamped { V3_FLAG_STAMPS } else { 0 }])?;
+    }
     for i in 0..mesh.num_vertices() {
         let v = mesh.vertex(i);
         w.write_all(&v.x.to_le_bytes())?;
@@ -156,16 +175,27 @@ pub fn write_binary<W: Write>(mesh: &Mesh, w: &mut W) -> io::Result<()> {
             w.write_all(&vi.to_le_bytes())?;
         }
     }
+    if constrained {
+        // Sorted so the encoding is a pure function of the constraint
+        // *set* — the in-memory HashSet iterates in per-process order.
+        let mut edges: Vec<(u32, u32)> = mesh.constrained_edges().collect();
+        edges.sort_unstable();
+        for (a, b) in edges {
+            w.write_all(&a.to_le_bytes())?;
+            w.write_all(&b.to_le_bytes())?;
+        }
+    }
     w.flush()
 }
 
-/// Reads a mesh in either binary version written by [`write_binary`].
+/// Reads a mesh in any binary version written by [`write_binary`].
 pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     let version = match &magic {
         m if m == BINARY_MAGIC_V1 => 1,
         m if m == BINARY_MAGIC_V2 => 2,
+        m if m == BINARY_MAGIC_V3 => 3,
         _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic")),
     };
     let mut buf8 = [0u8; 8];
@@ -173,6 +203,15 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
     let n = u64::from_le_bytes(buf8) as usize;
     r.read_exact(&mut buf8)?;
     let m = u64::from_le_bytes(buf8) as usize;
+    let mut num_constrained = 0usize;
+    let mut stamped = version == 2;
+    if version >= 3 {
+        r.read_exact(&mut buf8)?;
+        num_constrained = u64::from_le_bytes(buf8) as usize;
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        stamped = flags[0] & V3_FLAG_STAMPS != 0;
+    }
     let mut vertices = Vec::with_capacity(n);
     for _ in 0..n {
         r.read_exact(&mut buf8)?;
@@ -183,7 +222,7 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
     }
     let mut buf4 = [0u8; 4];
     let mut stamps = Vec::new();
-    if version >= 2 {
+    if stamped {
         stamps.reserve(n);
         for _ in 0..n {
             r.read_exact(&mut buf4)?;
@@ -205,7 +244,39 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Mesh> {
             mesh.stamp_vertex(v as u32, GlobalVertexId(raw));
         }
     }
+    for _ in 0..num_constrained {
+        r.read_exact(&mut buf4)?;
+        let a = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let b = u32::from_le_bytes(buf4);
+        if a as usize >= n || b as usize >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "constrained edge references missing vertex",
+            ));
+        }
+        mesh.constrain_edge(a, b);
+    }
     Ok(mesh)
+}
+
+/// Extracts the mesh's interface frontier: one canonical
+/// [`FrontierEntry`] per constrained-edge endpoint, in canonical
+/// (sorted, deduped) order. This is the shareable-vertex set of the
+/// decoupling invariant — exactly the vertices a spliced merge may
+/// identify with another subdomain's — and its digest is what the
+/// sharded-output consistency check compares across neighboring shards.
+pub fn extract_frontier(mesh: &Mesh) -> Vec<FrontierEntry> {
+    let mut entries = Vec::with_capacity(mesh.num_constrained() * 2);
+    for (a, b) in mesh.constrained_edges() {
+        for v in [a, b] {
+            entries.push(FrontierEntry::new(
+                mesh.global_id(v),
+                mesh.vertex(v as usize),
+            ));
+        }
+    }
+    canonicalize_frontier(entries)
 }
 
 /// Renders the mesh edges as an SVG document (for the qualitative figures).
@@ -296,6 +367,15 @@ mod tests {
         assert_eq!(back.num_vertices(), mesh.num_vertices());
         assert_eq!(back.num_triangles(), mesh.num_triangles());
         assert_eq!(back.points(), mesh.points());
+        // The constraint set survives the round-trip (v3); v1/v2 dropped
+        // it, which is why they can't serve as shard formats.
+        let edges = |m: &Mesh| {
+            let mut e: Vec<_> = m.constrained_edges().collect();
+            e.sort_unstable();
+            e
+        };
+        assert!(mesh.num_constrained() > 0, "sample mesh is constrained");
+        assert_eq!(edges(&back), edges(&mesh));
         back.check_consistency();
     }
 
@@ -328,23 +408,70 @@ mod tests {
     }
 
     #[test]
-    fn binary_v2_roundtrips_stamps() {
+    fn binary_version_picks_cheapest_format() {
+        // Constrained meshes need the v3 edge section.
+        let mut buf = Vec::new();
+        write_binary(&sample_mesh(), &mut buf).unwrap();
+        assert_eq!(&buf[..8], b"ADM2DM03");
+        // Stamped, unconstrained meshes keep the v2 header…
+        let mut stamped = Mesh::from_triangles(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        stamped.stamp_vertex(0, GlobalVertexId(7));
+        let mut buf2 = Vec::new();
+        write_binary(&stamped, &mut buf2).unwrap();
+        assert_eq!(&buf2[..8], b"ADM2DM02");
+        // …and plain meshes the v1 header, so older readers still work.
+        let plain = Mesh::from_triangles(stamped.points().to_vec(), vec![[0, 1, 2]]);
+        let mut buf1 = Vec::new();
+        write_binary(&plain, &mut buf1).unwrap();
+        assert_eq!(&buf1[..8], b"ADM2DM01");
+    }
+
+    #[test]
+    fn binary_v3_roundtrips_stamps_and_constraints() {
         let mut mesh = sample_mesh();
         mesh.stamp_vertex(0, GlobalVertexId(7));
         mesh.stamp_vertex(3, GlobalVertexId(42));
         let mut buf = Vec::new();
         write_binary(&mesh, &mut buf).unwrap();
-        assert_eq!(&buf[..8], b"ADM2DM02");
+        assert_eq!(&buf[..8], b"ADM2DM03");
         let back = read_binary(&mut buf.as_slice()).unwrap();
         assert_eq!(back.points(), mesh.points());
         assert_eq!(back.global_id(0), Some(GlobalVertexId(7)));
         assert_eq!(back.global_id(1), None);
         assert_eq!(back.global_id(3), Some(GlobalVertexId(42)));
-        // Unstamped meshes keep the v1 header so older readers still work.
-        let plain = sample_mesh();
-        let mut buf1 = Vec::new();
-        write_binary(&plain, &mut buf1).unwrap();
-        assert_eq!(&buf1[..8], b"ADM2DM01");
+        assert_eq!(back.num_constrained(), mesh.num_constrained());
+        // Writing twice gives identical bytes: the edge section is
+        // sorted, not HashSet-ordered.
+        let mut again = Vec::new();
+        write_binary(&back, &mut again).unwrap();
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn frontier_is_constrained_endpoints_only() {
+        let mut mesh = sample_mesh();
+        mesh.stamp_vertex(0, GlobalVertexId(11));
+        let frontier = extract_frontier(&mesh);
+        // All four boundary corners appear exactly once; the interior
+        // point (1.5, 1.4) does not.
+        assert_eq!(frontier.len(), 4);
+        assert!(frontier.iter().any(|e| e.gid == 11));
+        let interior = Point2::new(1.5, 1.4);
+        assert!(!frontier
+            .iter()
+            .any(|e| e.xbits == interior.x.to_bits() && e.ybits == interior.y.to_bits()));
+        // And it survives a binary round-trip bit-for-bit.
+        let mut buf = Vec::new();
+        write_binary(&mesh, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(extract_frontier(&back), frontier);
     }
 
     #[test]

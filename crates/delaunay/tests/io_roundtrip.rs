@@ -4,8 +4,9 @@
 //! pair must reproduce the triangulation exactly — gated by comparing
 //! canonical serializations, which are insensitive to vertex/triangle
 //! ordering history — and the binary format must preserve arena identity
-//! stamps (`ADM2DM02`) while keeping unstamped meshes on the version-1
-//! magic (`ADM2DM01`).
+//! stamps and constrained edges (`ADM2DM03` for constrained meshes,
+//! `ADM2DM02` for stamped-only ones) while keeping plain meshes on the
+//! version-1 magic (`ADM2DM01`).
 
 use adm_delaunay::cdt::{carve, constrained_delaunay};
 use adm_delaunay::io::{read_ascii, read_binary, write_ascii, write_ascii_canonical, write_binary};
@@ -83,20 +84,26 @@ fn canonical_ascii_is_a_fixed_point() {
 }
 
 #[test]
-fn binary_unstamped_round_trip_is_v1() {
+fn binary_constrained_round_trip_is_v3() {
     let mesh = plate_mesh();
     assert!(!mesh.has_global_ids());
+    assert!(mesh.num_constrained() > 0);
     let mut buf = Vec::new();
     write_binary(&mesh, &mut buf).unwrap();
-    assert_eq!(&buf[..8], b"ADM2DM01", "unstamped meshes stay version 1");
+    assert_eq!(
+        &buf[..8],
+        b"ADM2DM03",
+        "constrained meshes carry the edge section"
+    );
     let back = read_binary(&mut &buf[..]).unwrap();
     assert!(!back.has_global_ids());
     assert_eq!(back.num_vertices(), mesh.num_vertices());
+    assert_eq!(back.num_constrained(), mesh.num_constrained());
     assert_eq!(canonical(&back), canonical(&mesh));
 }
 
 #[test]
-fn binary_stamped_boundary_round_trip_is_v2() {
+fn binary_stamped_boundary_round_trip() {
     let mut mesh = plate_mesh();
     // Stamp exactly the boundary (constrained-edge endpoints) with
     // synthetic arena ids, leaving refinement-interior vertices
@@ -114,7 +121,11 @@ fn binary_stamped_boundary_round_trip_is_v2() {
     }
     let mut buf = Vec::new();
     write_binary(&mesh, &mut buf).unwrap();
-    assert_eq!(&buf[..8], b"ADM2DM02", "stamped meshes use version 2");
+    assert_eq!(
+        &buf[..8],
+        b"ADM2DM03",
+        "stamped + constrained meshes use version 3"
+    );
     let back = read_binary(&mut &buf[..]).unwrap();
     assert_eq!(canonical(&back), canonical(&mesh));
     for v in 0..mesh.num_vertices() as u32 {

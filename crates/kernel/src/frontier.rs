@@ -1,0 +1,173 @@
+//! Interface-frontier extraction: the canonical, digestible identity of a
+//! subdomain mesh's constrained boundary.
+//!
+//! The decoupling invariant says two subdomain meshes may only share
+//! vertices that lie on constrained (interface) edges, and that every
+//! shared vertex is either stamped with the same [`GlobalVertexId`] in
+//! both meshes or carries bitwise-identical canonical coordinates. The
+//! *frontier* of a shard is exactly that shareable set: one
+//! [`FrontierEntry`] per constrained-edge endpoint, keyed by its stamp
+//! when it has one and by its canonical coordinate bits otherwise.
+//!
+//! Frontiers are the unit of the distributed-output consistency check:
+//! two shards agree on their shared interface iff the entries they both
+//! carry (same key) are bitwise equal — a property that can be verified
+//! by digest comparison over the canonical byte encoding produced here,
+//! without ever materializing the merged mesh.
+
+use crate::arena::{canonical_bits, GlobalVertexId};
+use adm_geom::point::Point2;
+
+/// One frontier vertex: its global stamp (or [`GlobalVertexId::NONE_RAW`]
+/// when the vertex is identified by coordinates alone) plus its canonical
+/// coordinate bits (`-0.0` normalized to `+0.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrontierEntry {
+    /// Raw [`GlobalVertexId`] stamp; [`GlobalVertexId::NONE_RAW`] if the
+    /// vertex is unstamped (coordinate identity).
+    pub gid: u32,
+    /// Canonical `x` coordinate bits.
+    pub xbits: u64,
+    /// Canonical `y` coordinate bits.
+    pub ybits: u64,
+}
+
+impl FrontierEntry {
+    /// Builds an entry from an optional stamp and a point.
+    pub fn new(gid: Option<GlobalVertexId>, p: Point2) -> FrontierEntry {
+        let (xbits, ybits) = canonical_bits(p);
+        FrontierEntry {
+            gid: gid.map_or(GlobalVertexId::NONE_RAW, |g| g.raw()),
+            xbits,
+            ybits,
+        }
+    }
+
+    /// `true` when the entry is identified by a global stamp.
+    pub fn is_stamped(&self) -> bool {
+        self.gid != GlobalVertexId::NONE_RAW
+    }
+}
+
+/// Sorts and deduplicates frontier entries into the canonical order the
+/// byte encoding (and therefore every frontier digest) is defined over:
+/// ascending `(gid, xbits, ybits)`, exact duplicates collapsed. The
+/// canonical form is a *set* encoding — independent of triangle order,
+/// constraint iteration order, or any other construction history.
+pub fn canonicalize_frontier(mut entries: Vec<FrontierEntry>) -> Vec<FrontierEntry> {
+    entries.sort_unstable();
+    entries.dedup();
+    entries
+}
+
+/// Serializes a canonical frontier as little-endian `(u32, u64, u64)`
+/// records. Digesting these bytes gives the frontier digest recorded in
+/// the shard manifest.
+pub fn frontier_bytes(entries: &[FrontierEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 20);
+    for e in entries {
+        out.extend_from_slice(&e.gid.to_le_bytes());
+        out.extend_from_slice(&e.xbits.to_le_bytes());
+        out.extend_from_slice(&e.ybits.to_le_bytes());
+    }
+    out
+}
+
+/// Parses bytes produced by [`frontier_bytes`]. Returns `None` when the
+/// length is not a whole number of records.
+pub fn frontier_from_bytes(bytes: &[u8]) -> Option<Vec<FrontierEntry>> {
+    if !bytes.len().is_multiple_of(20) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 20);
+    for rec in bytes.chunks_exact(20) {
+        out.push(FrontierEntry {
+            gid: u32::from_le_bytes(rec[0..4].try_into().expect("4-byte field")),
+            xbits: u64::from_le_bytes(rec[4..12].try_into().expect("8-byte field")),
+            ybits: u64::from_le_bytes(rec[12..20].try_into().expect("8-byte field")),
+        });
+    }
+    Some(out)
+}
+
+/// The entries two frontiers share *by stamp*, paired up: for every gid
+/// present in both, the entry from `a` and the entry from `b`. Both
+/// inputs must be canonical (sorted by gid); the result is gid-sorted.
+/// Coordinate-identified entries (gid = NONE) are excluded — their key
+/// *is* their coordinates, so cross-shard agreement is definitional.
+pub fn shared_by_stamp(
+    a: &[FrontierEntry],
+    b: &[FrontierEntry],
+) -> Vec<(FrontierEntry, FrontierEntry)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if !a[i].is_stamped() || !b[j].is_stamped() {
+            break; // NONE_RAW == u32::MAX sorts last in canonical order
+        }
+        match a[i].gid.cmp(&b[j].gid) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push((a[i], b[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(gid: u32, x: f64, y: f64) -> FrontierEntry {
+        FrontierEntry {
+            gid,
+            xbits: x.to_bits(),
+            ybits: y.to_bits(),
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_order_and_duplicate_invariant() {
+        let a = canonicalize_frontier(vec![e(3, 1.0, 2.0), e(1, 0.5, 0.5), e(3, 1.0, 2.0)]);
+        let b = canonicalize_frontier(vec![e(1, 0.5, 0.5), e(3, 1.0, 2.0)]);
+        assert_eq!(a, b);
+        assert_eq!(frontier_bytes(&a), frontier_bytes(&b));
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let plus = FrontierEntry::new(Some(GlobalVertexId(7)), Point2::new(0.0, 1.0));
+        let minus = FrontierEntry::new(Some(GlobalVertexId(7)), Point2::new(-0.0, 1.0));
+        assert_eq!(plus, minus);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let entries = canonicalize_frontier(vec![e(1, 0.5, -3.25), e(9, 1e-300, 4.0)]);
+        let bytes = frontier_bytes(&entries);
+        assert_eq!(frontier_from_bytes(&bytes).unwrap(), entries);
+        assert!(frontier_from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn shared_by_stamp_pairs_common_gids_only() {
+        let a = canonicalize_frontier(vec![
+            e(1, 0.0, 0.0),
+            e(5, 2.0, 2.0),
+            e(GlobalVertexId::NONE_RAW, 9.0, 9.0),
+        ]);
+        let b = canonicalize_frontier(vec![
+            e(5, 2.0, 2.5), // disagrees with a on purpose
+            e(6, 3.0, 3.0),
+            e(GlobalVertexId::NONE_RAW, 9.0, 9.0),
+        ]);
+        let shared = shared_by_stamp(&a, &b);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].0.gid, 5);
+        assert_ne!(shared[0].0.ybits, shared[0].1.ybits);
+    }
+}

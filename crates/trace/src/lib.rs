@@ -101,6 +101,16 @@ impl Track {
             tid: w as u32 + 1,
         }
     }
+
+    /// The shard-writer lane of writer `w` — distributed-output file
+    /// writes (`shard.write` spans). Lives in the driver process row,
+    /// offset well past the merge-pool lanes.
+    pub fn shard_writer(w: usize) -> Track {
+        Track {
+            pid: 0,
+            tid: w as u32 + 64,
+        }
+    }
 }
 
 /// One recorded span. `end_ns == u64::MAX` while still open.

@@ -12,8 +12,8 @@
 
 use adm2d::blayer::{Geometric, GrowthSpec};
 use adm2d::core::{
-    generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, GradationLimited, GradedSizing,
-    MeshConfig, PipelineResult, PslgMeshResult, SizingFn, UniformH,
+    generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded,
+    GradationLimited, GradedSizing, MeshConfig, PipelineResult, PslgMeshResult, SizingFn, UniformH,
 };
 use adm2d::delaunay::io::{write_ascii, write_binary, write_svg};
 use adm2d::delaunay::quality::mesh_quality;
@@ -56,6 +56,9 @@ OPTIONS:
     --ranks <N>            run on N parallel ranks (mpirt)        [default: sequential]
     --out <PATH>           write Triangle-format ASCII mesh
     --binary-out <PATH>    write compact binary mesh
+    --out-shards <DIR>     distributed output: write per-subdomain shards plus
+                           a digest manifest (mesh.admshards.json) into DIR;
+                           reconstruct or verify offline with shard-cat
     --svg <PATH>           write an SVG rendering
     --trace-out <PATH>     write a Chrome trace-event JSON of the run
                            (open in about:tracing or Perfetto)
@@ -81,6 +84,7 @@ struct Args {
     ranks: Option<usize>,
     out: Option<String>,
     binary_out: Option<String>,
+    out_shards: Option<String>,
     svg: Option<String>,
     trace_out: Option<String>,
     quiet: bool,
@@ -105,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         ranks: None,
         out: None,
         binary_out: None,
+        out_shards: None,
         svg: None,
         trace_out: None,
         quiet: false,
@@ -193,6 +198,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value(&argv, &mut i, "--out")?),
             "--binary-out" => args.binary_out = Some(value(&argv, &mut i, "--binary-out")?),
+            "--out-shards" => args.out_shards = Some(value(&argv, &mut i, "--out-shards")?),
             "--svg" => args.svg = Some(value(&argv, &mut i, "--svg")?),
             "--trace-out" => args.trace_out = Some(value(&argv, &mut i, "--trace-out")?),
             "--quiet" => args.quiet = true,
@@ -324,9 +330,22 @@ fn run_poly(args: &Args, path: &str) -> Result<PslgMeshResult, String> {
         None => base,
     };
     let params = RefineParams::default();
-    let out = match args.ranks {
-        Some(r) if r > 1 => mesh_pslg_parallel(&pslg, &sized, &params, r),
-        _ => mesh_pslg(&pslg, &sized, &params),
+    let out = match (&args.out_shards, args.ranks) {
+        (Some(dir), ranks) => mesh_pslg_sharded(
+            &pslg,
+            &sized,
+            &params,
+            ranks.unwrap_or(1).max(1),
+            std::path::Path::new(dir),
+        )
+        .map(|(result, manifest)| {
+            if !args.quiet {
+                eprintln!("wrote {} shard(s) to {dir}", manifest.shards.len());
+            }
+            result
+        }),
+        (None, Some(r)) if r > 1 => mesh_pslg_parallel(&pslg, &sized, &params, r),
+        (None, _) => mesh_pslg(&pslg, &sized, &params),
     };
     out.map_err(|e| format!("{path}: {e}"))
 }
@@ -335,11 +354,16 @@ fn run(args: &Args) -> Result<RunOutput, String> {
     if let Some(path) = &args.poly {
         return Ok(RunOutput::Pslg(run_poly(args, &path.clone())?));
     }
-    let config = build_config(args)?;
-    Ok(RunOutput::Pipeline(match args.ranks {
+    let mut config = build_config(args)?;
+    config.shard_out = args.out_shards.as_ref().map(std::path::PathBuf::from);
+    let result = match args.ranks {
         Some(r) if r > 1 => generate_parallel(&config, r),
         _ => generate(&config),
-    }))
+    };
+    if let (Some(dir), false) = (&args.out_shards, args.quiet) {
+        eprintln!("wrote shards to {dir}");
+    }
+    Ok(RunOutput::Pipeline(result))
 }
 
 fn main() -> ExitCode {

@@ -42,6 +42,7 @@ pub use adm_core as core;
 pub use adm_decouple as decouple;
 pub use adm_delaunay as delaunay;
 pub use adm_geom as geom;
+pub use adm_kernel as kernel;
 pub use adm_mpirt as mpirt;
 pub use adm_partition as partition;
 pub use adm_simnet as simnet;

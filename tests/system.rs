@@ -2,7 +2,9 @@
 //! mesh -> I/O roundtrip -> flow solve -> scaling simulation, end to end.
 
 use adm2d::core::{
-    generate, mesh_pslg, mesh_pslg_parallel, GradationLimited, GradedSizing, MeshConfig, SizingFn,
+    generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded, read_manifest,
+    reconstruct, sha256_hex, verify_shards, GradationLimited, GradedSizing, MeshConfig, SizingFn,
+    UniformH, MANIFEST_NAME,
 };
 use adm2d::delaunay::io::{
     read_ascii, read_binary, write_ascii, write_ascii_canonical, write_binary,
@@ -92,6 +94,195 @@ fn push_button_determinism() {
     let b = generate(&test_config());
     assert_eq!(a.stats.total_triangles, b.stats.total_triangles);
     assert_eq!(a.mesh.points(), b.mesh.points());
+}
+
+/// Canonical mesh identity: sha256 of the sorted ASCII form, the same
+/// digest `--hash` prints and the merge tests key on.
+fn canon_sha(m: &adm2d::delaunay::mesh::Mesh) -> String {
+    let mut buf = Vec::new();
+    write_ascii_canonical(m, &mut buf).unwrap();
+    sha256_hex(&buf)
+}
+
+/// Every file in a shard directory, name -> contents, sorted by name.
+type DirFingerprint = Vec<(String, Vec<u8>)>;
+
+fn dir_fingerprint(dir: &std::path::Path) -> DirFingerprint {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("adm2d-system-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tentpole oracle: the sharded output of the parallel NACA pipeline
+/// reconstructs to the exact in-process merged mesh at every rank
+/// count, and the shard set itself is byte-identical across rank
+/// schedules (shards are keyed by task path, not by rank).
+#[test]
+fn sharded_output_reconstructs_merged_mesh_at_every_rank_count() {
+    let root = scratch_dir("naca");
+    let mut reference: Option<(String, DirFingerprint)> = None;
+    for ranks in [1usize, 2, 4, 8] {
+        let dir = root.join(format!("r{ranks}"));
+        let mut config = test_config();
+        config.shard_out = Some(dir.clone());
+        let result = generate_parallel(&config, ranks);
+
+        let manifest = read_manifest(&dir).expect("manifest written");
+        let report = verify_shards(&dir, &manifest).expect("shards readable");
+        assert!(
+            report.is_consistent(),
+            "ranks={ranks}: {:?}",
+            report.problems
+        );
+        assert!(report.shared_stamped > 0, "interfaces share stamped gids");
+
+        let recon = reconstruct(&dir, &manifest).expect("reconstruction");
+        let sha = canon_sha(&recon);
+        assert_eq!(
+            sha,
+            canon_sha(&result.mesh),
+            "ranks={ranks}: offline reconstruction diverged from in-process merge"
+        );
+
+        let fp = dir_fingerprint(&dir);
+        assert!(fp.iter().any(|(n, _)| n == MANIFEST_NAME));
+        match &reference {
+            None => reference = Some((sha, fp)),
+            Some((sha0, fp0)) => {
+                assert_eq!(&sha, sha0, "mesh digest changed at ranks={ranks}");
+                assert_eq!(
+                    fp.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                    fp0.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                    "shard file set changed at ranks={ranks}"
+                );
+                for ((name, bytes), (_, bytes0)) in fp.iter().zip(fp0) {
+                    assert_eq!(bytes, bytes0, "{name} differs at ranks={ranks}");
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The shard-cat binary round-trips the same directory: `--canonical`
+/// on stdout reproduces the in-process mesh digest, and `--verify-only`
+/// exits zero.
+#[test]
+fn shard_cat_binary_round_trips_a_shard_directory() {
+    let root = scratch_dir("shardcat");
+    let dir = root.join("shards");
+    let mut config = test_config();
+    config.shard_out = Some(dir.clone());
+    let result = generate_parallel(&config, 4);
+
+    let bin = env!("CARGO_BIN_EXE_shard-cat");
+    let verify = std::process::Command::new(bin)
+        .arg(&dir)
+        .arg("--verify-only")
+        .arg("--quiet")
+        .output()
+        .expect("shard-cat runs");
+    assert!(
+        verify.status.success(),
+        "verify-only failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+
+    let cat = std::process::Command::new(bin)
+        .arg(&dir)
+        .arg("--canonical")
+        .arg("--quiet")
+        .output()
+        .expect("shard-cat runs");
+    assert!(cat.status.success());
+    assert_eq!(
+        sha256_hex(&cat.stdout),
+        canon_sha(&result.mesh),
+        "shard-cat --canonical diverged from the in-process merge"
+    );
+
+    // Corrupt one shard byte: shard-cat must refuse.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "adm"))
+        .expect("at least one shard file");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&victim, bytes).unwrap();
+    let refused = std::process::Command::new(bin)
+        .arg(&dir)
+        .arg("--verify-only")
+        .arg("--quiet")
+        .output()
+        .expect("shard-cat runs");
+    assert!(
+        !refused.status.success(),
+        "shard-cat accepted a corrupted shard"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The PSLG front door's sharded mode: per-component shards
+/// reconstruct to the in-process multi-component mesh, identically at
+/// every rank count.
+#[test]
+fn poly_example_shards_reconstruct_identically() {
+    let file = std::fs::File::open(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/two_part_plate.poly"
+    ))
+    .expect("committed example present");
+    let pslg = read_poly(&mut std::io::BufReader::new(file))
+        .expect("committed example parses")
+        .to_pslg();
+    let sizing = UniformH(0.4);
+    let params = RefineParams::default();
+
+    let root = scratch_dir("poly");
+    let mut reference: Option<(String, DirFingerprint)> = None;
+    for ranks in [1usize, 2, 4, 8] {
+        let dir = root.join(format!("r{ranks}"));
+        let (result, manifest) =
+            mesh_pslg_sharded(&pslg, &sizing, &params, ranks, &dir).expect("sharded PSLG mesh");
+        assert_eq!(manifest.shards.len(), result.components);
+
+        let report = verify_shards(&dir, &manifest).expect("shards readable");
+        assert!(
+            report.is_consistent(),
+            "ranks={ranks}: {:?}",
+            report.problems
+        );
+        let recon = reconstruct(&dir, &manifest).expect("reconstruction");
+        let sha = canon_sha(&recon);
+        assert_eq!(sha, canon_sha(&result.mesh), "ranks={ranks}");
+
+        let fp = dir_fingerprint(&dir);
+        match &reference {
+            None => reference = Some((sha, fp)),
+            Some((sha0, fp0)) => {
+                assert_eq!(&sha, sha0);
+                assert_eq!(&fp, fp0, "shard set changed at ranks={ranks}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// The committed multi-part `.poly` example flows through the general
