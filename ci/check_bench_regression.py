@@ -28,6 +28,14 @@ asserts the sharded run's speedup at the largest common rank count is
 strictly higher than the merged baseline's — the committed claim that
 distributed output kills the merge tail. Both files must cover the same
 rank axis and carry the expected "mode" tags.
+
+A third mode covers the committed fig16_adapt mesh-economy report:
+
+    check_bench_regression.py --adapt-economy <fig16_adapt.json>
+
+asserts the final adapted cycle's error-per-DoF beats the best point of
+both non-adaptive comparison families (uniform refinement and one-shot
+anisotropic) — the claim that the adaptation loop pays for itself.
 """
 
 import json
@@ -104,12 +112,50 @@ def check_scaling(merged_path, sharded_path):
     )
 
 
+def check_adapt_economy(path):
+    """Gate on the committed fig16_adapt report: the final adapted cycle
+    must beat the best point of both non-adaptive families (uniform
+    refinement and one-shot anisotropic) on error-per-DoF."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    adapted = doc.get("adapted_final_error_per_dof")
+    uniform = doc.get("uniform_best_error_per_dof")
+    one_shot = doc.get("one_shot_best_error_per_dof")
+    for name, v in (("adapted", adapted), ("uniform", uniform), ("one_shot", one_shot)):
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"{path}: missing or non-positive {name} error-per-DoF ({v!r})")
+    print(
+        f"  err*sqrt(dofs): adapted {adapted:.3f}, uniform best {uniform:.3f}, "
+        f"one-shot best {one_shot:.3f}"
+    )
+    if not (adapted < uniform and adapted < one_shot):
+        fail(
+            f"adapted final error-per-DoF ({adapted:.3f}) does not beat both "
+            f"uniform ({uniform:.3f}) and one-shot ({one_shot:.3f}): the "
+            "adaptation loop no longer pays for its solve/estimate cost"
+        )
+    if doc.get("adapted_beats_both") is not True:
+        fail(f"{path}: 'adapted_beats_both' flag disagrees with the numbers")
+    print(
+        f"check_bench_regression: OK: adapted mesh economy beats both "
+        f"one-shot families ({adapted:.3f} < {min(uniform, one_shot):.3f})"
+    )
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     if "--scaling" in sys.argv[1:]:
         if len(args) != 2:
             fail("usage: check_bench_regression.py --scaling <merged.json> <sharded.json>")
         check_scaling(args[0], args[1])
+        return
+    if "--adapt-economy" in sys.argv[1:]:
+        if len(args) != 1:
+            fail("usage: check_bench_regression.py --adapt-economy <fig16_adapt.json>")
+        check_adapt_economy(args[0])
         return
     threshold = 0.25
     for a in sys.argv[1:]:

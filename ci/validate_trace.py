@@ -160,6 +160,31 @@ def main():
                 f"phase.merge interval"
             )
 
+    # Adaptation-loop nesting (checked only when the trace has adapt
+    # spans): cycles are sequential, so adapt.cycle spans must be
+    # pairwise disjoint, and every adapt.stage.* span must lie entirely
+    # inside some adapt.cycle interval — a stage outside its cycle means
+    # the driver's span pairing broke.
+    cycles = sorted(
+        (e["ts"], e["ts"] + e["dur"]) for e in complete if e["name"] == "adapt.cycle"
+    )
+    for (a0, a1), (b0, b1) in zip(cycles, cycles[1:]):
+        if b0 < a1 - 1e-9:
+            fail(
+                f"adapt.cycle spans overlap: [{a0}, {a1}] and [{b0}, {b1}] "
+                f"(cycles must run sequentially)"
+            )
+    stages = [e for e in complete if e["name"].startswith("adapt.stage.")]
+    if stages and not cycles:
+        fail("adapt.stage.* spans present without any adapt.cycle span")
+    for e in stages:
+        start, end = e["ts"], e["ts"] + e["dur"]
+        if not any(start >= c0 - 1e-9 and end <= c1 + 1e-9 for (c0, c1) in cycles):
+            fail(
+                f"{e['name']!r} span [{start}, {end}] lies outside every "
+                f"adapt.cycle interval"
+            )
+
     t0 = min(e["ts"] for e in complete)
     t1 = max(e["ts"] + e["dur"] for e in complete)
     wall = t1 - t0
@@ -178,6 +203,7 @@ def main():
         f"{len(other['counters'])} counters, "
         f"{len(other['histograms'])} histograms, "
         f"{len(merge_nodes)} merge.node spans inside phase.merge, "
+        f"{len(cycles)} adapt.cycle spans ({len(stages)} nested stages), "
         f"root coverage {coverage:.1%}"
     )
 

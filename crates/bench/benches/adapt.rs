@@ -1,0 +1,73 @@
+//! Adaptation-loop benchmarks.
+//!
+//! `adapt/cycle_naca16` times one full solve → estimate → remesh cycle
+//! (the unit of work the adaptation driver repeats), pinned by
+//! `bench_results/adapt_baseline.json` in CI. The `sizing/gradation_*`
+//! pair isolates the anchor-reuse optimization: a fresh
+//! `GradationLimited::new` pays the `O(n² log n)` distance-table build
+//! on every construction, while `with_anchor_set` over a shared
+//! `AnchorSet` pays only the pruned limiting pass — the difference is
+//! what every adaptation cycle after the first saves.
+
+use adm_core::{adapt, AdaptOptions, AnchorSet, GradationLimited, MeshConfig, UniformH};
+use adm_geom::point::Point2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_adapt_cycle(c: &mut Criterion) {
+    let mut config = MeshConfig::naca0012(16);
+    config.sizing_max_area = 6.0;
+    config.bl_subdomains = 4;
+    config.inviscid_subdomains = 4;
+    config.merge_threads = 0;
+    let opts = AdaptOptions {
+        cycles: 1,
+        ..Default::default()
+    };
+    c.bench_function("adapt/cycle_naca16", |b| {
+        b.iter(|| {
+            let out = adapt(&config, &opts);
+            std::hint::black_box(out.cycles.last().unwrap().error_total)
+        })
+    });
+}
+
+fn bench_gradation_reuse(c: &mut Criterion) {
+    const N: usize = 512;
+    let mut r = rand::rngs::StdRng::seed_from_u64(42);
+    let pts: Vec<Point2> = (0..N)
+        .map(|_| Point2::new(r.gen_range(-4.0..4.0), r.gen_range(-4.0..4.0)))
+        .collect();
+    let base = UniformH(0.35);
+
+    let mut g = c.benchmark_group("sizing");
+    g.bench_function(format!("gradation_fresh_{N}"), |b| {
+        b.iter(|| {
+            let lim = GradationLimited::new(base, &pts, 0.25);
+            std::hint::black_box(lim.anchor_h(N - 1))
+        })
+    });
+    let shared = Arc::new(AnchorSet::new(&pts));
+    g.bench_function(format!("gradation_reuse_{N}"), |b| {
+        b.iter(|| {
+            let lim = GradationLimited::with_anchor_set(base, shared.clone(), 0.25);
+            std::hint::black_box(lim.anchor_h(N - 1))
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2500))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_adapt_cycle, bench_gradation_reuse
+}
+criterion_main!(benches);

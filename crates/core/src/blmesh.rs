@@ -61,13 +61,40 @@ pub fn mesh_boundary_layer(
         let ids = arena.intern_all(&c);
         ((c, arena, ids), 0)
     });
+    mesh_boundary_layer_interned(
+        layers,
+        &cloud,
+        Arc::new(arena),
+        &ids,
+        hole_seeds,
+        target_subdomains,
+        pool,
+        log,
+    )
+}
 
+/// [`mesh_boundary_layer`] over a pre-interned cloud: the adaptation
+/// loop builds the cloud/arena once per run (`GeomPrelude`) and re-meshes
+/// every cycle against the same frozen ids. Byte-identical to the
+/// one-shot path — the cloud and intern order are the same, only the
+/// build is skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn mesh_boundary_layer_interned(
+    layers: &[BoundaryLayer],
+    cloud: &[Point2],
+    arena: Arc<MeshArena>,
+    ids: &[GlobalVertexId],
+    hole_seeds: &[Point2],
+    target_subdomains: usize,
+    pool: &Pool,
+    log: &mut TaskLog,
+) -> Result<BlMesh, CdtError> {
     // Coarse partitioning (Figure 8) — serial in this path; the parallel
     // driver distributes it. Subdomain vertices carry their arena ids, so
     // the triangles the leaves emit index the arena directly.
     let leaves: Vec<Subdomain> = log.measure(TaskKind::Decompose, 0, || {
         let d = decompose(
-            Subdomain::root_with_ids(&cloud, &ids),
+            Subdomain::root_with_ids(cloud, ids),
             &DecomposeParams::for_subdomain_count(target_subdomains),
         );
         (d.leaves, 0)
@@ -132,7 +159,7 @@ pub fn mesh_boundary_layer(
     Ok(BlMesh {
         mesh,
         outer_borders: layers.iter().map(|l| l.outer_border().to_vec()).collect(),
-        arena: Arc::new(arena),
+        arena,
         cloud_points: cloud.len(),
         subdomains: n_leaves,
     })

@@ -40,6 +40,12 @@ pub struct MeshConfig {
     /// merge still runs; consumers that accept shards can skip it
     /// entirely and reconstruct offline with `shard-cat`.
     pub shard_out: Option<std::path::PathBuf>,
+    /// Extra sizing constraint composed (pointwise minimum) with the
+    /// built-in graded field. `None` — the default — leaves the graded
+    /// field bit-identical to builds that predate this hook. The
+    /// adaptation loop installs its gradation-limited metric channel
+    /// here between cycles.
+    pub extra_sizing: Option<std::sync::Arc<dyn crate::sizing::SizingFn + Send + Sync>>,
 }
 
 /// Default pool width: the `ADM_MERGE_THREADS` environment variable if
@@ -92,6 +98,7 @@ impl MeshConfig {
             inviscid_subdomains: 32,
             merge_threads: default_merge_threads(),
             shard_out: None,
+            extra_sizing: None,
         }
     }
 

@@ -257,7 +257,7 @@ pub fn mesh_inviscid(
     outer_borders: &[Vec<Point2>],
     hole_seeds: &[Point2],
     farfield: &Aabb,
-    sizing: &GradedSizing,
+    sizing: &dyn SizingField,
     nearbody_margin_abs: f64,
     target_subdomains: usize,
     log: &mut TaskLog,

@@ -7,6 +7,7 @@
 //! merged, conforming global mesh. Per-subdomain costs are logged so the
 //! scaling study (adm-simnet) replays the real workload.
 
+pub mod adapt;
 pub mod blmesh;
 pub mod config;
 pub mod distio;
@@ -19,15 +20,19 @@ pub mod shard;
 pub mod sizing;
 pub mod tasklog;
 
-pub use blmesh::{mesh_boundary_layer, BlMesh};
+pub use adapt::{
+    adapt, adapt_with_runner, mesh_digest_hex, metric_digest_hex, AdaptOptions, AdaptResult,
+    CycleReport,
+};
+pub use blmesh::{mesh_boundary_layer, mesh_boundary_layer_interned, BlMesh};
 pub use config::{default_merge_threads, MeshConfig};
 pub use distio::{read_distributed_merged, read_distributed_parts, write_distributed};
 pub use hash::{sha256_hex, Sha256};
 pub use inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region, InviscidMesh};
 pub use merge::{check_conformity, merge_tree_spliced, Conformity, MeshMerger};
 pub use pipeline::{
-    generate, generate_parallel, generate_parallel_with, generate_undecomposed, PipelineResult,
-    PipelineStats,
+    build_prelude, generate, generate_parallel, generate_parallel_staged, generate_parallel_with,
+    generate_staged, generate_undecomposed, GeomPrelude, PipelineResult, PipelineStats,
 };
 pub use pslg_pipeline::{
     mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded, PslgMeshError, PslgMeshResult,
@@ -36,5 +41,8 @@ pub use shard::{
     atomic_write, pairwise_frontier_digest, read_manifest, reconstruct, verify_shards,
     write_manifest, write_shard_set, ConsistencyReport, ShardManifest, ShardMeta, MANIFEST_NAME,
 };
-pub use sizing::{AsSizingField, FnSizing, GradationLimited, GradedSizing, SizingFn, UniformH};
+pub use sizing::{
+    AnchorSet, AsSizingField, ComposedSizing, FnSizing, GradationLimited, GradedSizing,
+    MetricSizing, SizingFn, UniformH,
+};
 pub use tasklog::{TaskKind, TaskLog, TaskRecord};

@@ -5,14 +5,15 @@
 //! executes the subdomain work on `adm-mpirt` ranks with the paper's
 //! dynamic load balancer, and must produce the same mesh.
 
-use crate::blmesh::{mesh_boundary_layer, BlMesh};
+use crate::blmesh::{mesh_boundary_layer, mesh_boundary_layer_interned, BlMesh};
 use crate::config::MeshConfig;
 use crate::inviscid::{
     build_sizing, mesh_inviscid, refine_nearbody, refine_nearbody_stamped, refine_region,
 };
 use crate::merge::{check_conformity, merge_tree_spliced, MeshMerger};
+use crate::sizing::ComposedSizing;
 use crate::tasklog::{TaskKind, TaskLog};
-use adm_blayer::build_multielement_layers;
+use adm_blayer::{build_multielement_layers, BoundaryLayer};
 use adm_decouple::{initial_quadrants, Region};
 use adm_delaunay::mesh::Mesh;
 use adm_geom::aabb::Aabb;
@@ -60,8 +61,68 @@ pub struct PipelineResult {
     pub trace: Tracer,
 }
 
+/// The stage-0 geometry of a run: boundary layers, the combined point
+/// cloud, and the arena that minted every global vertex id — everything
+/// upstream of the per-cycle decompose/mesh/merge stack that does *not*
+/// change between adaptation cycles.
+///
+/// Built once by [`build_prelude`] and handed to [`generate_staged`] /
+/// [`generate_parallel_staged`] each cycle, so the anisotropic layer
+/// construction and cloud interning are paid once per adaptation run.
+/// The staged entry points produce byte-identical meshes whether the
+/// prelude is prebuilt or built inline — the cloud and intern order are
+/// the same either way.
+pub struct GeomPrelude {
+    /// Per-element anisotropic boundary layers (§II.A–II.C).
+    pub layers: Vec<BoundaryLayer>,
+    /// Combined boundary-layer point cloud of all elements.
+    pub cloud: Vec<Point2>,
+    /// Arena ids of `cloud`, in cloud order.
+    pub cloud_ids: Vec<GlobalVertexId>,
+    /// The frozen arena that minted `cloud_ids`. Parallel cycles clone
+    /// its *contents* (cheap relative to meshing) and intern the
+    /// near-body rectangle on top, reproducing the one-shot arena.
+    pub arena: Arc<MeshArena>,
+    /// Outer border loop of each element's layer.
+    pub outer_borders: Vec<Vec<Point2>>,
+    /// One point strictly inside each element (carve seeds).
+    pub hole_seeds: Vec<Point2>,
+}
+
+/// Builds the cycle-invariant geometry prelude for `config`.
+pub fn build_prelude(config: &MeshConfig) -> GeomPrelude {
+    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
+    let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
+    let hole_seeds = config.pslg.hole_seeds();
+    let cloud: Vec<Point2> = layers
+        .iter()
+        .flat_map(|l| l.all_points())
+        .copied()
+        .collect();
+    let outer_borders: Vec<Vec<Point2>> =
+        layers.iter().map(|l| l.outer_border().to_vec()).collect();
+    let mut arena = MeshArena::with_capacity(cloud.len());
+    let cloud_ids = arena.intern_all(&cloud);
+    GeomPrelude {
+        layers,
+        cloud,
+        cloud_ids,
+        arena: Arc::new(arena),
+        outer_borders,
+        hole_seeds,
+    }
+}
+
 /// Runs the full pipeline sequentially.
 pub fn generate(config: &MeshConfig) -> PipelineResult {
+    generate_staged(config, None)
+}
+
+/// [`generate`] with an optional prebuilt [`GeomPrelude`]. With `None`
+/// this *is* `generate`; with `Some`, the boundary-layer build and cloud
+/// interning are reused from the prelude (the adaptation loop's
+/// per-cycle entry point) and the output bytes are identical.
+pub fn generate_staged(config: &MeshConfig, prelude: Option<&GeomPrelude>) -> PipelineResult {
     let tracer = Tracer::wall();
     tracer.name_track(Track::ROOT, "pipeline (sequential)");
     let t0 = tracer.now();
@@ -72,27 +133,47 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
     // pool-width-independent (0 workers = inline).
     let pool = Pool::new(config.merge_threads);
 
-    // 1. Anisotropic boundary layers (§II.A-II.C).
-    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
-    let layers = log.measure(TaskKind::BlBuild, 0, || {
-        (
-            build_multielement_layers(&surfaces, &config.growth, &config.bl),
-            0,
-        )
-    });
-
-    // 2. Parallel-decomposed boundary-layer triangulation (§II.D).
+    // 1 + 2. Anisotropic boundary layers (§II.A-II.C) and their
+    // parallel-decomposed triangulation (§II.D) — stage 0 geometry comes
+    // from the prelude when one is supplied.
     let hole_seeds = config.pslg.hole_seeds();
-    let bl: BlMesh =
-        mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &pool, &mut log)
-            .expect("boundary-layer meshing failed");
+    let bl: BlMesh = match prelude {
+        None => {
+            let surfaces: Vec<Vec<Point2>> =
+                config.pslg.loops.iter().map(|l| l.points.clone()).collect();
+            let layers = log.measure(TaskKind::BlBuild, 0, || {
+                (
+                    build_multielement_layers(&surfaces, &config.growth, &config.bl),
+                    0,
+                )
+            });
+            mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &pool, &mut log)
+                .expect("boundary-layer meshing failed")
+        }
+        Some(pre) => mesh_boundary_layer_interned(
+            &pre.layers,
+            &pre.cloud,
+            pre.arena.clone(),
+            &pre.cloud_ids,
+            &hole_seeds,
+            config.bl_subdomains,
+            &pool,
+            &mut log,
+        )
+        .expect("boundary-layer meshing failed"),
+    };
 
-    // 3. Graded decoupled inviscid region (§II.E).
-    let sizing = build_sizing(
-        &bl.outer_borders,
-        config.effective_sizing_h0(),
-        config.sizing_rate,
-        config.sizing_max_area,
+    // 3. Graded decoupled inviscid region (§II.E), optionally tightened
+    // by the adaptation loop's extra sizing channel (pointwise min; with
+    // no extra field the composition is the graded field, same bits).
+    let sizing = ComposedSizing::new(
+        build_sizing(
+            &bl.outer_borders,
+            config.effective_sizing_h0(),
+            config.sizing_rate,
+            config.sizing_max_area,
+        ),
+        config.extra_sizing.clone(),
     );
     let chord = config.pslg.reference_chord();
     let inviscid = mesh_inviscid(
@@ -272,6 +353,20 @@ pub fn generate_parallel_with(
     transport: Arc<dyn Transport>,
     balancer: BalancerConfig,
 ) -> PipelineResult {
+    generate_parallel_staged(config, transport, balancer, None)
+}
+
+/// [`generate_parallel_with`] with an optional prebuilt [`GeomPrelude`].
+/// With `Some`, the boundary-layer build and cloud interning are reused
+/// (the prelude arena's contents are cloned and the near-body rectangle
+/// interned on top, reproducing the one-shot arena exactly); the output
+/// bytes are identical either way.
+pub fn generate_parallel_staged(
+    config: &MeshConfig,
+    transport: Arc<dyn Transport>,
+    balancer: BalancerConfig,
+    prelude: Option<&GeomPrelude>,
+) -> PipelineResult {
     let ranks = transport.size();
     // The tracer runs on the transport's clock: wall time on the threaded
     // transport, virtual time on the simulator — which makes the whole
@@ -284,31 +379,37 @@ pub fn generate_parallel_with(
 
     // Root-side geometry setup (the boundary layer build is per-surface
     // work the paper parallelizes by surface ownership; at our scales it
-    // is a negligible prefix).
-    let surfaces: Vec<Vec<Point2>> = config.pslg.loops.iter().map(|l| l.points.clone()).collect();
-    let layers = {
-        let bl_span = tracer.span(Track::ROOT, "phase.bl_build");
-        let layers = build_multielement_layers(&surfaces, &config.growth, &config.bl);
-        bl_span.close();
-        layers
+    // is a negligible prefix). With a prelude, the stage-0 geometry —
+    // layers, cloud, and the id-minting arena — is reused; the fresh
+    // build produces the identical cloud and intern order, so the mesh
+    // bytes cannot depend on which branch ran.
+    let built: Option<GeomPrelude> = match prelude {
+        Some(_) => None,
+        None => {
+            let bl_span = tracer.span(Track::ROOT, "phase.bl_build");
+            let pre = build_prelude(config);
+            bl_span.close();
+            Some(pre)
+        }
     };
-    let hole_seeds = config.pslg.hole_seeds();
-    let cloud: Vec<Point2> = layers
-        .iter()
-        .flat_map(|l| l.all_points())
-        .copied()
-        .collect();
-    let outer_borders: Vec<Vec<Point2>> =
-        layers.iter().map(|l| l.outer_border().to_vec()).collect();
-    // Mint the global vertex ids: the whole BL cloud first (matching the
-    // arena the sequential path builds), the near-body rectangle after.
-    let mut arena = MeshArena::with_capacity(cloud.len() + 64);
-    let cloud_ids = arena.intern_all(&cloud);
-    let sizing = build_sizing(
-        &outer_borders,
-        config.effective_sizing_h0(),
-        config.sizing_rate,
-        config.sizing_max_area,
+    let pre: &GeomPrelude = prelude.unwrap_or_else(|| built.as_ref().unwrap());
+    let layers = &pre.layers;
+    let hole_seeds = pre.hole_seeds.clone();
+    let cloud = &pre.cloud;
+    let cloud_ids = &pre.cloud_ids;
+    let outer_borders = pre.outer_borders.clone();
+    // Global vertex ids: the whole BL cloud was interned first (matching
+    // the arena the sequential path builds); the near-body rectangle is
+    // interned on top of a clone of that frozen arena below.
+    let mut arena = (*pre.arena).clone();
+    let sizing = ComposedSizing::new(
+        build_sizing(
+            &outer_borders,
+            config.effective_sizing_h0(),
+            config.sizing_rate,
+            config.sizing_max_area,
+        ),
+        config.extra_sizing.clone(),
     );
     let chord = config.pslg.reference_chord();
     let mut bbox = Aabb::empty();
@@ -339,7 +440,7 @@ pub fn generate_parallel_with(
     let bl_params = DecomposeParams::for_subdomain_count(config.bl_subdomains);
     let mut seed_bodies: Vec<TaskBody> = Vec::new();
     seed_bodies.push(TaskBody::Bl(Box::new(Subdomain::root_with_ids(
-        &cloud, &cloud_ids,
+        cloud, cloud_ids,
     ))));
     for q in init.quadrants.iter() {
         seed_bodies.push(TaskBody::Region {
@@ -543,7 +644,7 @@ pub fn generate_parallel_with(
             .expect("border point missing from cloud")
             .raw()
     };
-    for l in &layers {
+    for l in layers {
         let s = &l.surface;
         for i in 0..s.len() {
             let (a, b) = (lookup(s[i]), lookup(s[(i + 1) % s.len()]));
@@ -639,11 +740,14 @@ pub fn generate_undecomposed(config: &MeshConfig) -> PipelineResult {
     let pool = Pool::new(config.merge_threads);
     let bl =
         mesh_boundary_layer(&layers, &hole_seeds, 1, &pool, &mut log).expect("bl meshing failed");
-    let sizing = build_sizing(
-        &bl.outer_borders,
-        config.effective_sizing_h0(),
-        config.sizing_rate,
-        config.sizing_max_area,
+    let sizing = ComposedSizing::new(
+        build_sizing(
+            &bl.outer_borders,
+            config.effective_sizing_h0(),
+            config.sizing_rate,
+            config.sizing_max_area,
+        ),
+        config.extra_sizing.clone(),
     );
     // One big inviscid region: far-field rectangle with the BL outer
     // borders as holes — no quadrants, no decoupling.

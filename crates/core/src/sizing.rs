@@ -17,7 +17,9 @@
 //! which the gradation property test gates.
 
 use adm_decouple::{SizingField, EQUILATERAL};
+use adm_geom::metric::MetricField;
 use adm_geom::point::Point2;
+use std::sync::Arc;
 
 pub use adm_decouple::GradedSizing;
 
@@ -101,6 +103,101 @@ impl<S: SizingFn> SizingField for AsSizingField<S> {
     }
 }
 
+/// A reusable anchor table for [`GradationLimited`]: the anchor points
+/// plus, per anchor, every other anchor sorted by distance.
+///
+/// Building the table is the quadratic part of gradation limiting
+/// (`O(n² log n)` for the per-row sorts). Once built it can be shared
+/// (`Arc`) across many limiter constructions — the adaptation loop
+/// re-limits a fresh metric field every cycle against the *same* PSLG
+/// anchors, so the table is paid once per adaptation run instead of
+/// once per cycle. The distance-sorted rows also let [`Self::limit`]
+/// prune: scanning a row in ascending distance, once
+/// `min(values) + g·d` can no longer undercut the current best bound,
+/// no farther anchor can either, so the sweep exits early while
+/// computing the *exact* same minima as the full quadratic pass.
+pub struct AnchorSet {
+    pts: Vec<Point2>,
+    /// Row-major `n × n`: row `i` holds all anchor indices sorted by
+    /// distance from anchor `i` (ties broken by index).
+    nbr_idx: Vec<u32>,
+    /// Distances parallel to `nbr_idx`.
+    nbr_dist: Vec<f64>,
+}
+
+impl AnchorSet {
+    /// Builds the distance-sorted neighbor table. `O(n² log n)`.
+    pub fn new(anchors: &[Point2]) -> Self {
+        let n = anchors.len();
+        let mut nbr_idx = Vec::with_capacity(n * n);
+        let mut nbr_dist = Vec::with_capacity(n * n);
+        let mut row: Vec<(f64, u32)> = Vec::with_capacity(n);
+        for &p in anchors {
+            row.clear();
+            row.extend(
+                anchors
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &q)| (p.distance(q), j as u32)),
+            );
+            row.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(d, j) in &row {
+                nbr_idx.push(j);
+                nbr_dist.push(d);
+            }
+        }
+        AnchorSet {
+            pts: anchors.to_vec(),
+            nbr_idx,
+            nbr_dist,
+        }
+    }
+
+    /// Anchor count.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` when there are no anchors.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// The anchor points, in construction order.
+    pub fn points(&self) -> &[Point2] {
+        &self.pts
+    }
+
+    /// One Lipschitz regularization pass `out_i = min_j (v_j + g·d_ij)`
+    /// over the cached table. Early-exits each row once no farther
+    /// anchor can lower the bound; bitwise-identical to the full
+    /// quadratic sweep (the pruned terms are provably not minima, and
+    /// `min` is order-independent).
+    pub fn limit(&self, values: &[f64], g: f64) -> Vec<f64> {
+        assert_eq!(values.len(), self.pts.len());
+        let n = self.pts.len();
+        let vmin = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        (0..n)
+            .map(|i| {
+                let mut best = values[i];
+                let row = i * n;
+                for k in 0..n {
+                    let d = self.nbr_dist[row + k];
+                    if vmin + g * d >= best {
+                        break;
+                    }
+                    let j = self.nbr_idx[row + k] as usize;
+                    let bound = values[j] + g * d;
+                    if bound < best {
+                        best = bound;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
 /// Gradation limiter: the largest field below `base` whose value cannot
 /// grow faster than `gradation` per unit distance across the anchor set.
 ///
@@ -116,7 +213,7 @@ impl<S: SizingFn> SizingField for AsSizingField<S> {
 /// `g`-Lipschitz, so a second pass reproduces them.
 pub struct GradationLimited<S: SizingFn> {
     base: S,
-    anchors: Vec<Point2>,
+    anchors: Arc<AnchorSet>,
     limited: Vec<f64>,
     gradation: f64,
 }
@@ -124,19 +221,33 @@ pub struct GradationLimited<S: SizingFn> {
 impl<S: SizingFn> GradationLimited<S> {
     /// Limits `base` against `anchors` with growth rate `gradation`
     /// (edge-length increase per unit distance; 0.1–0.5 is typical).
+    /// Builds a fresh [`AnchorSet`]; use [`Self::with_anchor_set`] to
+    /// amortize the table across repeated constructions.
     pub fn new(base: S, anchors: &[Point2], gradation: f64) -> Self {
+        Self::with_anchor_set(base, Arc::new(AnchorSet::new(anchors)), gradation)
+    }
+
+    /// Limits `base` against a prebuilt (possibly shared) anchor table.
+    /// Only the `O(n)`-ish pruned limiting pass runs here — the
+    /// quadratic table build was paid when `anchors` was constructed.
+    pub fn with_anchor_set(base: S, anchors: Arc<AnchorSet>, gradation: f64) -> Self {
         assert!(
             gradation > 0.0 && gradation.is_finite(),
             "gradation must be a positive finite growth rate"
         );
-        let raw: Vec<f64> = anchors.iter().map(|&p| base.h(p)).collect();
-        let limited = lipschitz_limit(anchors, &raw, gradation);
+        let raw: Vec<f64> = anchors.points().iter().map(|&p| base.h(p)).collect();
+        let limited = anchors.limit(&raw, gradation);
         GradationLimited {
             base,
-            anchors: anchors.to_vec(),
+            anchors,
             limited,
             gradation,
         }
+    }
+
+    /// The shared anchor table (hand to the next construction).
+    pub fn anchor_set(&self) -> &Arc<AnchorSet> {
+        &self.anchors
     }
 
     /// The limited value at anchor `i` (what `h` returns there).
@@ -155,34 +266,98 @@ impl<S: SizingFn> GradationLimited<S> {
     }
 }
 
-/// One Lipschitz regularization pass: `out_i = min_j (v_j + g·d_ij)`.
-/// Quadratic in the anchor count — anchors are input vertices, a few
-/// hundred at most, and this runs once per mesh.
-fn lipschitz_limit(pts: &[Point2], values: &[f64], g: f64) -> Vec<f64> {
-    (0..pts.len())
-        .map(|i| {
-            let mut best = values[i];
-            for (j, &v) in values.iter().enumerate() {
-                let bound = v + g * pts[i].distance(pts[j]);
-                if bound < best {
-                    best = bound;
-                }
-            }
-            best
-        })
-        .collect()
-}
-
 impl<S: SizingFn> SizingFn for GradationLimited<S> {
     fn h(&self, p: Point2) -> f64 {
         let mut best = self.base.h(p);
-        for (a, &v) in self.anchors.iter().zip(&self.limited) {
+        for (a, &v) in self.anchors.points().iter().zip(&self.limited) {
             let bound = v + self.gradation * p.distance(*a);
             if bound < best {
                 best = bound;
             }
         }
         best
+    }
+}
+
+/// A [`MetricField`] as a scalar sizing function: `h(p)` is the edge
+/// length the interpolated tensor demands along its most restrictive
+/// eigendirection — the conservative isotropic consumption of an
+/// anisotropic metric, which lets the existing Ruppert refinement
+/// consume metric output unchanged.
+pub struct MetricSizing {
+    field: Arc<MetricField>,
+}
+
+impl MetricSizing {
+    /// Wraps a (shared) metric field.
+    pub fn new(field: Arc<MetricField>) -> Self {
+        MetricSizing { field }
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &MetricField {
+        &self.field
+    }
+}
+
+impl SizingFn for MetricSizing {
+    fn h(&self, p: Point2) -> f64 {
+        self.field.h_at(p)
+    }
+}
+
+/// The pipeline's composed sizing: the built-in graded near-body field,
+/// optionally tightened pointwise by an extra [`SizingFn`] (the
+/// adaptation loop's gradation-limited metric channel).
+///
+/// The contract that keeps every golden digest stable: with no extra
+/// field the composition *is* the graded field — same call, same bits —
+/// and with one, the target area is the pointwise minimum of the two
+/// (a sizing can only demand more resolution, never less, so the
+/// conforming-border floor built into the graded field survives).
+pub struct ComposedSizing {
+    graded: GradedSizing,
+    extra: Option<Arc<dyn SizingFn + Send + Sync>>,
+}
+
+impl ComposedSizing {
+    /// Composes the graded base with an optional extra constraint.
+    pub fn new(graded: GradedSizing, extra: Option<Arc<dyn SizingFn + Send + Sync>>) -> Self {
+        ComposedSizing { graded, extra }
+    }
+
+    /// The graded base field.
+    pub fn graded(&self) -> &GradedSizing {
+        &self.graded
+    }
+
+    /// `true` when an extra constraint is installed.
+    pub fn has_extra(&self) -> bool {
+        self.extra.is_some()
+    }
+}
+
+impl SizingField for ComposedSizing {
+    fn target_area(&self, p: Point2) -> f64 {
+        let base = SizingField::target_area(&self.graded, p);
+        match &self.extra {
+            None => base,
+            Some(s) => base.min(s.target_area(p)),
+        }
+    }
+}
+
+impl SizingFn for ComposedSizing {
+    fn h(&self, p: Point2) -> f64 {
+        let base = SizingFn::h(&self.graded, p);
+        match &self.extra {
+            None => base,
+            Some(s) => base.min(s.h(p)),
+        }
+    }
+
+    fn target_area(&self, p: Point2) -> f64 {
+        SizingField::target_area(self, p)
     }
 }
 

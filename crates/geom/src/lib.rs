@@ -15,6 +15,7 @@ pub mod aabb;
 pub mod adt;
 pub mod expansion;
 pub mod hull;
+pub mod metric;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
@@ -25,6 +26,7 @@ pub mod segment;
 pub use aabb::Aabb;
 pub use adt::{extent_key, Adt, Point4};
 pub use hull::{convex_hull, lower_hull_indices_sorted, lower_hull_sorted};
+pub use metric::{Metric2, MetricField};
 pub use point::{Point2, Vec2};
 pub use predicates::{
     in_circle, incircle, incircle_batch, incircle_one, orient2d, orient2d_batch, orient2d_one,

@@ -1,0 +1,131 @@
+//! Convergence-rate and metric-safety tests for the solver stack.
+//!
+//! The adaptation loop trusts two things from this crate: that the
+//! P1/CG combination converges at second order on a smooth problem (so
+//! error-per-DoF comparisons across meshes mean something), and that
+//! Hessian-recovered metrics are always SPD after clamping (so sizing
+//! queries never divide by a non-positive eigenvalue).
+
+use adm_delaunay::mesh::Mesh;
+use adm_geom::point::{Point2, Vec2};
+use adm_solver::{assemble, cg, dirichlet_on_boundary, hessian_metric, CgOptions, MetricParams};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+/// Structured unit-square grid: `(n+1)^2` vertices, `2 n^2` CCW
+/// triangles. A regular family, so the observed convergence order is
+/// clean.
+fn grid_mesh(n: usize) -> Mesh {
+    let m = n + 1;
+    let mut pts = Vec::with_capacity(m * m);
+    for j in 0..m {
+        for i in 0..m {
+            pts.push(Point2::new(i as f64 / n as f64, j as f64 / n as f64));
+        }
+    }
+    let at = |i: usize, j: usize| (j * m + i) as u32;
+    let mut tris = Vec::with_capacity(2 * n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let (v00, v10, v01, v11) = (at(i, j), at(i + 1, j), at(i, j + 1), at(i + 1, j + 1));
+            tris.push([v00, v10, v11]);
+            tris.push([v00, v11, v01]);
+        }
+    }
+    Mesh::from_triangles(pts, tris)
+}
+
+/// Solves `-lap(u) = f` with homogeneous Dirichlet data on `grid_mesh(n)`
+/// and returns the discrete L2 error against the manufactured solution.
+fn poisson_l2_error(n: usize) -> f64 {
+    let exact = |p: Point2| (PI * p.x).sin() * (PI * p.y).sin();
+    let rhs = |p: Point2| 2.0 * PI * PI * (PI * p.x).sin() * (PI * p.y).sin();
+    let mesh = grid_mesh(n);
+    let bc = dirichlet_on_boundary(&mesh, |_| 0.0);
+    let sys = assemble(&mesh, Vec2::ZERO, rhs, &bc);
+    let (u, hist) = cg(
+        &sys.matrix,
+        &sys.rhs,
+        &CgOptions {
+            tol: 1e-12,
+            ..Default::default()
+        },
+    );
+    assert!(
+        hist.last().unwrap() <= &1e-12,
+        "CG did not converge on n={n}"
+    );
+    let full = sys.expand(&u, &bc, mesh.num_vertices());
+    // Vertex-lumped L2 norm: each interior vertex owns ~1/n^2 of area.
+    let h2 = 1.0 / (n as f64 * n as f64);
+    let sum: f64 = full
+        .iter()
+        .enumerate()
+        .map(|(v, &val)| {
+            let d = val - exact(mesh.vertex(v));
+            d * d * h2
+        })
+        .sum();
+    sum.sqrt()
+}
+
+/// CG + P1 on the analytic Poisson problem converges at second order:
+/// halving h divides the L2 error by ~4. Assert the observed order on
+/// two successive halvings stays in [1.7, 2.5].
+#[test]
+fn poisson_on_structured_grid_converges_at_second_order() {
+    let errs: Vec<f64> = [8usize, 16, 32]
+        .iter()
+        .map(|&n| poisson_l2_error(n))
+        .collect();
+    for w in errs.windows(2) {
+        let order = (w[0] / w[1]).log2();
+        assert!(
+            (1.7..=2.5).contains(&order),
+            "observed order {order:.2} outside [1.7, 2.5]; errors {errs:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hessian-recovered metrics are SPD after clamping for *any* vertex
+    /// field — including wild oscillations, flat fields (zero Hessian),
+    /// and huge magnitudes — and their eigenvalues respect the clamps.
+    #[test]
+    fn recovered_metric_is_always_spd(
+        coeffs in prop::collection::vec(-1e3f64..1e3, 6),
+        freq in 0.5f64..20.0,
+        eps_raw in -1.0f64..1e2,
+    ) {
+        // Negative draws mean "no explicit eps" (auto selection).
+        let eps = (eps_raw > 0.0).then_some(eps_raw.max(1e-6));
+        let mesh = grid_mesh(8);
+        let u: Vec<f64> = (0..mesh.num_vertices())
+            .map(|v| {
+                let p = mesh.vertex(v);
+                coeffs[0]
+                    + coeffs[1] * p.x
+                    + coeffs[2] * p.y
+                    + coeffs[3] * p.x * p.y
+                    + coeffs[4] * (freq * p.x).sin()
+                    + coeffs[5] * (freq * p.y).cos()
+            })
+            .collect();
+        let params = MetricParams { eps, h_min: 1e-3, h_max: 1e3 };
+        let field = hessian_metric(&mesh, &u, &params);
+        let lo = 1.0 / (params.h_max * params.h_max);
+        let hi = 1.0 / (params.h_min * params.h_min);
+        for m in field.metrics() {
+            prop_assert!(m.is_spd(), "not SPD: {m:?}");
+            let (l1, l2, _) = m.eigen();
+            for l in [l1, l2] {
+                prop_assert!(
+                    l >= lo * 0.999 && l <= hi * 1.001,
+                    "eigenvalue {l} outside clamp [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}

@@ -12,8 +12,9 @@
 
 use adm2d::blayer::{Geometric, GrowthSpec};
 use adm2d::core::{
-    generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded,
-    GradationLimited, GradedSizing, MeshConfig, PipelineResult, PslgMeshResult, SizingFn, UniformH,
+    adapt, generate, generate_parallel, mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded,
+    AdaptOptions, AdaptResult, GradationLimited, GradedSizing, MeshConfig, PipelineResult,
+    PslgMeshResult, SizingFn, UniformH,
 };
 use adm2d::delaunay::io::{write_ascii, write_binary, write_svg};
 use adm2d::delaunay::quality::mesh_quality;
@@ -42,6 +43,15 @@ PSLG SIZING (with --poly):
                            (default: uniform h = bbox diagonal / 30)
     --gradation <G>        cap sizing growth at G per unit distance
                            (Lipschitz limit anchored at the input vertices)
+
+ADAPTATION (airfoil pipelines only):
+    --adapt <N>            run N solve -> estimate -> remesh cycles: each cycle
+                           re-meshes against a Hessian metric recovered from a
+                           potential-flow solve on the previous mesh; honors
+                           --ranks per cycle (serial and parallel cycles are
+                           byte-identical) and writes per-cycle shard sets
+                           under --out-shards as cycle-NNN/
+    --adapt-target <ERR>   stop early once the estimated total error is <= ERR
 
 OPTIONS:
     --points <N>           surface points per airfoil side        [default: 80]
@@ -81,6 +91,8 @@ struct Args {
     growth_law: String,
     max_area: f64,
     subdomains: usize,
+    adapt: Option<usize>,
+    adapt_target: Option<f64>,
     ranks: Option<usize>,
     out: Option<String>,
     binary_out: Option<String>,
@@ -106,6 +118,8 @@ fn parse_args() -> Result<Args, String> {
         growth_law: "geometric".to_string(),
         max_area: 1.0,
         subdomains: 32,
+        adapt: None,
+        adapt_target: None,
         ranks: None,
         out: None,
         binary_out: None,
@@ -188,6 +202,20 @@ fn parse_args() -> Result<Args, String> {
                 args.subdomains = value(&argv, &mut i, "--subdomains")?
                     .parse()
                     .map_err(|e| format!("--subdomains: {e}"))?
+            }
+            "--adapt" => {
+                args.adapt = Some(
+                    value(&argv, &mut i, "--adapt")?
+                        .parse()
+                        .map_err(|e| format!("--adapt: {e}"))?,
+                )
+            }
+            "--adapt-target" => {
+                args.adapt_target = Some(
+                    value(&argv, &mut i, "--adapt-target")?
+                        .parse()
+                        .map_err(|e| format!("--adapt-target: {e}"))?,
+                )
             }
             "--ranks" => {
                 args.ranks = Some(
@@ -272,6 +300,8 @@ enum RunOutput {
     Pipeline(PipelineResult),
     /// The general PSLG front door.
     Pslg(PslgMeshResult),
+    /// The solve -> estimate -> remesh adaptation loop.
+    Adapt(AdaptResult),
 }
 
 impl RunOutput {
@@ -279,6 +309,7 @@ impl RunOutput {
         match self {
             RunOutput::Pipeline(r) => &r.mesh,
             RunOutput::Pslg(r) => &r.mesh,
+            RunOutput::Adapt(r) => &r.mesh,
         }
     }
 }
@@ -352,10 +383,32 @@ fn run_poly(args: &Args, path: &str) -> Result<PslgMeshResult, String> {
 
 fn run(args: &Args) -> Result<RunOutput, String> {
     if let Some(path) = &args.poly {
+        if args.adapt.is_some() {
+            return Err("--adapt applies to the airfoil pipelines, not --poly".to_string());
+        }
         return Ok(RunOutput::Pslg(run_poly(args, &path.clone())?));
     }
     let mut config = build_config(args)?;
     config.shard_out = args.out_shards.as_ref().map(std::path::PathBuf::from);
+    if let Some(cycles) = args.adapt {
+        if cycles == 0 {
+            return Err("--adapt needs at least one cycle".to_string());
+        }
+        let opts = AdaptOptions {
+            cycles,
+            target_error: args.adapt_target,
+            ranks: args.ranks.unwrap_or(1).max(1),
+            ..Default::default()
+        };
+        let result = adapt(&config, &opts);
+        if let (Some(dir), false) = (&args.out_shards, args.quiet) {
+            eprintln!("wrote per-cycle shards under {dir}/cycle-NNN");
+        }
+        return Ok(RunOutput::Adapt(result));
+    }
+    if args.adapt_target.is_some() {
+        return Err("--adapt-target needs --adapt".to_string());
+    }
     let result = match args.ranks {
         Some(r) if r > 1 => generate_parallel(&config, r),
         _ => generate(&config),
@@ -404,6 +457,34 @@ fn main() -> ExitCode {
                     q.max_angle.to_degrees()
                 );
                 eprintln!("wall time        : {:.2}s", s.total_s);
+            }
+            RunOutput::Adapt(r) => {
+                eprintln!(
+                    "adaptation       : {} cycle(s), final {} triangles / {} vertices",
+                    r.cycles.len(),
+                    r.stats.total_triangles,
+                    r.stats.total_vertices
+                );
+                eprintln!(
+                    "cycle  triangles      dofs    error-total  err*sqrt(dofs)  equidist  cg-iters"
+                );
+                for c in &r.cycles {
+                    eprintln!(
+                        "{:>5}  {:>9}  {:>8}  {:>11.5e}  {:>14.5e}  {:>8.2}  {:>8}",
+                        c.cycle,
+                        c.triangles,
+                        c.dofs,
+                        c.error_total,
+                        c.error_per_dof,
+                        c.equidistribution,
+                        c.solve_iters
+                    );
+                }
+                eprintln!(
+                    "angles           : {:.1} .. {:.1} degrees",
+                    q.min_angle.to_degrees(),
+                    q.max_angle.to_degrees()
+                );
             }
             RunOutput::Pslg(r) => {
                 eprintln!("triangles        : {}", r.mesh.num_triangles());
@@ -482,14 +563,19 @@ fn main() -> ExitCode {
         }
     }
     if let Some(p) = &args.trace_out {
-        if let RunOutput::Pipeline(r) = &result {
-            let snap = r.trace.snapshot();
+        let trace = match &result {
+            RunOutput::Pipeline(r) => Some(&r.trace),
+            RunOutput::Adapt(r) => Some(&r.trace),
+            RunOutput::Pslg(_) => None,
+        };
+        if let Some(trace) = trace {
+            let snap = trace.snapshot();
             if let Err(e) = write(p, &|w| adm2d::trace::chrome::write_chrome_trace(w, &snap)) {
                 eprintln!("error: {e}");
                 status = ExitCode::FAILURE;
             } else if !args.quiet {
                 eprintln!("wrote {p}");
-                for row in r.trace.phase_totals() {
+                for row in trace.phase_totals() {
                     eprintln!("  {:<24} x{:<5} {:>9.3}s", row.name, row.count, row.total_s);
                 }
             }
