@@ -36,6 +36,17 @@ A third mode covers the committed fig16_adapt mesh-economy report:
 asserts the final adapted cycle's error-per-DoF beats the best point of
 both non-adaptive comparison families (uniform refinement and one-shot
 anisotropic) — the claim that the adaptation loop pays for itself.
+
+A fourth mode covers the serve_throughput report from the job-server
+bench:
+
+    check_bench_regression.py --serve <serve_throughput.json>
+
+asserts the serving layer's committed claims: warm-cache throughput at
+least 10x cold on the repeated workload, warm hit rate >= 90%, mesh
+jobs bounded by the distinct shape count (content addressing deduped
+everything else), duplicate submissions coalesced, consistent digests,
+and positive latency percentiles.
 """
 
 import json
@@ -145,8 +156,77 @@ def check_adapt_economy(path):
     )
 
 
+def check_serve(path, min_ratio=10.0, min_hit_rate=0.9):
+    """Gate on a serve_throughput report: the cache and dedup claims
+    the serving layer was built for."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    ratio = doc.get("warm_over_cold")
+    hit_rate = doc.get("warm_hit_rate")
+    mesh_jobs = doc.get("mesh_jobs")
+    distinct = doc.get("distinct")
+    coalesced = doc.get("dup_coalesced")
+    for name, v in (
+        ("warm_over_cold", ratio),
+        ("warm_hit_rate", hit_rate),
+    ):
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"{path}: missing or non-positive {name} ({v!r})")
+    for name, v in (("mesh_jobs", mesh_jobs), ("distinct", distinct)):
+        if not isinstance(v, int) or v <= 0:
+            fail(f"{path}: missing or non-positive {name} ({v!r})")
+    for phase in ("cold", "warm", "dup"):
+        p = doc.get(phase)
+        if not isinstance(p, dict):
+            fail(f"{path}: missing phase report {phase!r}")
+        if p.get("ok", 0) + p.get("busy", 0) != p.get("requests"):
+            fail(f"{path}: {phase} ok+busy != requests ({p!r})")
+        for q in ("p50_us", "p90_us", "p99_us"):
+            if not isinstance(p.get(q), int) or p[q] < 0:
+                fail(f"{path}: {phase}.{q} missing or negative")
+        if p.get("rps", 0) <= 0:
+            fail(f"{path}: {phase}.rps not positive")
+
+    print(
+        f"  warm/cold {ratio:.1f}x, warm hit rate {hit_rate:.1%}, "
+        f"{mesh_jobs} mesh jobs for {distinct} distinct shapes "
+        f"(x2 servers), {coalesced} duplicates coalesced"
+    )
+    if ratio < min_ratio:
+        fail(
+            f"warm-cache throughput is only {ratio:.1f}x cold "
+            f"(claim: >= {min_ratio:.0f}x on a repeated workload)"
+        )
+    if hit_rate < min_hit_rate:
+        fail(f"warm hit rate {hit_rate:.1%} below {min_hit_rate:.0%}")
+    # Cold-phase server + dup-phase server each mesh every distinct
+    # shape exactly once; anything more means dedup leaked.
+    if mesh_jobs > 2 * distinct:
+        fail(
+            f"{mesh_jobs} mesh jobs for {distinct} distinct shapes over "
+            f"two servers: content addressing failed to dedup"
+        )
+    if not isinstance(coalesced, int) or coalesced < 1:
+        fail(f"dup phase coalesced nothing ({coalesced!r})")
+    if doc.get("digests_consistent") is not True:
+        fail("response digests disagreed across phases")
+    print(
+        f"check_bench_regression: OK: serving layer holds its claims "
+        f"({ratio:.1f}x warm speedup, {hit_rate:.1%} warm hit rate)"
+    )
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if "--serve" in sys.argv[1:]:
+        if len(args) != 1:
+            fail("usage: check_bench_regression.py --serve <serve_throughput.json>")
+        check_serve(args[0])
+        return
     if "--scaling" in sys.argv[1:]:
         if len(args) != 2:
             fail("usage: check_bench_regression.py --scaling <merged.json> <sharded.json>")

@@ -36,8 +36,9 @@ LAYERS = {
     # 4 — the pipeline and its consumers.
     "adm-core": 4,
     "adm-solver": 4,
-    # 5 — binaries and benches.
+    # 5 — binaries, benches, and the job server.
     "adm-bench": 5,
+    "adm-serve": 5,
     "adm2d": 5,
 }
 

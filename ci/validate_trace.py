@@ -16,7 +16,15 @@ Checks, in order:
      "phase.merge" interval — merge work must never leak outside the
      merge phase.
 
-Usage: validate_trace.py <trace.json> [--min-coverage 0.95]
+With --serve the trace is a job-server export (`admeshd`): instead of
+the pipeline root-coverage bar, the validator requires `serve.request`
+spans on the admission lane (pid 0, tid 128), keeps `serve.mesh_job` /
+`serve.cache_load` spans on worker lanes (tid >= 129), and checks the
+`serve.*` counter accounting identities (every admitted request is
+exactly one of hit / coalesced / rejected / error / scheduled, and
+every completed job came from disk or a mesh run).
+
+Usage: validate_trace.py <trace.json> [--min-coverage 0.95] [--serve]
 """
 
 import json
@@ -69,6 +77,100 @@ def check_geom_counters(counters):
             )
 
 
+# Counters published by the adm-serve job server. Mirrors the geom set:
+# any `serve.` counter must come from here, and the accounting
+# identities below must hold on any quiesced (post-shutdown) trace.
+KNOWN_SERVE_COUNTERS = {
+    "serve.requests",       # admissions attempted (wire or in-process)
+    "serve.hits_mem",       # answered from the memory LRU
+    "serve.hits_disk",      # answered from a verified shard set
+    "serve.coalesced",      # attached to an identical in-flight job
+    "serve.rejected",       # bounded-queue Busy rejections
+    "serve.errors",         # uncacheable/bad requests at admission
+    "serve.sched",          # jobs entered into the priority queue
+    "serve.mesh_jobs",      # jobs that actually ran the pipeline
+    "serve.mesh_triangles", # triangles produced by mesh jobs
+    "serve.job_failures",   # mesh jobs that panicked
+    "serve.completed",      # jobs finished (disk hit or mesh run)
+    "serve.cache_bad",      # corrupt disk entries purged (re-meshed)
+    "serve.disconnects",    # tickets dropped before taking a response
+    "serve.conns",          # TCP connections accepted
+    "serve.conn_rejected",  # TCP connections shed at the conn cap
+    "serve.conn_aborted",   # TCP connections dropped mid-command
+    "serve.wire_errors",    # malformed wire payloads (pre-admission)
+}
+
+SERVE_FRONT_TID = 128
+SERVE_WORKER_TID0 = 129
+
+
+def check_serve_counters(counters):
+    c = {}
+    for name, value in counters.items():
+        if not name.startswith("serve."):
+            continue
+        if name not in KNOWN_SERVE_COUNTERS:
+            fail(
+                f"unknown serve.* counter {name!r} "
+                f"(update KNOWN_SERVE_COUNTERS if the server grew a name)"
+            )
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} has non-count value {value!r}")
+        c[name] = value
+    get = lambda n: c.get(n, 0)
+    # Every admitted request took exactly one admission path.
+    paths = (
+        get("serve.hits_mem")
+        + get("serve.coalesced")
+        + get("serve.rejected")
+        + get("serve.errors")
+        + get("serve.sched")
+    )
+    if get("serve.requests") != paths:
+        fail(
+            f"serve.requests ({get('serve.requests')}) != sum of admission "
+            f"outcomes ({paths}): an admission path is missing its counter"
+        )
+    # Every completed job came from disk or a mesh run, and nothing
+    # completed that was never scheduled.
+    done = get("serve.hits_disk") + get("serve.mesh_jobs")
+    if get("serve.completed") != done:
+        fail(
+            f"serve.completed ({get('serve.completed')}) != hits_disk + "
+            f"mesh_jobs ({done})"
+        )
+    if get("serve.sched") < get("serve.completed"):
+        fail(
+            f"serve.completed ({get('serve.completed')}) exceeds "
+            f"serve.sched ({get('serve.sched')})"
+        )
+    if get("serve.job_failures") > get("serve.mesh_jobs"):
+        fail("serve.job_failures exceeds serve.mesh_jobs")
+    return c
+
+
+def check_serve_spans(complete):
+    front = [e for e in complete if e["name"] == "serve.request"]
+    if not front:
+        fail("--serve: no serve.request spans found")
+    for e in front:
+        if (e["pid"], e["tid"]) != (0, SERVE_FRONT_TID):
+            fail(
+                f"serve.request span on lane (pid {e['pid']}, tid "
+                f"{e['tid']}); admission records only on tid {SERVE_FRONT_TID}"
+            )
+    workers = [
+        e for e in complete if e["name"] in ("serve.mesh_job", "serve.cache_load")
+    ]
+    for e in workers:
+        if e["pid"] != 0 or e["tid"] < SERVE_WORKER_TID0:
+            fail(
+                f"{e['name']!r} span on lane (pid {e['pid']}, tid {e['tid']}); "
+                f"executor spans live on tid >= {SERVE_WORKER_TID0}"
+            )
+    return len(front), len(workers)
+
+
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
@@ -96,11 +198,17 @@ def check_balanced(lane_events):
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     min_coverage = 0.95
+    serve_mode = False
     for a in sys.argv[1:]:
         if a.startswith("--min-coverage"):
             min_coverage = float(a.split("=", 1)[1])
+        elif a == "--serve":
+            serve_mode = True
     if len(args) != 1:
-        fail("usage: validate_trace.py <trace.json> [--min-coverage=0.95]")
+        fail(
+            "usage: validate_trace.py <trace.json> "
+            "[--min-coverage=0.95] [--serve]"
+        )
 
     try:
         with open(args[0], "r", encoding="utf-8") as f:
@@ -118,6 +226,7 @@ def main():
         if not isinstance(other.get(key), dict):
             fail(f"otherData.{key} missing")
     check_geom_counters(other["counters"])
+    serve_counters = check_serve_counters(other["counters"])
 
     complete = []
     for e in events:
@@ -184,6 +293,20 @@ def main():
                 f"{e['name']!r} span [{start}, {end}] lies outside every "
                 f"adapt.cycle interval"
             )
+
+    if serve_mode:
+        n_front, n_exec = check_serve_spans(complete)
+        if not serve_counters:
+            fail("--serve: no serve.* counters in otherData")
+        print(
+            f"validate_trace: OK (serve): {len(complete)} spans on "
+            f"{len(lanes)} lanes, {n_front} serve.request spans, "
+            f"{n_exec} executor spans, "
+            f"{len(serve_counters)} serve counters consistent "
+            f"({serve_counters.get('serve.requests', 0)} requests, "
+            f"{serve_counters.get('serve.mesh_jobs', 0)} mesh jobs)"
+        )
+        return
 
     t0 = min(e["ts"] for e in complete)
     t1 = max(e["ts"] + e["dur"] for e in complete)

@@ -32,7 +32,8 @@ pub use inviscid::{build_sizing, mesh_inviscid, refine_nearbody, refine_region, 
 pub use merge::{check_conformity, merge_tree_spliced, Conformity, MeshMerger};
 pub use pipeline::{
     build_prelude, generate, generate_parallel, generate_parallel_staged, generate_parallel_with,
-    generate_staged, generate_undecomposed, GeomPrelude, PipelineResult, PipelineStats,
+    generate_staged, generate_staged_with_pool, generate_undecomposed, GeomPrelude, PipelineResult,
+    PipelineStats,
 };
 pub use pslg_pipeline::{
     mesh_pslg, mesh_pslg_parallel, mesh_pslg_sharded, PslgMeshError, PslgMeshResult,

@@ -123,15 +123,31 @@ pub fn generate(config: &MeshConfig) -> PipelineResult {
 /// interning are reused from the prelude (the adaptation loop's
 /// per-cycle entry point) and the output bytes are identical.
 pub fn generate_staged(config: &MeshConfig, prelude: Option<&GeomPrelude>) -> PipelineResult {
+    // Shared-memory worker pool: forks the per-leaf divide-and-conquer
+    // triangulations and the merge reduction tree. Output bytes are
+    // pool-width-independent (0 workers = inline).
+    let pool = Pool::new(config.merge_threads);
+    generate_staged_with_pool(config, prelude, &pool)
+}
+
+/// [`generate_staged`] over a caller-owned worker [`Pool`]. The mesh
+/// server batches every request through one pool sized to the machine
+/// instead of spinning threads up and down per job; output bytes are
+/// identical at any pool width, so sharing is invisible to consumers.
+/// The run's `merge.steals` counter is the *delta* of the pool's steal
+/// count over this job — a reused pool never bleeds one request's steal
+/// traffic into the next request's trace.
+pub fn generate_staged_with_pool(
+    config: &MeshConfig,
+    prelude: Option<&GeomPrelude>,
+    pool: &Pool,
+) -> PipelineResult {
     let tracer = Tracer::wall();
     tracer.name_track(Track::ROOT, "pipeline (sequential)");
     let t0 = tracer.now();
     let root = tracer.span(Track::ROOT, "pipeline");
     let mut log = TaskLog::with_tracer(tracer.clone(), Track::ROOT);
-    // Shared-memory worker pool: forks the per-leaf divide-and-conquer
-    // triangulations and the merge reduction tree. Output bytes are
-    // pool-width-independent (0 workers = inline).
-    let pool = Pool::new(config.merge_threads);
+    let steals_before = pool.steals();
 
     // 1 + 2. Anisotropic boundary layers (§II.A-II.C) and their
     // parallel-decomposed triangulation (§II.D) — stage 0 geometry comes
@@ -147,7 +163,7 @@ pub fn generate_staged(config: &MeshConfig, prelude: Option<&GeomPrelude>) -> Pi
                     0,
                 )
             });
-            mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, &pool, &mut log)
+            mesh_boundary_layer(&layers, &hole_seeds, config.bl_subdomains, pool, &mut log)
                 .expect("boundary-layer meshing failed")
         }
         Some(pre) => mesh_boundary_layer_interned(
@@ -157,7 +173,7 @@ pub fn generate_staged(config: &MeshConfig, prelude: Option<&GeomPrelude>) -> Pi
             &pre.cloud_ids,
             &hole_seeds,
             config.bl_subdomains,
-            &pool,
+            pool,
             &mut log,
         )
         .expect("boundary-layer meshing failed"),
@@ -231,12 +247,13 @@ pub fn generate_staged(config: &MeshConfig, prelude: Option<&GeomPrelude>) -> Pi
         // plan over an associative absorb is bitwise-identical to the old
         // sequential left fold at any pool width.
         let plan = reduction_plan(&path_refs);
-        let merger = merge_tree_spliced(&meshes, &plan, &pool, Some(&tracer));
+        let merger = merge_tree_spliced(&meshes, &plan, pool, Some(&tracer));
         let mesh = merger.finish();
         check_conformity(&mesh);
         let n = mesh.num_triangles() as u64;
         (mesh, n)
     });
+    tracer.count("merge.steals", pool.steals() - steals_before);
 
     root.close();
     let stats = PipelineStats {

@@ -110,8 +110,37 @@ impl Pool {
     }
 
     /// Jobs executed by a thread other than the one that forked them.
+    /// Monotonic over the pool's lifetime; callers that report per-job
+    /// numbers (e.g. the pipeline's `merge.steals` counter, the mesh
+    /// server's `serve.merge_steals` histogram) must snapshot before and
+    /// after the job and publish the delta.
     pub fn steals(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently sitting in the lane deques, stale or live.
+    /// After every outstanding `join` on this pool has returned, this is
+    /// zero: claimed entries are popped, and inline-reclaimed entries are
+    /// removed eagerly. A non-zero value at quiescence is a leak.
+    pub fn queued_entries(&self) -> usize {
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| l.lock().unwrap().len())
+            .sum()
+    }
+
+    /// Allocated capacity of each lane's deque, in submit-lane order with
+    /// the external lane last. Capacity tracks the high-water mark of
+    /// simultaneously queued jobs (bounded by join-tree depth), never the
+    /// job *count* — reusing one pool across many sequential jobs must
+    /// not grow it.
+    pub fn lane_capacities(&self) -> Vec<usize> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| l.lock().unwrap().capacity())
+            .collect()
     }
 
     /// Lane index of the current thread within this pool's lane space:
@@ -182,6 +211,18 @@ impl Pool {
                         .compare_exchange(PENDING, RUNNING, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
+                        // Reclaimed inline: the queued entry is now stale.
+                        // Remove it eagerly — on a long-lived pool that
+                        // serves many sequential jobs (the mesh server's
+                        // shared pool), leaving stale entries to be lazily
+                        // dropped by the next scan would let the submit
+                        // lane's deque grow between scans.
+                        {
+                            let mut q = self.shared.lanes[job.submit_lane].lock().unwrap();
+                            if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(j, &job)) {
+                                q.remove(pos);
+                            }
+                        }
                         run_claimed(&self.shared, &job);
                         break;
                     }
@@ -350,6 +391,65 @@ mod tests {
             .collect();
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, (0u64..4000).sum());
+    }
+
+    #[test]
+    fn pool_reuse_across_many_jobs_leaks_no_queue_state() {
+        // The server shares one pool across every mesh job; a thousand
+        // sequential join trees must leave the deques empty at each
+        // quiescent point and never grow their allocated capacity with
+        // the job count (capacity tracks join-tree depth, not history).
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut high_water = 0usize;
+            for job in 0..1000u64 {
+                assert_eq!(tree_sum(&pool, job, job + 200), (job..job + 200).sum());
+                assert_eq!(
+                    pool.queued_entries(),
+                    0,
+                    "stale queue entries after job {job} ({threads} threads)"
+                );
+                let cap: usize = pool.lane_capacities().iter().sum();
+                if job == 0 {
+                    high_water = cap;
+                }
+                // Allow the first few jobs to establish the high-water
+                // mark (steals can deepen a lane), then demand a plateau.
+                if job < 10 {
+                    high_water = high_water.max(cap);
+                } else {
+                    // A rare deep steal cascade may still nudge a lane, so
+                    // allow a fixed headroom above the early high-water
+                    // mark — what must never happen is capacity tracking
+                    // the job count (a leak would add ~1 entry per job).
+                    assert!(
+                        cap <= high_water.max(256),
+                        "lane capacity grew with job count: {cap} > {high_water} \
+                         at job {job} ({threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steals_are_monotonic_and_per_job_deltas_sum() {
+        // `steals()` is cumulative by contract; per-job reporting is a
+        // before/after delta. The deltas of consecutive jobs partition
+        // the cumulative counter — no steal is ever double-reported.
+        let pool = Pool::new(2);
+        let mut last = pool.steals();
+        let mut delta_sum = 0u64;
+        for job in 0..50u64 {
+            let before = pool.steals();
+            assert!(before >= last, "steal counter went backwards");
+            tree_sum(&pool, 0, 2000 + job);
+            let after = pool.steals();
+            assert!(after >= before);
+            delta_sum += after - before;
+            last = after;
+        }
+        assert_eq!(delta_sum, pool.steals(), "deltas must partition the total");
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Seeded workload generation and the replay/chaos drivers.
+//!
+//! The replay driver is how the server's claims are *proven*: it fires
+//! mixed NACA / high-lift / general-PSLG request streams at a server
+//! (in-process here; over TCP in `serve_replay`) and reports
+//! throughput, latency percentiles, and hit rates. Chaos mode runs the
+//! same machinery against a manual-pump server on one thread with a
+//! seeded RNG and a [`TestClock`](adm_trace::TestClock): every
+//! interleaving decision — submit, duplicate, disconnect, pump, poll —
+//! is a pure function of the seed, so a run's trace fingerprint is
+//! replay-stable and failures reproduce exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use adm_airfoil::{Pslg, SurfaceLoop};
+use adm_core::config::MeshConfig;
+use adm_geom::point::Point2;
+
+use crate::server::{ServeError, Server, Ticket};
+
+/// SplitMix64: tiny, seedable, and good enough for workload draws.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// A diamond-shaped general-PSLG body (neither NACA nor high-lift):
+/// exercises the `from_pslg` front door in the mix.
+fn diamond_pslg(half_width: f64) -> MeshConfig {
+    let pts = vec![
+        Point2 { x: 0.0, y: 0.0 },
+        Point2 {
+            x: half_width,
+            y: -0.25 * half_width,
+        },
+        Point2 {
+            x: 2.0 * half_width,
+            y: 0.0,
+        },
+        Point2 {
+            x: half_width,
+            y: 0.25 * half_width,
+        },
+    ];
+    let body = SurfaceLoop::new("diamond", pts);
+    MeshConfig::from_pslg(Pslg::with_farfield_margin(vec![body], 6.0))
+}
+
+/// The catalog of distinct request shapes a workload draws from. Small
+/// geometries (replay fires thousands of requests); `distinct` caps
+/// how many are used, which directly sets the best-case hit rate of a
+/// repeated workload.
+pub fn catalog(distinct: usize) -> Vec<MeshConfig> {
+    let mut all = vec![
+        MeshConfig::naca0012(16),
+        MeshConfig::three_element(12),
+        diamond_pslg(0.5),
+        MeshConfig::naca0012(24),
+        diamond_pslg(1.0),
+        MeshConfig::three_element(16),
+        MeshConfig::naca0012(32),
+        diamond_pslg(2.0),
+    ];
+    all.truncate(distinct.max(1));
+    all
+}
+
+/// `n` seeded draws over `catalog(distinct)`.
+pub fn workload(seed: u64, n: usize, distinct: usize) -> Vec<MeshConfig> {
+    let cat = catalog(distinct);
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| cat[rng.below(cat.len())].clone()).collect()
+}
+
+/// Outcome tallies of one replay pass.
+#[derive(Debug, Default, Clone)]
+pub struct ReplayStats {
+    /// Requests fired.
+    pub total: usize,
+    /// Responses received.
+    pub ok: usize,
+    /// Typed queue-full rejections.
+    pub busy: usize,
+    /// Failed jobs.
+    pub failed: usize,
+    /// Per-response latency in microseconds (ok responses only).
+    pub latencies_us: Vec<u64>,
+    /// Response digest by cache key (byte-identity oracle).
+    pub digests: BTreeMap<String, String>,
+}
+
+impl ReplayStats {
+    /// The `q`-quantile (0..=1) of observed latencies.
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx]
+    }
+}
+
+/// Replays `reqs` against an in-process server from `threads` client
+/// threads (blocking submits, round-robin assignment). `threads == 0`
+/// runs single-threaded on the caller.
+pub fn replay(server: &Server, reqs: &[MeshConfig], threads: usize) -> ReplayStats {
+    let stats = Mutex::new(ReplayStats {
+        total: reqs.len(),
+        ..ReplayStats::default()
+    });
+    let next = AtomicUsize::new(0);
+    let clock = server.tracer().clock();
+    let client = |_: usize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= reqs.len() {
+            break;
+        }
+        let t0 = clock.now();
+        let outcome = server.submit(&reqs[i]);
+        let dt = clock.now().saturating_sub(t0);
+        let mut s = stats.lock().unwrap();
+        match outcome {
+            Ok(resp) => {
+                s.ok += 1;
+                s.latencies_us.push(dt.as_micros() as u64);
+                s.digests.insert(resp.key.clone(), resp.digest.clone());
+            }
+            Err(ServeError::Busy { .. }) => s.busy += 1,
+            Err(_) => s.failed += 1,
+        }
+    };
+    if threads <= 1 {
+        client(0);
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || client(t));
+            }
+        });
+    }
+    stats.into_inner().unwrap()
+}
+
+/// Result of a deterministic chaos run: everything a replay of the
+/// same seed must reproduce bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// Tracer fingerprint (rolling hash over every recorded op).
+    pub fingerprint: (u64, u64),
+    /// Final `serve.*` counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Response digest by cache key, for every response taken.
+    pub digests: BTreeMap<String, String>,
+    /// Tally of responses actually delivered to surviving tickets.
+    pub delivered: usize,
+}
+
+/// Drives a manual-pump (`workers == 0`) server through `steps` seeded
+/// chaos events on the calling thread: new submissions, duplicate
+/// submissions of live keys, client disconnects (ticket drops), pump
+/// ticks, response polls, and clock advances. Deterministic per seed
+/// when the server's tracer runs on a `TestClock` — callers advance it
+/// via `clock`-driven spans only, and this driver never reads wall
+/// time.
+pub fn chaos_run(
+    server: &Server,
+    seed: u64,
+    steps: usize,
+    distinct: usize,
+    clock: Option<&adm_trace::TestClock>,
+) -> ChaosOutcome {
+    let cat = catalog(distinct);
+    let mut rng = Rng::new(seed);
+    let mut pending: Vec<Ticket> = Vec::new();
+    let mut outcome = ChaosOutcome {
+        fingerprint: (0, 0),
+        counters: BTreeMap::new(),
+        digests: BTreeMap::new(),
+        delivered: 0,
+    };
+    let mut last_submitted: Option<usize> = None;
+
+    let take = |t: &mut Ticket, outcome: &mut ChaosOutcome| -> bool {
+        match t.try_take() {
+            Some(Ok(resp)) => {
+                outcome
+                    .digests
+                    .insert(resp.key.clone(), resp.digest.clone());
+                outcome.delivered += 1;
+                true
+            }
+            Some(Err(_)) => true,
+            None => false,
+        }
+    };
+
+    for _ in 0..steps {
+        match rng.below(100) {
+            // New request (possibly a repeat of an earlier catalog
+            // entry — that is the point: hits and coalescing happen).
+            0..=39 => {
+                let i = rng.below(cat.len());
+                last_submitted = Some(i);
+                let class = (rng.below(2)) as u8;
+                if let Ok(t) = server.submit_nowait(&cat[i], class) {
+                    pending.push(t);
+                }
+            }
+            // Duplicate of the most recent submission while it may
+            // still be in flight — exercises single-flight.
+            40..=54 => {
+                if let Some(i) = last_submitted {
+                    if let Ok(t) = server.submit_nowait(&cat[i], 1) {
+                        pending.push(t);
+                    }
+                }
+            }
+            // Execute one queued job.
+            55..=69 => {
+                server.pump_one();
+            }
+            // Client disconnect: drop a pending ticket unresolved.
+            70..=79 => {
+                if !pending.is_empty() {
+                    let i = rng.below(pending.len());
+                    drop(pending.swap_remove(i));
+                }
+            }
+            // Poll a random ticket.
+            80..=89 => {
+                if !pending.is_empty() {
+                    let i = rng.below(pending.len());
+                    if take(&mut pending[i], &mut outcome) {
+                        drop(pending.swap_remove(i));
+                    }
+                }
+            }
+            // Let virtual time pass (shapes the latency histogram).
+            _ => {
+                if let Some(c) = clock {
+                    c.advance(Duration::from_micros(rng.below(5000) as u64));
+                }
+            }
+        }
+    }
+
+    // Drain: run everything left, then take every surviving ticket.
+    while server.pump_one() {}
+    for mut t in pending.drain(..) {
+        let resolved = take(&mut t, &mut outcome);
+        debug_assert!(resolved, "drained queue but ticket still pending");
+    }
+
+    let snap = server.tracer().snapshot();
+    for (name, v) in &snap.counters {
+        if name.starts_with("serve.") {
+            outcome.counters.insert(name.to_string(), *v);
+        }
+    }
+    outcome.fingerprint = server.tracer().fingerprint();
+    outcome
+}

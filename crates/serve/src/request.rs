@@ -1,0 +1,459 @@
+//! Canonical request encoding and content-addressed cache keys.
+//!
+//! A mesh request is a [`MeshConfig`] — geometry plus meshing
+//! parameters. Two requests are *the same mesh* exactly when their
+//! canonical encodings are byte-identical, and the cache key is the
+//! sha256 of those bytes. The encoding doubles as the wire payload of
+//! the `ADMSERVE/1` protocol, so what a client sends is literally what
+//! gets hashed: there is no serializer/hasher divergence to audit.
+//!
+//! Canonical-form rules:
+//!
+//! - Line-oriented ASCII, `\n` separators, one config field per line in
+//!   a fixed order. No floating-point *formatting* anywhere: every
+//!   `f64` is written as the 16-hex-digit big-endian form of
+//!   [`f64::to_bits`], which is locale-independent and round-trips
+//!   every value (including `-0.0` and the NaN payloads) bit-exactly.
+//! - Execution knobs that do not change the produced mesh bytes —
+//!   `merge_threads` (the merge tree is pool-width-independent) and
+//!   `shard_out` (a persistence side effect) — are *excluded*: configs
+//!   differing only there map to the same key.
+//! - The encoder destructures [`MeshConfig`] and every nested
+//!   parameter struct field-by-field with no `..` rest pattern, so
+//!   adding a config field without deciding whether it is mesh
+//!   identity is a compile error in this crate, not a silent stale-hit
+//!   bug in production.
+//! - Requests carrying an opaque `extra_sizing` closure are not
+//!   cacheable (a function pointer has no canonical bytes) and are
+//!   rejected with a typed error before they reach the server.
+
+use std::fmt::Write as _;
+
+use adm_airfoil::{Pslg, SurfaceLoop};
+use adm_blayer::{BlParams, CornerThresholds, GrowthSpec, InsertParams};
+use adm_core::config::MeshConfig;
+use adm_core::hash::sha256_hex;
+use adm_geom::aabb::Aabb;
+use adm_geom::point::Point2;
+
+/// Magic first line of the canonical form (and the wire payload).
+pub const REQUEST_MAGIC: &str = "admreq/1";
+
+/// Why a config could not be turned into a canonical request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The config holds state with no canonical byte form.
+    Uncacheable(&'static str),
+    /// The wire text is not a well-formed canonical request.
+    Parse(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Uncacheable(why) => write!(f, "uncacheable request: {why}"),
+            RequestError::Parse(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Writes one f64 as 16 lowercase hex digits of its IEEE-754 bits.
+fn push_f64(out: &mut String, v: f64) {
+    let _ = write!(out, "{:016x}", v.to_bits());
+}
+
+fn parse_f64(tok: &str) -> Result<f64, RequestError> {
+    if tok.len() != 16 {
+        return Err(RequestError::Parse(format!(
+            "expected 16 hex digits for a float, got {tok:?}"
+        )));
+    }
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| RequestError::Parse(format!("bad float bits {tok:?}")))
+}
+
+fn parse_usize(tok: &str) -> Result<usize, RequestError> {
+    tok.parse()
+        .map_err(|_| RequestError::Parse(format!("bad count {tok:?}")))
+}
+
+/// Renders the canonical ASCII form of a request. Errors if the config
+/// is not cacheable (see module docs).
+pub fn canonical_request(config: &MeshConfig) -> Result<String, RequestError> {
+    // Exhaustiveness guard (satellite): no `..` — adding a MeshConfig
+    // field breaks this build until the field is classified as either
+    // mesh identity (encode it below) or an execution knob (bind `_`).
+    let MeshConfig {
+        pslg,
+        growth,
+        bl,
+        sizing_h0,
+        sizing_rate,
+        sizing_max_area,
+        nearbody_margin,
+        bl_subdomains,
+        inviscid_subdomains,
+        merge_threads: _,
+        shard_out: _,
+        extra_sizing,
+    } = config;
+    if extra_sizing.is_some() {
+        return Err(RequestError::Uncacheable(
+            "extra_sizing closures have no canonical byte form",
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(REQUEST_MAGIC);
+    out.push('\n');
+
+    let Pslg { loops, farfield } = pslg;
+    let _ = writeln!(out, "loops {}", loops.len());
+    for l in loops {
+        let SurfaceLoop { points, name } = l;
+        if name.contains('\n') {
+            return Err(RequestError::Uncacheable("loop name contains a newline"));
+        }
+        let _ = writeln!(out, "loop {} {}", points.len(), name);
+        for p in points {
+            let Point2 { x, y } = *p;
+            push_f64(&mut out, x);
+            out.push(' ');
+            push_f64(&mut out, y);
+            out.push('\n');
+        }
+    }
+    let Aabb { min, max } = farfield;
+    out.push_str("farfield ");
+    for v in [min.x, min.y, max.x, max.y] {
+        push_f64(&mut out, v);
+        out.push(' ');
+    }
+    out.push('\n');
+
+    match *growth {
+        GrowthSpec::Geometric {
+            first_height,
+            ratio,
+        } => {
+            out.push_str("growth geometric ");
+            push_f64(&mut out, first_height);
+            out.push(' ');
+            push_f64(&mut out, ratio);
+        }
+        GrowthSpec::Polynomial {
+            first_height,
+            exponent,
+        } => {
+            out.push_str("growth polynomial ");
+            push_f64(&mut out, first_height);
+            out.push(' ');
+            push_f64(&mut out, exponent);
+        }
+        GrowthSpec::CappedGeometric {
+            first_height,
+            ratio,
+            max_thickness,
+        } => {
+            out.push_str("growth capped ");
+            push_f64(&mut out, first_height);
+            out.push(' ');
+            push_f64(&mut out, ratio);
+            out.push(' ');
+            push_f64(&mut out, max_thickness);
+        }
+    }
+    out.push('\n');
+
+    let BlParams {
+        height,
+        corners,
+        insert,
+    } = bl;
+    let CornerThresholds {
+        cusp,
+        max_ray_angle,
+    } = corners;
+    let InsertParams {
+        iso_factor,
+        max_layers,
+    } = insert;
+    out.push_str("bl ");
+    for v in [*height, *cusp, *max_ray_angle, *iso_factor] {
+        push_f64(&mut out, v);
+        out.push(' ');
+    }
+    let _ = writeln!(out, "{max_layers}");
+
+    match sizing_h0 {
+        None => out.push_str("sizing_h0 auto\n"),
+        Some(h0) => {
+            out.push_str("sizing_h0 ");
+            push_f64(&mut out, *h0);
+            out.push('\n');
+        }
+    }
+    out.push_str("sizing_rate ");
+    push_f64(&mut out, *sizing_rate);
+    out.push('\n');
+    out.push_str("sizing_max_area ");
+    push_f64(&mut out, *sizing_max_area);
+    out.push('\n');
+    out.push_str("nearbody_margin ");
+    push_f64(&mut out, *nearbody_margin);
+    out.push('\n');
+    let _ = writeln!(out, "bl_subdomains {bl_subdomains}");
+    let _ = writeln!(out, "inviscid_subdomains {inviscid_subdomains}");
+    out.push_str("end\n");
+    Ok(out)
+}
+
+/// Content-addressed cache key: sha256 of the canonical form.
+pub fn cache_key(config: &MeshConfig) -> Result<String, RequestError> {
+    Ok(sha256_hex(canonical_request(config)?.as_bytes()))
+}
+
+/// Parses a canonical request back into a [`MeshConfig`]. Execution
+/// knobs (`merge_threads`, `shard_out`, `extra_sizing`) come back as
+/// server-side defaults — they are not part of the request.
+pub fn parse_request(text: &str) -> Result<MeshConfig, RequestError> {
+    let mut lines = text.lines();
+    let mut next = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| RequestError::Parse(format!("truncated before {what}")))
+    };
+
+    if next("magic")? != REQUEST_MAGIC {
+        return Err(RequestError::Parse(format!(
+            "bad magic (expected {REQUEST_MAGIC})"
+        )));
+    }
+
+    let nloops = {
+        let l = next("loops")?;
+        let rest = l
+            .strip_prefix("loops ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `loops N`, got {l:?}")))?;
+        parse_usize(rest)?
+    };
+    if nloops == 0 {
+        return Err(RequestError::Parse("need at least one surface loop".into()));
+    }
+    let mut loops = Vec::with_capacity(nloops);
+    for _ in 0..nloops {
+        let l = next("loop header")?;
+        let rest = l
+            .strip_prefix("loop ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `loop N name`, got {l:?}")))?;
+        let (count_tok, name) = rest
+            .split_once(' ')
+            .ok_or_else(|| RequestError::Parse(format!("expected `loop N name`, got {l:?}")))?;
+        let npts = parse_usize(count_tok)?;
+        if npts < 3 {
+            return Err(RequestError::Parse(format!(
+                "loop {name:?} has {npts} points (need >= 3)"
+            )));
+        }
+        let mut points = Vec::with_capacity(npts);
+        for _ in 0..npts {
+            let l = next("loop point")?;
+            let (xs, ys) = l
+                .split_once(' ')
+                .ok_or_else(|| RequestError::Parse(format!("expected `x y`, got {l:?}")))?;
+            points.push(Point2 {
+                x: parse_f64(xs)?,
+                y: parse_f64(ys)?,
+            });
+        }
+        // Do NOT re-normalize through SurfaceLoop::new: the canonical
+        // bytes are the identity, so the loop is taken verbatim.
+        loops.push(SurfaceLoop {
+            points,
+            name: name.to_string(),
+        });
+    }
+
+    let farfield = {
+        let l = next("farfield")?;
+        let rest = l
+            .strip_prefix("farfield ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `farfield ...`, got {l:?}")))?;
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() != 4 {
+            return Err(RequestError::Parse(format!(
+                "farfield needs 4 floats, got {}",
+                toks.len()
+            )));
+        }
+        Aabb {
+            min: Point2 {
+                x: parse_f64(toks[0])?,
+                y: parse_f64(toks[1])?,
+            },
+            max: Point2 {
+                x: parse_f64(toks[2])?,
+                y: parse_f64(toks[3])?,
+            },
+        }
+    };
+
+    let growth = {
+        let l = next("growth")?;
+        let rest = l
+            .strip_prefix("growth ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `growth ...`, got {l:?}")))?;
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        match toks.as_slice() {
+            ["geometric", h, r] => GrowthSpec::Geometric {
+                first_height: parse_f64(h)?,
+                ratio: parse_f64(r)?,
+            },
+            ["polynomial", h, e] => GrowthSpec::Polynomial {
+                first_height: parse_f64(h)?,
+                exponent: parse_f64(e)?,
+            },
+            ["capped", h, r, m] => GrowthSpec::CappedGeometric {
+                first_height: parse_f64(h)?,
+                ratio: parse_f64(r)?,
+                max_thickness: parse_f64(m)?,
+            },
+            _ => {
+                return Err(RequestError::Parse(format!("bad growth spec {rest:?}")));
+            }
+        }
+    };
+
+    let bl = {
+        let l = next("bl")?;
+        let rest = l
+            .strip_prefix("bl ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `bl ...`, got {l:?}")))?;
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() != 5 {
+            return Err(RequestError::Parse(format!(
+                "bl needs 5 fields, got {}",
+                toks.len()
+            )));
+        }
+        BlParams {
+            height: parse_f64(toks[0])?,
+            corners: CornerThresholds {
+                cusp: parse_f64(toks[1])?,
+                max_ray_angle: parse_f64(toks[2])?,
+            },
+            insert: InsertParams {
+                iso_factor: parse_f64(toks[3])?,
+                max_layers: parse_usize(toks[4])?,
+            },
+        }
+    };
+
+    let sizing_h0 = {
+        let l = next("sizing_h0")?;
+        let rest = l
+            .strip_prefix("sizing_h0 ")
+            .ok_or_else(|| RequestError::Parse(format!("expected `sizing_h0 ...`, got {l:?}")))?;
+        if rest == "auto" {
+            None
+        } else {
+            Some(parse_f64(rest)?)
+        }
+    };
+
+    let mut scalar = |key: &str| -> Result<f64, RequestError> {
+        let l = next(key)?;
+        let rest = l.strip_prefix(key).and_then(|r| r.strip_prefix(' '));
+        match rest {
+            Some(tok) => parse_f64(tok),
+            None => Err(RequestError::Parse(format!(
+                "expected `{key} ...`, got {l:?}"
+            ))),
+        }
+    };
+    let sizing_rate = scalar("sizing_rate")?;
+    let sizing_max_area = scalar("sizing_max_area")?;
+    let nearbody_margin = scalar("nearbody_margin")?;
+
+    let mut count = |key: &str| -> Result<usize, RequestError> {
+        let l = next(key)?;
+        let rest = l.strip_prefix(key).and_then(|r| r.strip_prefix(' '));
+        match rest {
+            Some(tok) => parse_usize(tok),
+            None => Err(RequestError::Parse(format!(
+                "expected `{key} N`, got {l:?}"
+            ))),
+        }
+    };
+    let bl_subdomains = count("bl_subdomains")?;
+    let inviscid_subdomains = count("inviscid_subdomains")?;
+
+    if next("end")? != "end" {
+        return Err(RequestError::Parse("missing `end` terminator".into()));
+    }
+    if lines.next().is_some() {
+        return Err(RequestError::Parse("trailing bytes after `end`".into()));
+    }
+
+    let mut config = MeshConfig::from_pslg(Pslg { loops, farfield });
+    config.growth = growth;
+    config.bl = bl;
+    config.sizing_h0 = sizing_h0;
+    config.sizing_rate = sizing_rate;
+    config.sizing_max_area = sizing_max_area;
+    config.nearbody_margin = nearbody_margin;
+    config.bl_subdomains = bl_subdomains;
+    config.inviscid_subdomains = inviscid_subdomains;
+    Ok(config)
+}
+
+/// Deterministic relative cost estimate for admission priorities, in
+/// the load balancer's style: boundary-layer work scales with surface
+/// vertex count, inviscid work with far-field area over the sizing
+/// area floor. Units are arbitrary; only the ordering matters
+/// (shortest-job-first within a priority class).
+pub fn cost_estimate(config: &MeshConfig) -> u64 {
+    let surface_points: usize = config.pslg.loops.iter().map(|l| l.points.len()).sum();
+    let ff = &config.pslg.farfield;
+    let area = (ff.max.x - ff.min.x).max(0.0) * (ff.max.y - ff.min.y).max(0.0);
+    let max_area = config.sizing_max_area.max(1e-12);
+    // Graded fields fill most of the far field at near-max area.
+    let est_inviscid_tris = (2.0 * area / max_area).min(1e12) as u64;
+    let bl_weight = 64; // BL points are far denser than inviscid ones
+    surface_points as u64 * bl_weight + est_inviscid_tris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let config = MeshConfig::three_element(24);
+        let text = canonical_request(&config).unwrap();
+        let back = parse_request(&text).unwrap();
+        assert_eq!(text, canonical_request(&back).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse_request("hello"),
+            Err(RequestError::Parse(_))
+        ));
+        let config = MeshConfig::naca0012(16);
+        let text = canonical_request(&config).unwrap();
+        let truncated = &text[..text.len() - 20];
+        assert!(parse_request(truncated).is_err());
+    }
+
+    #[test]
+    fn cost_orders_by_size() {
+        let small = MeshConfig::naca0012(16);
+        let big = MeshConfig::three_element(64);
+        assert!(cost_estimate(&small) < cost_estimate(&big));
+    }
+}

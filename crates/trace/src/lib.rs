@@ -111,6 +111,21 @@ impl Track {
             tid: w as u32 + 64,
         }
     }
+
+    /// The job-server admission lane: per-request `serve.request` spans
+    /// recorded by whichever connection/submitter thread admitted the
+    /// request. Lives in the driver process row past the shard lanes.
+    pub const SERVER_FRONT: Track = Track { pid: 0, tid: 128 };
+
+    /// The mesh-executor lane of job-server worker `w` (`serve.mesh_job`
+    /// and `serve.cache_load` spans). One lane per worker, past the
+    /// admission lane.
+    pub fn server(w: usize) -> Track {
+        Track {
+            pid: 0,
+            tid: w as u32 + 129,
+        }
+    }
 }
 
 /// One recorded span. `end_ns == u64::MAX` while still open.

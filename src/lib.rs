@@ -24,7 +24,9 @@
 //!   substitute);
 //! * [`trace`] — deterministic span tracing + metrics registry with a
 //!   Chrome trace-event exporter;
-//! * [`core`] — the push-button pipeline.
+//! * [`core`] — the push-button pipeline;
+//! * [`serve`] — mesh generation as a service: the `admeshd` job server
+//!   with content-addressed caching and single-flight dedup.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use adm_geom as geom;
 pub use adm_kernel as kernel;
 pub use adm_mpirt as mpirt;
 pub use adm_partition as partition;
+pub use adm_serve as serve;
 pub use adm_simnet as simnet;
 pub use adm_solver as solver;
 pub use adm_trace as trace;
